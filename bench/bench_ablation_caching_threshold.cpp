@@ -1,0 +1,70 @@
+// Ablation: the energy cache's accuracy/efficiency knobs (paper Section
+// 4.2: "two user-specified parameters are provided to determine the
+// aggressiveness of the caching technique"). With a data-dependent
+// (DSP-style) CPU power model, per-path energies vary, so thresh_variance
+// trades cache coverage against energy error — the tradeoff the paper
+// predicts for processors whose ISS models data dependence.
+#include <cstdio>
+
+#include "bench_common.hpp"
+
+using namespace socpower;
+
+int main() {
+  bench::print_header(
+      "Energy-cache aggressiveness: thresh_variance / thresh_iss_calls",
+      "Section 4.2 (parameter ablation; no table in the paper)");
+
+  systems::TcpIpParams p;
+  p.num_packets = 60;
+  p.packet_bytes = 128;
+  core::CoEstimatorConfig base;
+  base.data_nj_per_toggle = 1.2;  // DSP-style: caching is no longer exact
+
+  systems::TcpIpSystem ref_sys(p);
+  core::CoEstimator ref(&ref_sys.network(), base);
+  ref_sys.configure(ref);
+  ref.prepare();
+  const auto orig = ref.run(ref_sys.stimulus());
+  std::printf("reference (no acceleration): E=%s, ISS calls=%llu\n\n",
+              format_energy(orig.total_energy).c_str(),
+              static_cast<unsigned long long>(orig.iss_invocations));
+
+  TextTable t({"thresh_variance", "thresh_iss_calls", "hit rate %",
+               "energy err %", "ISS calls"});
+  double err_loose = 0, err_tight = 0;
+  for (const double tv : {0.0, 1e-6, 1e-4, 1e-2, 1.0}) {
+    for (const std::size_t calls : {3u, 10u}) {
+      systems::TcpIpSystem sys(p);
+      auto cfg = base;
+      cfg.accel = core::Acceleration::kCaching;
+      cfg.energy_cache.thresh_variance = tv;
+      cfg.energy_cache.thresh_iss_calls = calls;
+      core::CoEstimator est(&sys.network(), cfg);
+      sys.configure(est);
+      est.prepare();
+      const auto r = est.run(sys.stimulus());
+      const double err = percent_error(r.total_energy, orig.total_energy);
+      const double hit_rate =
+          100.0 * static_cast<double>(r.cache_hits_served) /
+          static_cast<double>(r.sw_reactions);
+      if (tv == 0.0 && calls == 3) err_tight = err;
+      if (tv == 1.0 && calls == 3) err_loose = err;
+      t.add_row({TextTable::num(tv), std::to_string(calls),
+                 TextTable::fixed(hit_rate, 1), TextTable::fixed(err, 3),
+                 std::to_string(r.iss_invocations)});
+    }
+  }
+  std::printf("%s", t.render().c_str());
+
+  std::printf(
+      "\nWith thresh_variance = 0 only exactly-repeating paths are served\n"
+      "(zero error but low coverage under a data-dependent model); loosening\n"
+      "the threshold raises coverage at a bounded, monotone error cost —\n"
+      "exactly the aggressiveness dial of Figure 4(c).\n");
+
+  const bool shape_ok = err_tight < 1e-6 && err_loose > err_tight &&
+                        err_loose < 10.0;
+  std::printf("\nSHAPE CHECK: %s\n", shape_ok ? "PASS" : "FAIL");
+  return shape_ok ? 0 : 1;
+}

@@ -1,0 +1,67 @@
+// Figure 1(b): the motivating experiment — separate per-component power
+// estimation (driven by timing-independent behavioral traces) vs. power
+// co-estimation, on the producer / timer / consumer system.
+//
+// Paper values:            producer      consumer
+//   separate               6.97e-5 J     2.58e-9 J
+//   co-estimation          6.97e-5 J     6.75e-9 J   (separate under-
+//                                                     estimates by ~62 %)
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "systems/prodcons.hpp"
+
+using namespace socpower;
+
+int main() {
+  bench::print_header(
+      "Separate estimation vs. co-estimation (producer/timer/consumer)",
+      "Figure 1(b), Section 2");
+
+  systems::ProdConsParams p;
+  p.num_packets = 4;
+  p.bytes_per_packet = 16;
+  p.tick_period = 24;
+  p.start_gap = 2;
+  p.consumer_base_iterations = 52;
+  systems::ProdConsSystem sys(p);
+
+  core::CoEstimator est(&sys.network(), {});
+  sys.configure(est);
+  est.prepare();
+
+  const sim::SimTime horizon = 40'000;
+  const auto co = est.run(sys.stimulus(horizon));
+  const auto sep = est.run_separate(sys.stimulus(horizon));
+
+  const auto prod = static_cast<std::size_t>(sys.producer());
+  const auto cons = static_cast<std::size_t>(sys.consumer());
+  const double under =
+      100.0 * (co.process_energy[cons] - sep.process_energy[cons]) /
+      co.process_energy[cons];
+
+  TextTable t({"", "producer energy (J)", "consumer energy (J)"});
+  t.add_row({"separate", TextTable::num(sep.process_energy[prod]),
+             TextTable::num(sep.process_energy[cons])});
+  t.add_row({"co-est", TextTable::num(co.process_energy[prod]),
+             TextTable::num(co.process_energy[cons])});
+  t.add_row({"paper separate", "6.97e-05", "2.58e-09"});
+  t.add_row({"paper co-est", "6.97e-05", "6.75e-09"});
+  std::printf("%s", t.render().c_str());
+
+  std::printf(
+      "\nconsumer under-estimation by separate analysis: %.1f%% "
+      "(paper: ~62%%)\n",
+      under);
+  std::printf(
+      "producer estimates agree to %.2f%% (paper: identical), because the\n"
+      "producer's computation does not depend on event timing while the\n"
+      "consumer's iteration count is TIME - PREV_TIME.\n",
+      percent_error(sep.process_energy[prod], co.process_energy[prod]));
+
+  const bool shape_ok = under > 30.0 && under < 90.0 &&
+                        percent_error(sep.process_energy[prod],
+                                      co.process_energy[prod]) < 5.0;
+  std::printf("\nSHAPE CHECK: %s\n", shape_ok ? "PASS" : "FAIL");
+  return shape_ok ? 0 : 1;
+}

@@ -1,0 +1,66 @@
+// Figure 6: relative accuracy ("tracking fidelity") of macro-modeling —
+// scatter of macro-modeled system energy vs. the unaccelerated estimate for
+// the DMA-size variants. The paper's claims: the ranking of the design
+// points is preserved, and the relation is close to linear.
+#include <cstdio>
+#include <vector>
+
+#include "bench_common.hpp"
+
+using namespace socpower;
+
+int main() {
+  bench::print_header(
+      "Relative accuracy of macro-modeling across DMA variants",
+      "Figure 6, Section 5.2");
+
+  std::vector<double> orig_e, mm_e;
+  TextTable t({"DMA", "orig energy (nJ)", "macromodel energy (nJ)",
+               "ratio"});
+  for (const unsigned dma : bench::kTableDmaSizes) {
+    systems::TcpIpSystem sys(bench::table_workload(dma));
+    auto cfg = bench::table_config();
+    cfg.sync_spin = 0;  // accuracy study: no need to model IPC time here
+    core::CoEstimator est(&sys.network(), cfg);
+    sys.configure(est);
+    est.prepare();
+    const auto orig = bench::run_mode(sys, est, core::Acceleration::kNone);
+    const auto mm =
+        bench::run_mode(sys, est, core::Acceleration::kMacroModel);
+    orig_e.push_back(to_nanojoules(orig.total_energy));
+    mm_e.push_back(to_nanojoules(mm.total_energy));
+    t.add_row({std::to_string(dma), TextTable::fixed(orig_e.back(), 0),
+               TextTable::fixed(mm_e.back(), 0),
+               TextTable::fixed(mm_e.back() / orig_e.back(), 3)});
+  }
+  std::printf("%s", t.render().c_str());
+
+  // ASCII scatter in the style of Figure 6 (x: original, y: macro-model).
+  const double xmin = *std::min_element(orig_e.begin(), orig_e.end());
+  const double xmax = *std::max_element(orig_e.begin(), orig_e.end());
+  const double ymin = *std::min_element(mm_e.begin(), mm_e.end());
+  const double ymax = *std::max_element(mm_e.begin(), mm_e.end());
+  const int W = 56, H = 16;
+  std::vector<std::string> grid(H, std::string(W, ' '));
+  for (std::size_t i = 0; i < orig_e.size(); ++i) {
+    const int x = static_cast<int>((orig_e[i] - xmin) / (xmax - xmin) * (W - 1));
+    const int y = static_cast<int>((mm_e[i] - ymin) / (ymax - ymin) * (H - 1));
+    grid[static_cast<std::size_t>(H - 1 - y)][static_cast<std::size_t>(x)] =
+        '*';
+  }
+  std::printf("\nmacromodel energy (y) vs original energy (x):\n");
+  for (const auto& row : grid) std::printf("  |%s\n", row.c_str());
+  std::printf("  +%s\n", std::string(W, '-').c_str());
+
+  const bool ranking = same_ranking(orig_e.data(), mm_e.data(), orig_e.size());
+  const double r = pearson_correlation(orig_e.data(), mm_e.data(),
+                                       orig_e.size());
+  std::printf("\nranking preserved across all %zu DMA variants: %s "
+              "(paper: preserved)\n",
+              orig_e.size(), ranking ? "YES" : "NO");
+  std::printf("Pearson correlation: %.5f (paper: visually linear)\n", r);
+
+  const bool shape_ok = ranking && r > 0.995;
+  std::printf("\nSHAPE CHECK: %s\n", shape_ok ? "PASS" : "FAIL");
+  return shape_ok ? 0 : 1;
+}

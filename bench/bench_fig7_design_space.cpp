@@ -1,0 +1,92 @@
+// Figure 7: exhaustive exploration of the TCP/IP communication architecture:
+// all meaningful bus-priority assignments x DMA block sizes, energy to
+// process 3 network packets.
+//
+// Paper setup: Vdd = 3.3 V, Cbit = 10 nF/line, 8-bit address and data buses,
+// 3 packets; 6 priority assignments x 7 DMA sizes (the paper says "48
+// points"; 6 x 7 = 42 — we sweep all 42 and note the discrepancy). The
+// paper's minimum: DMA = 128 with Create_Pack > IP_Check > Checksum.
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "bench_common.hpp"
+
+using namespace socpower;
+
+int main() {
+  bench::print_header(
+      "Communication-architecture design-space exploration (TCP/IP)",
+      "Figure 7, Section 5.3");
+
+  const unsigned dmas[] = {2, 4, 8, 16, 32, 64, 128};
+  // The 6 permutations of (create_pack, ip_check, checksum) priorities.
+  struct Prio {
+    int create, ip, chk;
+    const char* name;
+  };
+  const Prio prios[] = {
+      {3, 2, 1, "CP>IP>CK"}, {3, 1, 2, "CP>CK>IP"}, {2, 3, 1, "IP>CP>CK"},
+      {1, 3, 2, "IP>CK>CP"}, {2, 1, 3, "CK>CP>IP"}, {1, 2, 3, "CK>IP>CP"},
+  };
+
+  std::vector<std::string> header = {"priority \\ DMA"};
+  for (const unsigned d : dmas) header.push_back(std::to_string(d));
+  TextTable t(std::move(header));
+
+  double best_e = 1e18;
+  std::string best_name;
+  unsigned best_dma = 0;
+  int pi = 0;
+  for (const Prio& pr : prios) {
+    std::vector<std::string> row = {pr.name};
+    for (const unsigned dma : dmas) {
+      systems::TcpIpParams p;
+      p.num_packets = 3;  // the paper's Figure 7 workload
+      p.packet_bytes = 256;
+      p.ip_check_in_hw = true;
+      p.packet_gap = 30;
+      p.dma_block_size = dma;
+      p.prio_create = pr.create;
+      p.prio_ipcheck = pr.ip;
+      p.prio_checksum = pr.chk;
+      systems::TcpIpSystem sys(p);
+      core::CoEstimatorConfig cfg;
+      cfg.bus.line_cap_f = 10e-9;  // Cbit = 10 nF, as stated in the paper
+      cfg.bus.addr_bits = 8;
+      cfg.bus.data_bits = 8;
+      cfg.electrical.vdd_volts = 3.3;
+      core::CoEstimator est(&sys.network(), cfg);
+      sys.configure(est);
+      est.prepare();
+      const auto r = est.run(sys.stimulus());
+      const double uj = to_microjoules(r.total_energy);
+      row.push_back(TextTable::fixed(uj, 2));
+      if (r.total_energy < best_e) {
+        best_e = r.total_energy;
+        best_name = pr.name;
+        best_dma = dma;
+      }
+    }
+    t.add_row(std::move(row));
+    ++pi;
+  }
+  std::printf("total system energy (uJ) for 3 packets:\n%s",
+              t.render().c_str());
+
+  std::printf(
+      "\nexplored %zu design points (6 priority assignments x 7 DMA sizes;\n"
+      "the paper states 48 points but 6 x 7 = 42 — reproduced as 42).\n",
+      std::size(prios) * std::size(dmas));
+  std::printf("minimum-energy point: DMA=%u, priorities %s  (%.2f uJ)\n",
+              best_dma, best_name.c_str(), to_microjoules(best_e));
+  std::printf("paper's minimum: DMA=128, Create_Pack > IP_Check > Checksum\n");
+  std::printf(
+      "\nNote how the integration architecture alone moves total energy —\n"
+      "HW and SW are identical across all 42 points — which is the paper's\n"
+      "argument for exploring it with a co-estimation tool.\n");
+
+  const bool shape_ok = best_dma == 128 && best_name == "CP>IP>CK";  // Create_Pack highest, as in the paper
+  std::printf("\nSHAPE CHECK: %s\n", shape_ok ? "PASS" : "FAIL");
+  return shape_ok ? 0 : 1;
+}

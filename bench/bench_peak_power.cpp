@@ -1,0 +1,77 @@
+// Section 5.3 (closing observation): the co-estimation environment can
+// highlight peak power periods and correlate them with functional activity —
+// "the peaks in power consumption are associated with the points in time
+// when the modules handshake with the arbiter."
+#include <algorithm>
+#include <cstdio>
+
+#include "bench_common.hpp"
+
+using namespace socpower;
+
+int main() {
+  bench::print_header("Peak-power analysis and arbiter-handshake correlation",
+                      "Section 5.3 (power waveform observation)");
+
+  systems::TcpIpParams p;
+  p.num_packets = 10;
+  p.packet_bytes = 64;
+  p.dma_block_size = 16;
+  p.packet_gap = 400;
+  systems::TcpIpSystem sys(p);
+  core::CoEstimatorConfig cfg;
+  cfg.bus.line_cap_f = 10e-9;
+  cfg.keep_power_samples = true;
+  core::CoEstimator est(&sys.network(), cfg);
+  sys.configure(est);
+  est.prepare();
+  const auto r = est.run(sys.stimulus());
+
+  const auto& trace = est.power_trace();
+  const auto bus_c = trace.component_id("bus");
+  const sim::SimTime window = 32;
+  const auto wf = trace.waveform(bus_c, window);
+  const auto peaks = sim::PowerTrace::peak_windows(wf, 8);
+  const auto& grants = est.bus_model().grant_times();
+
+  std::printf("simulated %llu cycles; %zu bus grants; %zu waveform windows "
+              "of %llu cycles\n\n",
+              static_cast<unsigned long long>(r.end_time), grants.size(),
+              wf.size(), static_cast<unsigned long long>(window));
+
+  std::printf("top power windows (bus component):\n");
+  std::size_t peaks_with_grant = 0;
+  for (const std::size_t w : peaks) {
+    std::size_t grants_inside = 0;
+    for (const auto g : grants)
+      if (g >= wf[w].start && g < wf[w].start + window) ++grants_inside;
+    if (grants_inside > 0) ++peaks_with_grant;
+    std::printf("  window @ cycle %8llu: %8.1f mW   arbiter handshakes: %zu\n",
+                static_cast<unsigned long long>(wf[w].start),
+                wf[w].watts * 1e3, grants_inside);
+  }
+
+  // Baseline: what fraction of ALL windows contain a grant?
+  std::size_t windows_with_grant = 0;
+  for (const auto& w : wf) {
+    for (const auto g : grants)
+      if (g >= w.start && g < w.start + window) {
+        ++windows_with_grant;
+        break;
+      }
+  }
+  const double base_frac =
+      static_cast<double>(windows_with_grant) / static_cast<double>(wf.size());
+  const double peak_frac =
+      static_cast<double>(peaks_with_grant) / static_cast<double>(peaks.size());
+  std::printf(
+      "\nfraction of peak windows containing an arbiter handshake: %.0f%%\n"
+      "fraction of all windows containing one:                    %.0f%%\n",
+      100.0 * peak_frac, 100.0 * base_frac);
+  std::printf("=> power peaks coincide with arbiter handshakes, as the paper "
+              "observes.\n");
+
+  const bool shape_ok = peak_frac == 1.0 && peak_frac > base_frac + 0.2;
+  std::printf("\nSHAPE CHECK: %s\n", shape_ok ? "PASS" : "FAIL");
+  return shape_ok ? 0 : 1;
+}

@@ -1,0 +1,82 @@
+// Section 4.3: statistical sampling / K-memory dynamic sequence compaction.
+// The paper describes the technique without a dedicated table; this bench
+// charts its accuracy/efficiency tradeoff: simulated fraction, energy error
+// and CPU-time speedup as functions of the keep ratio and buffer size K.
+#include <cstdio>
+
+#include "bench_common.hpp"
+
+using namespace socpower;
+
+int main() {
+  bench::print_header(
+      "K-memory dynamic sequence compaction: accuracy vs. efficiency",
+      "Section 4.3 (no table in the paper; ablation)");
+
+  systems::TcpIpParams p;
+  p.num_packets = 80;
+  p.packet_bytes = 128;
+  p.dma_block_size = 8;
+  auto cfg = bench::table_config();
+  // Use the DSP-style data-dependent instruction power model: per-path
+  // energies then genuinely vary, so extrapolating the skipped transitions
+  // carries real (bounded) error — with the data-independent SPARClite
+  // model the extrapolation would be exact and the tradeoff invisible.
+  cfg.data_nj_per_toggle = 0.6;
+
+  // Reference run.
+  systems::TcpIpSystem ref_sys(p);
+  core::CoEstimator ref(&ref_sys.network(), cfg);
+  ref_sys.configure(ref);
+  ref.prepare();
+  const auto orig = ref.run(ref_sys.stimulus());
+  std::printf("reference: E=%s, CPU=%.3fs, ISS calls=%llu\n\n",
+              format_energy(orig.total_energy).c_str(), orig.wall_seconds,
+              static_cast<unsigned long long>(orig.iss_invocations));
+
+  TextTable t({"K", "keep ratio", "ISS calls", "simulated %", "energy err %",
+               "speedup", "function OK"});
+  bool all_ok = true;
+  double best_speedup = 0;
+  double err_at_strongest = 0;
+  for (const std::size_t k : {32u, 64u, 128u}) {
+    for (const double ratio : {0.5, 0.25, 0.125}) {
+      systems::TcpIpSystem sys(p);
+      core::CoEstimator est(&sys.network(), cfg);
+      sys.configure(est);
+      est.prepare();
+      est.config().accel = core::Acceleration::kSampling;
+      est.config().sampling = {.k_memory = k, .keep_ratio = ratio,
+                               .window = 4, .min_length = 8};
+      const auto r = est.run(sys.stimulus());
+      const double err = percent_error(r.total_energy, orig.total_energy);
+      const double sp = orig.wall_seconds / r.wall_seconds;
+      const bool fn_ok = sys.packets_ok(est) == p.num_packets;
+      all_ok = all_ok && fn_ok && err < 12.0;
+      if (sp > best_speedup) {
+        best_speedup = sp;
+        err_at_strongest = err;
+      }
+      t.add_row({std::to_string(k), TextTable::fixed(ratio, 3),
+                 std::to_string(r.iss_invocations),
+                 TextTable::fixed(100.0 * static_cast<double>(r.iss_invocations) /
+                                      static_cast<double>(orig.iss_invocations),
+                                  1),
+                 TextTable::fixed(err, 2), TextTable::fixed(sp, 1),
+                 fn_ok ? "yes" : "NO"});
+    }
+  }
+  std::printf("%s", t.render().c_str());
+
+  std::printf(
+      "\nThe compacted instruction/vector stream preserves single-symbol and\n"
+      "lag-one pair statistics (Section 4.3), so the extrapolated energy\n"
+      "tracks the full simulation while most lower-level invocations are\n"
+      "skipped. Function is never affected: the behavioral model remains\n"
+      "the golden executor. strongest point: %.1fx at %.2f%% error.\n",
+      best_speedup, err_at_strongest);
+
+  const bool shape_ok = all_ok && best_speedup > 2.0;
+  std::printf("\nSHAPE CHECK: %s\n", shape_ok ? "PASS" : "FAIL");
+  return shape_ok ? 0 : 1;
+}

@@ -1,0 +1,80 @@
+// Table 2: speedup and accuracy of software power macro-modeling on the
+// TCP/IP subsystem, swept over the bus DMA block size.
+//
+// Paper values:
+//   DMA  orig E (mJ)  orig CPU(s)  mm E (mJ)  mm CPU(s)  speedup  err %
+//    2     0.54        8051.52       0.72       92.44      87.1    32.9
+//    4     0.44        4023.36       0.56       63.46      63.4    27.4
+//    8     0.39        2080.77       0.48       48.73      42.7    23.7
+//   16     0.36        1398.49       0.44       41.08      34.0    21.6
+//   32     0.35         852.25       0.42       37.71      22.6    20.4
+//   64     0.34         680.78       0.41       36.02      18.9    19.6
+// Macro-modeling over-estimates (additive model, measurement-harness
+// residuals, no pipeline overlap across macro-operations), with the error
+// shrinking as the DMA size grows (fewer per-block software transitions).
+#include <cstdio>
+
+#include "bench_common.hpp"
+
+using namespace socpower;
+
+int main() {
+  bench::print_header(
+      "Software power macro-modeling: speedup and accuracy (TCP/IP)",
+      "Table 2, Section 5.2");
+
+  TextTable t({"DMA", "orig E (mJ)", "orig CPU (s)", "mm E (mJ)",
+               "mm CPU (s)", "speedup", "error %", "paper err %",
+               "paper speedup"});
+  const double paper_err[] = {32.9, 27.4, 23.7, 21.6, 20.4, 19.6};
+  const double paper_sp[] = {87.1, 63.4, 42.7, 34.0, 22.6, 18.9};
+
+  bool always_over = true;
+  bool err_decreasing = true;
+  double prev_err = 1e9;
+  double min_sp = 1e9, max_sp = 0;
+  int i = 0;
+  for (const unsigned dma : bench::kTableDmaSizes) {
+    systems::TcpIpSystem sys(bench::table_workload(dma));
+    core::CoEstimator est(&sys.network(), bench::table_config());
+    sys.configure(est);
+    est.prepare();
+    const auto orig = bench::run_mode(sys, est, core::Acceleration::kNone);
+    const auto mm =
+        bench::run_mode(sys, est, core::Acceleration::kMacroModel);
+    const double sp = orig.wall_seconds / mm.wall_seconds;
+    const double err =
+        100.0 * (mm.total_energy - orig.total_energy) / orig.total_energy;
+    always_over = always_over && err > 0;
+    err_decreasing = err_decreasing && err <= prev_err + 0.3;
+    prev_err = err;
+    min_sp = std::min(min_sp, sp);
+    max_sp = std::max(max_sp, sp);
+    t.add_row({std::to_string(dma),
+               TextTable::fixed(to_millijoules(orig.total_energy), 3),
+               TextTable::fixed(orig.wall_seconds, 3),
+               TextTable::fixed(to_millijoules(mm.total_energy), 3),
+               TextTable::fixed(mm.wall_seconds, 3),
+               TextTable::fixed(sp, 1), TextTable::fixed(err, 1),
+               TextTable::fixed(paper_err[i], 1),
+               TextTable::fixed(paper_sp[i], 1)});
+    ++i;
+  }
+  std::printf("%s", t.render().c_str());
+
+  std::printf(
+      "\nAs in the paper: the macro-model is conservative (always\n"
+      "over-estimates, because each macro-operation is characterized\n"
+      "standalone with its harness and no cross-operation overlap), the\n"
+      "error decreases with the DMA size (the per-block software handling,\n"
+      "whose count scales as 1/DMA, carries the highest relative\n"
+      "overestimate), and the speedup exceeds the caching technique's\n"
+      "(Table 1) because the behavioral model is annotated up front — no\n"
+      "per-transition estimator synchronization remains at all.\n");
+  std::printf("measured speedup span: %.1fx .. %.1fx (paper: 18.9x .. 87.1x)\n",
+              min_sp, max_sp);
+  const bool shape_ok = always_over && err_decreasing && min_sp > 2.0 &&
+                        prev_err > 5.0 && prev_err < 60.0;
+  std::printf("\nSHAPE CHECK: %s\n", shape_ok ? "PASS" : "FAIL");
+  return shape_ok ? 0 : 1;
+}

@@ -1,0 +1,254 @@
+// socpower_cosim — command-line power co-estimation driver.
+//
+// Takes a system described in the CFSM DSL, a HW/SW mapping, and an
+// environment stimulus; runs power co-estimation and prints the report.
+//
+//   socpower_cosim MODEL.cfsm --sw NAME[:PRIO] ... --hw NAME ... --hw-rtl NAME ...
+//                [--stim FILE] [--accel none|caching|macromodel|sampling]
+//                [--dma BYTES] [--csv FILE] [--trace FILE] [--inventory]
+//                [--separate]
+//
+// The stimulus file has one event per line: "TIME EVENT [VALUE]"; '#'
+// starts a comment. Without --stim, every environment event (an event no
+// process emits) is fired once at cycle 1 — enough to smoke-test a model.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "cfsm/dsl.hpp"
+#include "core/coestimator.hpp"
+#include "core/inventory.hpp"
+#include "core/report.hpp"
+#include "core/transition_trace.hpp"
+
+using namespace socpower;
+
+namespace {
+
+struct Options {
+  std::string model_path;
+  std::vector<std::pair<std::string, int>> sw;  // name, priority
+  std::vector<std::pair<std::string, bool>> hw;  // name, rtl?
+  std::string stim_path;
+  std::string csv_path;
+  core::Acceleration accel = core::Acceleration::kNone;
+  unsigned dma = 0;
+  bool separate = false;
+  bool inventory = false;
+  bool listing = false;
+  std::string trace_path;
+};
+
+int usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s MODEL.cfsm [--sw NAME[:PRIO]]... [--hw NAME]...\n"
+               "       [--hw-rtl NAME]... [--stim FILE] [--accel MODE]\n"
+               "       [--dma BYTES] [--csv FILE] [--trace FILE]\n"
+               "       [--inventory] [--listing] [--separate]\n",
+               argv0);
+  return 2;
+}
+
+bool parse_args(int argc, char** argv, Options& opt) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (a == "--sw") {
+      const char* v = next();
+      if (!v) return false;
+      std::string name = v;
+      int prio = 0;
+      const auto colon = name.find(':');
+      if (colon != std::string::npos) {
+        prio = std::atoi(name.c_str() + colon + 1);
+        name.resize(colon);
+      }
+      opt.sw.emplace_back(name, prio);
+    } else if (a == "--hw") {
+      const char* v = next();
+      if (!v) return false;
+      opt.hw.emplace_back(v, false);
+    } else if (a == "--hw-rtl") {
+      const char* v = next();
+      if (!v) return false;
+      opt.hw.emplace_back(v, true);
+    } else if (a == "--stim") {
+      const char* v = next();
+      if (!v) return false;
+      opt.stim_path = v;
+    } else if (a == "--csv") {
+      const char* v = next();
+      if (!v) return false;
+      opt.csv_path = v;
+    } else if (a == "--dma") {
+      const char* v = next();
+      if (!v) return false;
+      opt.dma = static_cast<unsigned>(std::atoi(v));
+    } else if (a == "--accel") {
+      const char* v = next();
+      if (!v) return false;
+      if (std::strcmp(v, "none") == 0) opt.accel = core::Acceleration::kNone;
+      else if (std::strcmp(v, "caching") == 0)
+        opt.accel = core::Acceleration::kCaching;
+      else if (std::strcmp(v, "macromodel") == 0)
+        opt.accel = core::Acceleration::kMacroModel;
+      else if (std::strcmp(v, "sampling") == 0)
+        opt.accel = core::Acceleration::kSampling;
+      else return false;
+    } else if (a == "--separate") {
+      opt.separate = true;
+    } else if (a == "--inventory") {
+      opt.inventory = true;
+    } else if (a == "--listing") {
+      opt.listing = true;
+    } else if (a == "--trace") {
+      const char* v = next();
+      if (!v) return false;
+      opt.trace_path = v;
+    } else if (a[0] != '-' && opt.model_path.empty()) {
+      opt.model_path = a;
+    } else {
+      return false;
+    }
+  }
+  return !opt.model_path.empty();
+}
+
+bool load_stimulus(const std::string& path, const cfsm::Network& net,
+                   sim::Stimulus& stim) {
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "cannot open stimulus file %s\n", path.c_str());
+    return false;
+  }
+  std::string line;
+  int line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    const auto hash = line.find('#');
+    if (hash != std::string::npos) line.resize(hash);
+    std::istringstream ls(line);
+    std::uint64_t t;
+    std::string ev;
+    if (!(ls >> t >> ev)) continue;  // blank line
+    std::int64_t value = 0;
+    ls >> value;
+    const cfsm::EventId e = net.event_id(ev);
+    if (e < 0) {
+      std::fprintf(stderr, "stimulus line %d: unknown event %s\n", line_no,
+                   ev.c_str());
+      return false;
+    }
+    stim.add(t, e, static_cast<std::int32_t>(value));
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opt;
+  if (!parse_args(argc, argv, opt)) return usage(argv[0]);
+
+  std::ifstream model_in(opt.model_path);
+  if (!model_in) {
+    std::fprintf(stderr, "cannot open %s\n", opt.model_path.c_str());
+    return 1;
+  }
+  std::ostringstream buf;
+  buf << model_in.rdbuf();
+
+  cfsm::Network net;
+  const auto parsed = cfsm::parse_network(buf.str(), net);
+  if (!parsed.ok()) {
+    std::fprintf(stderr, "%s: %s\n", opt.model_path.c_str(),
+                 parsed.error.c_str());
+    return 1;
+  }
+
+  core::CoEstimatorConfig cfg;
+  cfg.accel = opt.accel;
+  cfg.keep_power_samples = true;
+  if (opt.dma) cfg.bus.dma_block_size = opt.dma;
+  core::CoEstimator est(&net, cfg);
+
+  std::vector<bool> mapped(net.cfsm_count(), false);
+  auto find = [&](const std::string& name) {
+    const cfsm::CfsmId id = net.cfsm_id(name);
+    if (id == cfsm::kNoCfsm) {
+      std::fprintf(stderr, "no process named '%s'\n", name.c_str());
+      std::exit(1);
+    }
+    mapped[static_cast<std::size_t>(id)] = true;
+    return id;
+  };
+  for (const auto& [name, prio] : opt.sw) est.map_sw(find(name), prio);
+  for (const auto& [name, rtl] : opt.hw)
+    est.map_hw(find(name), rtl ? core::HwEstimatorKind::kRtl
+                               : core::HwEstimatorKind::kGateLevel);
+  // Unmapped processes default to hardware (cheap, always valid... except
+  // for division, which only software supports).
+  for (std::size_t i = 0; i < net.cfsm_count(); ++i)
+    if (!mapped[i]) {
+      std::printf("note: process '%s' not mapped; defaulting to HW\n",
+                  net.cfsm(static_cast<cfsm::CfsmId>(i)).name().c_str());
+      est.map_hw(static_cast<cfsm::CfsmId>(i));
+    }
+  est.prepare();
+  if (opt.inventory)
+    std::printf("%s\n", core::take_inventory(net, est).render().c_str());
+  if (opt.listing) {
+    for (std::size_t i = 0; i < net.cfsm_count(); ++i) {
+      const auto id = static_cast<cfsm::CfsmId>(i);
+      if (est.is_sw(id))
+        std::printf("%s\n",
+                    swsyn::disassemble_image(net.cfsm(id), *est.sw_image(id))
+                        .c_str());
+    }
+  }
+
+  core::TransitionTrace trace;
+  if (!opt.trace_path.empty()) est.set_transition_hook(trace.hook());
+
+  sim::Stimulus stim;
+  if (!opt.stim_path.empty()) {
+    if (!load_stimulus(opt.stim_path, net, stim)) return 1;
+  } else {
+    // Fire every pure-environment event once.
+    for (std::size_t e = 0; e < net.event_count(); ++e) {
+      bool emitted_by_someone = false;
+      for (std::size_t c = 0; c < net.cfsm_count(); ++c) {
+        const auto& outs =
+            net.cfsm(static_cast<cfsm::CfsmId>(c)).outputs();
+        for (const auto o : outs)
+          if (o == static_cast<cfsm::EventId>(e)) emitted_by_someone = true;
+      }
+      if (!emitted_by_someone)
+        stim.add(1, static_cast<cfsm::EventId>(e), 1);
+    }
+    std::printf("note: no --stim; firing every environment event once\n");
+  }
+
+  const auto results =
+      opt.separate ? est.run_separate(stim) : est.run(stim);
+  std::printf("%s", core::render_report(net, est, results, {}).c_str());
+
+  if (!opt.csv_path.empty() && !opt.separate) {
+    std::ofstream out(opt.csv_path);
+    out << core::waveforms_csv(est, 0);
+    std::printf("\nwaveforms written to %s\n", opt.csv_path.c_str());
+  }
+  if (!opt.trace_path.empty()) {
+    std::ofstream out(opt.trace_path);
+    out << trace.to_csv(net);
+    std::printf("transition trace written to %s (%zu records)\n",
+                opt.trace_path.c_str(), trace.records().size());
+  }
+  return results.truncated ? 1 : 0;
+}

@@ -1,0 +1,20 @@
+#!/usr/bin/env sh
+# Rebuild everything, run the full test suite and every paper-reproduction
+# benchmark, and capture the outputs at the repository root.
+set -e
+cd "$(dirname "$0")/.."
+
+cmake -B build -G Ninja
+cmake --build build
+
+ctest --test-dir build 2>&1 | tee test_output.txt
+
+for b in build/bench/*; do "$b"; done 2>&1 | tee bench_output.txt
+
+echo
+echo "shape checks:"
+grep -c "SHAPE CHECK: PASS" bench_output.txt || true
+if grep -q "SHAPE CHECK: FAIL" bench_output.txt; then
+  echo "SHAPE CHECK FAILURES PRESENT" >&2
+  exit 1
+fi

@@ -1,0 +1,72 @@
+#include "cache/cache_sim.hpp"
+
+#include <cassert>
+
+namespace socpower::cache {
+
+AccessStats& AccessStats::operator+=(const AccessStats& o) {
+  accesses += o.accesses;
+  misses += o.misses;
+  penalty_cycles += o.penalty_cycles;
+  energy += o.energy;
+  return *this;
+}
+
+CacheSim::CacheSim(CacheConfig config) : config_(config) {
+  assert(config_.line_bytes > 0 && config_.associativity > 0);
+  assert(config_.size_bytes % (config_.line_bytes * config_.associativity) ==
+         0);
+  lines_.assign(config_.num_sets() * config_.associativity, Line{});
+}
+
+bool CacheSim::access(std::uint32_t address) {
+  const std::uint32_t line_addr = address / config_.line_bytes;
+  const std::uint32_t set = line_addr % config_.num_sets();
+  const std::uint32_t tag = line_addr / config_.num_sets();
+  Line* base = &lines_[set * config_.associativity];
+  ++tick_;
+  ++totals_.accesses;
+  totals_.energy += config_.hit_energy;
+
+  for (std::uint32_t w = 0; w < config_.associativity; ++w) {
+    Line& l = base[w];
+    if (l.valid && l.tag == tag) {
+      l.lru = tick_;
+      return true;
+    }
+  }
+  // Miss: refill into the first invalid way, else the least-recently-used.
+  Line* victim = base;
+  for (std::uint32_t w = 0; w < config_.associativity; ++w) {
+    if (!base[w].valid) {
+      victim = &base[w];
+      break;
+    }
+    if (base[w].lru < victim->lru) victim = &base[w];
+  }
+  victim->valid = true;
+  victim->tag = tag;
+  victim->lru = tick_;
+  ++totals_.misses;
+  totals_.penalty_cycles += config_.miss_penalty_cycles;
+  totals_.energy += config_.miss_energy;
+  return false;
+}
+
+AccessStats CacheSim::access_stream(
+    std::span<const std::uint32_t> addresses) {
+  const AccessStats before = totals_;
+  for (const std::uint32_t a : addresses) access(a);
+  AccessStats delta;
+  delta.accesses = totals_.accesses - before.accesses;
+  delta.misses = totals_.misses - before.misses;
+  delta.penalty_cycles = totals_.penalty_cycles - before.penalty_cycles;
+  delta.energy = totals_.energy - before.energy;
+  return delta;
+}
+
+void CacheSim::flush() {
+  for (auto& l : lines_) l = Line{};
+}
+
+}  // namespace socpower::cache

@@ -1,0 +1,531 @@
+#include "cfsm/dsl.hpp"
+
+#include <cctype>
+#include <memory>
+#include <optional>
+#include <vector>
+
+namespace socpower::cfsm {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Tokenizer
+
+enum class Tok {
+  kIdent, kInt,
+  kLBrace, kRBrace, kLParen, kRParen, kSemi, kComma, kAssign,
+  kOrOr, kAndAnd, kOr, kXor, kAnd, kEq, kNe, kLt, kLe, kGt, kGe,
+  kShl, kShr, kPlus, kMinus, kStar, kSlash, kPercent, kBang, kTilde,
+  kEnd, kError,
+};
+
+struct Token {
+  Tok kind = Tok::kEnd;
+  std::string text;
+  std::int64_t value = 0;
+  int line = 0;
+};
+
+class Lexer {
+ public:
+  explicit Lexer(std::string_view src) : src_(src) { advance(); }
+
+  [[nodiscard]] const Token& peek() const { return cur_; }
+  Token take() {
+    Token t = cur_;
+    advance();
+    return t;
+  }
+  [[nodiscard]] int line() const { return cur_.line; }
+
+ private:
+  void advance() {
+    skip_ws();
+    cur_ = Token{};
+    cur_.line = line_;
+    if (pos_ >= src_.size()) {
+      cur_.kind = Tok::kEnd;
+      return;
+    }
+    const char c = src_[pos_];
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      const std::size_t start = pos_;
+      while (pos_ < src_.size() &&
+             (std::isalnum(static_cast<unsigned char>(src_[pos_])) ||
+              src_[pos_] == '_'))
+        ++pos_;
+      cur_.kind = Tok::kIdent;
+      cur_.text = std::string(src_.substr(start, pos_ - start));
+      return;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      std::int64_t v = 0;
+      if (c == '0' && pos_ + 1 < src_.size() &&
+          (src_[pos_ + 1] == 'x' || src_[pos_ + 1] == 'X')) {
+        pos_ += 2;
+        bool any = false;
+        while (pos_ < src_.size() &&
+               std::isxdigit(static_cast<unsigned char>(src_[pos_]))) {
+          const char d = src_[pos_++];
+          v = v * 16 +
+              (std::isdigit(static_cast<unsigned char>(d))
+                   ? d - '0'
+                   : std::tolower(static_cast<unsigned char>(d)) - 'a' + 10);
+          any = true;
+        }
+        if (!any) {
+          cur_.kind = Tok::kError;
+          cur_.text = "malformed hex literal";
+          return;
+        }
+      } else {
+        while (pos_ < src_.size() &&
+               std::isdigit(static_cast<unsigned char>(src_[pos_])))
+          v = v * 10 + (src_[pos_++] - '0');
+      }
+      cur_.kind = Tok::kInt;
+      cur_.value = v;
+      return;
+    }
+    auto two = [&](char a, char b, Tok t) {
+      if (c == a && pos_ + 1 < src_.size() && src_[pos_ + 1] == b) {
+        cur_.kind = t;
+        pos_ += 2;
+        return true;
+      }
+      return false;
+    };
+    if (two('|', '|', Tok::kOrOr) || two('&', '&', Tok::kAndAnd) ||
+        two('=', '=', Tok::kEq) || two('!', '=', Tok::kNe) ||
+        two('<', '=', Tok::kLe) || two('>', '=', Tok::kGe) ||
+        two('<', '<', Tok::kShl) || two('>', '>', Tok::kShr))
+      return;
+    ++pos_;
+    switch (c) {
+      case '{': cur_.kind = Tok::kLBrace; return;
+      case '}': cur_.kind = Tok::kRBrace; return;
+      case '(': cur_.kind = Tok::kLParen; return;
+      case ')': cur_.kind = Tok::kRParen; return;
+      case ';': cur_.kind = Tok::kSemi; return;
+      case ',': cur_.kind = Tok::kComma; return;
+      case '=': cur_.kind = Tok::kAssign; return;
+      case '|': cur_.kind = Tok::kOr; return;
+      case '^': cur_.kind = Tok::kXor; return;
+      case '&': cur_.kind = Tok::kAnd; return;
+      case '<': cur_.kind = Tok::kLt; return;
+      case '>': cur_.kind = Tok::kGt; return;
+      case '+': cur_.kind = Tok::kPlus; return;
+      case '-': cur_.kind = Tok::kMinus; return;
+      case '*': cur_.kind = Tok::kStar; return;
+      case '/': cur_.kind = Tok::kSlash; return;
+      case '%': cur_.kind = Tok::kPercent; return;
+      case '!': cur_.kind = Tok::kBang; return;
+      case '~': cur_.kind = Tok::kTilde; return;
+      default:
+        cur_.kind = Tok::kError;
+        cur_.text = std::string("unexpected character '") + c + "'";
+        return;
+    }
+  }
+
+  void skip_ws() {
+    while (pos_ < src_.size()) {
+      const char c = src_[pos_];
+      if (c == '\n') {
+        ++line_;
+        ++pos_;
+      } else if (std::isspace(static_cast<unsigned char>(c))) {
+        ++pos_;
+      } else if (c == '#' ||
+                 (c == '/' && pos_ + 1 < src_.size() &&
+                  src_[pos_ + 1] == '/')) {
+        while (pos_ < src_.size() && src_[pos_] != '\n') ++pos_;
+      } else {
+        break;
+      }
+    }
+  }
+
+  std::string_view src_;
+  std::size_t pos_ = 0;
+  int line_ = 1;
+  Token cur_;
+};
+
+// ---------------------------------------------------------------------------
+// AST
+
+struct StmtNode;
+using StmtList = std::vector<std::unique_ptr<StmtNode>>;
+
+struct StmtNode {
+  enum class Kind { kAssign, kEmit, kIf } kind = Kind::kAssign;
+  int line = 0;
+  // kAssign
+  VarId var = -1;
+  ExprId expr = kNoExpr;  // also the emit value / if condition
+  // kEmit
+  EventId event = -1;
+  bool has_value = false;
+  // kIf
+  StmtList then_body;
+  StmtList else_body;
+};
+
+// ---------------------------------------------------------------------------
+// Parser
+
+class Parser {
+ public:
+  Parser(std::string_view src, Network& net) : lex_(src), net_(net) {}
+
+  DslResult run() {
+    while (lex_.peek().kind != Tok::kEnd && error_.empty()) {
+      if (!at_keyword("event") && !at_keyword("process")) {
+        fail("expected 'event' or 'process'");
+        break;
+      }
+      if (at_keyword("event"))
+        parse_event_decl();
+      else
+        parse_process();
+    }
+    return {error_};
+  }
+
+ private:
+  // -- helpers ---------------------------------------------------------------
+  void fail(const std::string& msg) {
+    if (error_.empty())
+      error_ = "line " + std::to_string(lex_.line()) + ": " + msg;
+  }
+  [[nodiscard]] bool at_keyword(const char* kw) const {
+    return lex_.peek().kind == Tok::kIdent && lex_.peek().text == kw;
+  }
+  bool expect(Tok t, const char* what) {
+    if (lex_.peek().kind != t) {
+      fail(std::string("expected ") + what);
+      return false;
+    }
+    lex_.take();
+    return true;
+  }
+  std::string expect_ident(const char* what) {
+    if (lex_.peek().kind != Tok::kIdent) {
+      fail(std::string("expected ") + what);
+      return {};
+    }
+    return lex_.take().text;
+  }
+
+  // -- declarations ------------------------------------------------------------
+  void parse_event_decl() {
+    lex_.take();  // 'event'
+    do {
+      const std::string name = expect_ident("event name");
+      if (!error_.empty()) return;
+      if (net_.event_id(name) >= 0) {
+        fail("duplicate event '" + name + "'");
+        return;
+      }
+      net_.declare_event(name);
+      if (lex_.peek().kind != Tok::kComma) break;
+      lex_.take();
+    } while (true);
+    expect(Tok::kSemi, "';'");
+  }
+
+  [[nodiscard]] EventId resolve_event(const std::string& name) {
+    const EventId e = net_.event_id(name);
+    if (e < 0) fail("unknown event '" + name + "'");
+    return e;
+  }
+
+  void parse_process() {
+    lex_.take();  // 'process'
+    const std::string pname = expect_ident("process name");
+    if (!error_.empty()) return;
+    if (net_.cfsm_id(pname) != kNoCfsm) {
+      fail("duplicate process '" + pname + "'");
+      return;
+    }
+    if (!expect(Tok::kLBrace, "'{'")) return;
+    Cfsm& proc = net_.add_cfsm(pname);
+    vars_.clear();
+
+    // Declarations first.
+    while (error_.empty()) {
+      if (at_keyword("input") || at_keyword("sampled") ||
+          at_keyword("output") || at_keyword("reset")) {
+        const std::string kw = lex_.take().text;
+        do {
+          const std::string name = expect_ident("event name");
+          if (!error_.empty()) return;
+          const EventId e = resolve_event(name);
+          if (!error_.empty()) return;
+          if (kw == "input") proc.add_input(e);
+          else if (kw == "sampled") proc.add_sampled_input(e);
+          else if (kw == "output") proc.add_output(e);
+          else proc.set_reset_event(e);
+          if (kw == "reset" || lex_.peek().kind != Tok::kComma) break;
+          lex_.take();
+        } while (true);
+        if (!expect(Tok::kSemi, "';'")) return;
+      } else if (at_keyword("var")) {
+        lex_.take();
+        do {
+          const std::string name = expect_ident("variable name");
+          if (!error_.empty()) return;
+          if (vars_.count(name)) {
+            fail("duplicate variable '" + name + "'");
+            return;
+          }
+          std::int32_t init = 0;
+          if (lex_.peek().kind == Tok::kAssign) {
+            lex_.take();
+            bool neg = false;
+            if (lex_.peek().kind == Tok::kMinus) {
+              neg = true;
+              lex_.take();
+            }
+            if (lex_.peek().kind != Tok::kInt) {
+              fail("expected integer initializer");
+              return;
+            }
+            const std::int64_t raw = lex_.take().value;
+            if (raw > 0x80000000LL || (!neg && raw > 0x7fffffffLL)) {
+              fail("initializer out of 32-bit range");
+              return;
+            }
+            init = static_cast<std::int32_t>(neg ? -raw : raw);
+          }
+          vars_[name] = proc.add_var(name, init);
+          if (lex_.peek().kind != Tok::kComma) break;
+          lex_.take();
+        } while (true);
+        if (!expect(Tok::kSemi, "';'")) return;
+      } else {
+        break;
+      }
+    }
+
+    // Statements.
+    StmtList body = parse_stmts(proc);
+    if (!error_.empty()) return;
+    if (!expect(Tok::kRBrace, "'}'")) return;
+
+    // Lower to an s-graph: continuation-passing, last statement first.
+    SGraph& g = proc.graph();
+    const NodeId end = g.add_end();
+    g.set_root(lower(g, body, end));
+    const std::string verr = g.validate();
+    if (!verr.empty()) fail("process '" + pname + "': " + verr);
+  }
+
+  // -- statements ---------------------------------------------------------------
+  StmtList parse_stmts(Cfsm& proc) {
+    StmtList out;
+    while (error_.empty() && lex_.peek().kind != Tok::kRBrace &&
+           lex_.peek().kind != Tok::kEnd) {
+      auto s = parse_stmt(proc);
+      if (!s) break;
+      out.push_back(std::move(s));
+    }
+    return out;
+  }
+
+  std::unique_ptr<StmtNode> parse_stmt(Cfsm& proc) {
+    auto node = std::make_unique<StmtNode>();
+    node->line = lex_.line();
+    if (at_keyword("if")) {
+      lex_.take();
+      node->kind = StmtNode::Kind::kIf;
+      if (!expect(Tok::kLParen, "'('")) return nullptr;
+      node->expr = parse_expr(proc);
+      if (!error_.empty()) return nullptr;
+      if (!expect(Tok::kRParen, "')'")) return nullptr;
+      if (!expect(Tok::kLBrace, "'{'")) return nullptr;
+      node->then_body = parse_stmts(proc);
+      if (!expect(Tok::kRBrace, "'}'")) return nullptr;
+      if (at_keyword("else")) {
+        lex_.take();
+        if (at_keyword("if")) {  // else-if chains nest
+          auto nested = parse_stmt(proc);
+          if (!nested) return nullptr;
+          node->else_body.push_back(std::move(nested));
+        } else {
+          if (!expect(Tok::kLBrace, "'{'")) return nullptr;
+          node->else_body = parse_stmts(proc);
+          if (!expect(Tok::kRBrace, "'}'")) return nullptr;
+        }
+      }
+      return node;
+    }
+    if (at_keyword("emit")) {
+      lex_.take();
+      node->kind = StmtNode::Kind::kEmit;
+      const std::string name = expect_ident("event name");
+      if (!error_.empty()) return nullptr;
+      node->event = resolve_event(name);
+      if (!error_.empty()) return nullptr;
+      if (lex_.peek().kind == Tok::kLParen) {
+        lex_.take();
+        node->expr = parse_expr(proc);
+        node->has_value = true;
+        if (!error_.empty()) return nullptr;
+        if (!expect(Tok::kRParen, "')'")) return nullptr;
+      }
+      if (!expect(Tok::kSemi, "';'")) return nullptr;
+      return node;
+    }
+    // Assignment.
+    const std::string name = expect_ident("statement");
+    if (!error_.empty()) return nullptr;
+    const auto it = vars_.find(name);
+    if (it == vars_.end()) {
+      fail("unknown variable '" + name + "'");
+      return nullptr;
+    }
+    node->kind = StmtNode::Kind::kAssign;
+    node->var = it->second;
+    if (!expect(Tok::kAssign, "'='")) return nullptr;
+    node->expr = parse_expr(proc);
+    if (!error_.empty()) return nullptr;
+    if (!expect(Tok::kSemi, "';'")) return nullptr;
+    return node;
+  }
+
+  // -- expressions (precedence climbing) ----------------------------------------
+  struct Level {
+    Tok tok;
+    ExprOp op;
+  };
+
+  ExprId parse_expr(Cfsm& proc) { return parse_binary(proc, 0); }
+
+  ExprId parse_binary(Cfsm& proc, int level) {
+    static const std::vector<std::vector<Level>> kLevels = {
+        {{Tok::kOrOr, ExprOp::kLogicOr}},
+        {{Tok::kAndAnd, ExprOp::kLogicAnd}},
+        {{Tok::kOr, ExprOp::kBitOr}},
+        {{Tok::kXor, ExprOp::kBitXor}},
+        {{Tok::kAnd, ExprOp::kBitAnd}},
+        {{Tok::kEq, ExprOp::kEq}, {Tok::kNe, ExprOp::kNe}},
+        {{Tok::kLt, ExprOp::kLt},
+         {Tok::kLe, ExprOp::kLe},
+         {Tok::kGt, ExprOp::kGt},
+         {Tok::kGe, ExprOp::kGe}},
+        {{Tok::kShl, ExprOp::kShl}, {Tok::kShr, ExprOp::kShr}},
+        {{Tok::kPlus, ExprOp::kAdd}, {Tok::kMinus, ExprOp::kSub}},
+        {{Tok::kStar, ExprOp::kMul},
+         {Tok::kSlash, ExprOp::kDiv},
+         {Tok::kPercent, ExprOp::kMod}},
+    };
+    if (static_cast<std::size_t>(level) >= kLevels.size())
+      return parse_unary(proc);
+    ExprId lhs = parse_binary(proc, level + 1);
+    if (!error_.empty()) return kNoExpr;
+    while (true) {
+      const Tok t = lex_.peek().kind;
+      const Level* match = nullptr;
+      for (const Level& l : kLevels[static_cast<std::size_t>(level)])
+        if (l.tok == t) match = &l;
+      if (!match) return lhs;
+      lex_.take();
+      const ExprId rhs = parse_binary(proc, level + 1);
+      if (!error_.empty()) return kNoExpr;
+      lhs = proc.arena().binary(match->op, lhs, rhs);
+    }
+  }
+
+  ExprId parse_unary(Cfsm& proc) {
+    const Tok t = lex_.peek().kind;
+    if (t == Tok::kBang || t == Tok::kTilde || t == Tok::kMinus) {
+      lex_.take();
+      const ExprId operand = parse_unary(proc);
+      if (!error_.empty()) return kNoExpr;
+      const ExprOp op = t == Tok::kBang ? ExprOp::kLogicNot
+                        : t == Tok::kTilde ? ExprOp::kBitNot
+                                           : ExprOp::kNeg;
+      return proc.arena().unary(op, operand);
+    }
+    return parse_primary(proc);
+  }
+
+  ExprId parse_primary(Cfsm& proc) {
+    const Token& p = lex_.peek();
+    if (p.kind == Tok::kInt) {
+      const auto v = lex_.take().value;
+      if (v > 0x7fffffffLL) {
+        fail("integer literal out of 32-bit range");
+        return kNoExpr;
+      }
+      return proc.arena().constant(static_cast<std::int32_t>(v));
+    }
+    if (p.kind == Tok::kLParen) {
+      lex_.take();
+      const ExprId e = parse_expr(proc);
+      if (!error_.empty()) return kNoExpr;
+      if (!expect(Tok::kRParen, "')'")) return kNoExpr;
+      return e;
+    }
+    if (p.kind == Tok::kIdent) {
+      const std::string name = lex_.take().text;
+      if (name == "val" || name == "present") {
+        if (!expect(Tok::kLParen, "'('")) return kNoExpr;
+        const std::string ev = expect_ident("event name");
+        if (!error_.empty()) return kNoExpr;
+        const EventId e = resolve_event(ev);
+        if (!error_.empty()) return kNoExpr;
+        if (!expect(Tok::kRParen, "')'")) return kNoExpr;
+        return name == "val" ? proc.arena().event_value(e)
+                             : proc.arena().event_present(e);
+      }
+      const auto it = vars_.find(name);
+      if (it == vars_.end()) {
+        fail("unknown variable '" + name + "'");
+        return kNoExpr;
+      }
+      return proc.arena().variable(it->second);
+    }
+    fail("expected expression");
+    return kNoExpr;
+  }
+
+  // -- lowering -------------------------------------------------------------------
+  NodeId lower(SGraph& g, const StmtList& stmts, NodeId next) {
+    for (auto it = stmts.rbegin(); it != stmts.rend(); ++it) {
+      const StmtNode& s = **it;
+      switch (s.kind) {
+        case StmtNode::Kind::kAssign:
+          next = g.add_assign(s.var, s.expr, next);
+          break;
+        case StmtNode::Kind::kEmit:
+          next = g.add_emit(s.event, s.has_value ? s.expr : kNoExpr, next);
+          break;
+        case StmtNode::Kind::kIf: {
+          const NodeId then_entry = lower(g, s.then_body, next);
+          const NodeId else_entry = lower(g, s.else_body, next);
+          next = g.add_test(s.expr, then_entry, else_entry);
+          break;
+        }
+      }
+    }
+    return next;
+  }
+
+  Lexer lex_;
+  Network& net_;
+  std::string error_;
+  std::unordered_map<std::string, VarId> vars_;
+};
+
+}  // namespace
+
+DslResult parse_network(std::string_view source, Network& network) {
+  Parser p(source, network);
+  return p.run();
+}
+
+}  // namespace socpower::cfsm

@@ -1,0 +1,48 @@
+// A small textual front end for CFSM networks.
+//
+// POLIS systems were captured in Esterel; this DSL plays that role for the
+// framework so systems can be described the way the paper's Figure 1 shows
+// them, without hand-building s-graphs. Structured control flow only —
+// loops are expressed by a process re-triggering itself through an event,
+// which is exactly the CFSM model's rule (and what keeps per-transition
+// paths finite for the energy cache).
+//
+// Grammar (informal):
+//
+//   network   := { "event" ident { "," ident } ";" | process }*
+//   process   := "process" ident "{" decl* stmt* "}"
+//   decl      := "input" idents ";" | "sampled" idents ";"
+//              | "output" idents ";" | "reset" ident ";"
+//              | "var" ident [ "=" int ] { "," ident [ "=" int ] } ";"
+//   stmt      := ident "=" expr ";"
+//              | "emit" ident [ "(" expr ")" ] ";"
+//              | "if" "(" expr ")" block [ "else" (block | if-stmt) ]
+//   block     := "{" stmt* "}"
+//   expr      := C-like precedence over || && | ^ & == != < <= > >=
+//                << >> + - * / % with unary ! ~ -, parentheses,
+//                integer literals (decimal or 0x...), variables,
+//                "val" "(" event ")", "present" "(" event ")"
+//
+// Line comments start with "//" or "#".
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "cfsm/cfsm.hpp"
+
+namespace socpower::cfsm {
+
+struct DslResult {
+  /// Empty on success; "line N: message" otherwise.
+  std::string error;
+  [[nodiscard]] bool ok() const { return error.empty(); }
+};
+
+/// Parses `source` and populates `network` (events + processes with built,
+/// validated s-graphs). The network should be empty; on error it may be
+/// partially populated and must be discarded.
+[[nodiscard]] DslResult parse_network(std::string_view source,
+                                      Network& network);
+
+}  // namespace socpower::cfsm

@@ -1,0 +1,112 @@
+// Expression IR for CFSM transition functions.
+//
+// POLIS describes each process's reaction as an "s-graph" whose nodes test
+// and assign integer-valued expressions over process variables and input
+// event values. Expressions here live in a per-CFSM arena (index-based, no
+// pointers) so s-graphs are cheap to copy and hash. The ~20 operator kinds
+// mirror the pre-characterized function library the paper mentions in
+// Section 4.1 (ADD(x1,x2), NOT(x1), EQ(x1,x2), ...).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace socpower::cfsm {
+
+using ExprId = std::int32_t;
+using VarId = std::int32_t;
+using EventId = std::int32_t;
+
+inline constexpr ExprId kNoExpr = -1;
+
+enum class ExprOp : std::uint8_t {
+  kConst,         // literal value
+  kVar,           // CFSM variable
+  kEventValue,    // value carried by an input event (0 if absent)
+  kEventPresent,  // 1 if the input event is present in this reaction
+  kAdd,
+  kSub,
+  kMul,
+  kDiv,  // trapping-free: x/0 == 0 (matches HW datapath guard)
+  kMod,  // x%0 == x (consistent with the a-(a/b)*b lowering)
+  kNeg,
+  kBitAnd,
+  kBitOr,
+  kBitXor,
+  kBitNot,
+  kShl,  // shift amounts masked to [0,31]
+  kShr,  // arithmetic shift right
+  kEq,
+  kNe,
+  kLt,
+  kLe,
+  kGt,
+  kGe,
+  kLogicAnd,  // operands normalized to 0/1
+  kLogicOr,
+  kLogicNot,
+};
+
+/// Number of operands an operator consumes (0 for leaves).
+[[nodiscard]] int expr_arity(ExprOp op);
+/// Stable mnemonic ("ADD", "EQ", ...) used by macro-model parameter files.
+[[nodiscard]] const char* expr_op_name(ExprOp op);
+
+struct ExprNode {
+  ExprOp op = ExprOp::kConst;
+  std::int32_t value = 0;  // kConst: literal; kVar: VarId; kEvent*: EventId
+  ExprId lhs = kNoExpr;
+  ExprId rhs = kNoExpr;
+};
+
+/// Evaluation environment: variable store plus the set of input events
+/// present in the current reaction.
+class EvalContext {
+ public:
+  virtual ~EvalContext() = default;
+  [[nodiscard]] virtual std::int32_t var(VarId v) const = 0;
+  [[nodiscard]] virtual bool event_present(EventId e) const = 0;
+  [[nodiscard]] virtual std::int32_t event_value(EventId e) const = 0;
+};
+
+/// Append-only expression arena owned by a CFSM.
+class ExprArena {
+ public:
+  ExprId add(ExprNode n);
+  [[nodiscard]] const ExprNode& at(ExprId id) const;
+  [[nodiscard]] std::size_t size() const { return nodes_.size(); }
+
+  // Leaf constructors.
+  ExprId constant(std::int32_t v);
+  ExprId variable(VarId v);
+  ExprId event_value(EventId e);
+  ExprId event_present(EventId e);
+  // Operator constructors (arity checked with assertions).
+  ExprId unary(ExprOp op, ExprId a);
+  ExprId binary(ExprOp op, ExprId a, ExprId b);
+
+  /// Evaluate expression `id` in `ctx`.
+  [[nodiscard]] std::int32_t eval(ExprId id, const EvalContext& ctx) const;
+
+  /// Post-order operator sequence of the expression tree — the macro-op
+  /// stream the software synthesizer consumes (leaves included).
+  void flatten(ExprId id, std::vector<ExprId>& out) const;
+
+  /// Number of nodes in the tree rooted at `id`.
+  [[nodiscard]] std::size_t tree_size(ExprId id) const;
+
+  /// Human-readable rendering for debug/report output.
+  [[nodiscard]] std::string to_string(ExprId id) const;
+
+ private:
+  std::vector<ExprNode> nodes_;
+};
+
+/// Shared scalar semantics for one operator application — the single source
+/// of truth used by the interpreter, the ISS code generator's expected
+/// results, and the gate-level datapath synthesizer's reference model.
+[[nodiscard]] std::int32_t apply_expr_op(ExprOp op, std::int32_t a,
+                                         std::int32_t b);
+
+}  // namespace socpower::cfsm

@@ -1,0 +1,49 @@
+#include "core/energy_cache.hpp"
+
+namespace socpower::core {
+
+EnergyCache::EnergyCache(EnergyCacheConfig config) : config_(config) {}
+
+bool EnergyCache::eligible(const Entry& e) const {
+  if (e.energy.count() < config_.thresh_iss_calls) return false;
+  const double cv = e.energy.cv();
+  return cv * cv <= config_.thresh_variance;
+}
+
+std::optional<CachedCost> EnergyCache::lookup(cfsm::CfsmId task,
+                                              cfsm::PathId path) const {
+  const auto it = table_.find({task, path});
+  if (it == table_.end() || !eligible(it->second)) return std::nullopt;
+  ++hits_;
+  return CachedCost{it->second.cycles.mean(), it->second.energy.mean()};
+}
+
+std::optional<CachedCost> EnergyCache::mean(cfsm::CfsmId task,
+                                            cfsm::PathId path) const {
+  const auto it = table_.find({task, path});
+  if (it == table_.end() || it->second.energy.count() == 0)
+    return std::nullopt;
+  return CachedCost{it->second.cycles.mean(), it->second.energy.mean()};
+}
+
+void EnergyCache::record(cfsm::CfsmId task, cfsm::PathId path, Cycles cycles,
+                         Joules energy) {
+  Entry& e = table_[{task, path}];
+  e.cycles.add(static_cast<double>(cycles));
+  e.energy.add(energy);
+  ++simulations_;
+}
+
+const RunningStats* EnergyCache::energy_stats(cfsm::CfsmId task,
+                                              cfsm::PathId path) const {
+  const auto it = table_.find({task, path});
+  return it == table_.end() ? nullptr : &it->second.energy;
+}
+
+void EnergyCache::clear() {
+  table_.clear();
+  hits_ = 0;
+  simulations_ = 0;
+}
+
+}  // namespace socpower::core

@@ -1,0 +1,100 @@
+// Energy and delay caching (paper Section 4.2, Figure 4(c)).
+//
+// During co-simulation a few computation paths execute a large number of
+// times, and the energy/delay a lower-level simulator reports for a given
+// path usually has low variance. The cache keys on (task, path), stores the
+// running mean and variance of the reported cycles and energy, and serves
+// the mean once a path has been simulated at least `thresh_iss_calls` times
+// with observed variance below `thresh_variance`:
+//
+//   if (energy(task_id, path_id) in table && variance < thresh_variance
+//       && num_iss_calls >= thresh_iss_calls)  use cached energy;
+//   else                                       call the ISS; update stats;
+//
+// The same mechanism serves the hardware power simulator. For power models
+// that do not depend on data values (the SPARClite instruction-level model)
+// the cached values are exact; for data-dependent estimators (gate-level HW,
+// DSP-style models) `thresh_variance` bounds the acceptable spread.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+
+#include "cfsm/cfsm.hpp"
+#include "cfsm/sgraph.hpp"
+#include "util/stats.hpp"
+#include "util/units.hpp"
+
+namespace socpower::core {
+
+struct EnergyCacheConfig {
+  /// Relative variance threshold: a path is served from the cache only when
+  /// (stddev/mean)^2 of its observed energy falls below this. 0 admits only
+  /// exactly-repeating paths (safe default; still a full win for
+  /// data-independent models).
+  double thresh_variance = 0.0;
+  /// Minimum number of lower-level simulations before the cache may serve.
+  std::size_t thresh_iss_calls = 3;
+};
+
+struct CachedCost {
+  double cycles = 0.0;
+  Joules energy = 0.0;
+};
+
+class EnergyCache {
+ public:
+  explicit EnergyCache(EnergyCacheConfig config = {});
+
+  /// Cached cost if the (task, path) entry is eligible, else nullopt.
+  [[nodiscard]] std::optional<CachedCost> lookup(cfsm::CfsmId task,
+                                                 cfsm::PathId path) const;
+
+  /// Running mean regardless of eligibility thresholds (does not count as a
+  /// hit). Sampling mode extrapolates skipped transitions from this.
+  [[nodiscard]] std::optional<CachedCost> mean(cfsm::CfsmId task,
+                                               cfsm::PathId path) const;
+
+  /// Record one lower-level simulation result for (task, path).
+  void record(cfsm::CfsmId task, cfsm::PathId path, Cycles cycles,
+              Joules energy);
+
+  // -- statistics ------------------------------------------------------------
+  [[nodiscard]] std::uint64_t hits() const { return hits_; }
+  [[nodiscard]] std::uint64_t simulations() const { return simulations_; }
+  [[nodiscard]] std::size_t entries() const { return table_.size(); }
+  /// Observed energy statistics of one path (Figure 4(b) histogram support).
+  [[nodiscard]] const RunningStats* energy_stats(cfsm::CfsmId task,
+                                                 cfsm::PathId path) const;
+
+  void clear();
+
+ private:
+  struct Entry {
+    RunningStats cycles;
+    RunningStats energy;
+  };
+  struct Key {
+    cfsm::CfsmId task;
+    cfsm::PathId path;
+    bool operator==(const Key&) const = default;
+  };
+  struct KeyHash {
+    std::size_t operator()(const Key& k) const {
+      return std::hash<std::uint64_t>{}(
+          (static_cast<std::uint64_t>(static_cast<std::uint32_t>(k.task))
+           << 32) |
+          static_cast<std::uint32_t>(k.path));
+    }
+  };
+
+  [[nodiscard]] bool eligible(const Entry& e) const;
+
+  EnergyCacheConfig config_;
+  std::unordered_map<Key, Entry, KeyHash> table_;
+  mutable std::uint64_t hits_ = 0;
+  std::uint64_t simulations_ = 0;
+};
+
+}  // namespace socpower::core

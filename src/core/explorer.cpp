@@ -1,0 +1,79 @@
+#include "core/explorer.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cstdio>
+#include <numeric>
+
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+namespace socpower::core {
+
+ExplorationOutcome explore(const std::vector<ExplorationPoint>& points,
+                           std::size_t verify_top) {
+  assert(!points.empty());
+  ExplorationOutcome out;
+  out.ranked.reserve(points.size());
+
+  for (const auto& p : points) {
+    const RunResults r = p.run_coarse();
+    out.coarse_seconds += r.wall_seconds;
+    out.ranked.push_back({p.label, r.total_energy, std::nullopt, 0});
+  }
+  // Coarse ranking.
+  std::vector<std::size_t> order(points.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return out.ranked[a].coarse_energy < out.ranked[b].coarse_energy;
+  });
+  for (std::size_t rank = 0; rank < order.size(); ++rank)
+    out.ranked[order[rank]].coarse_rank = rank;
+
+  // Exact verification of the shortlist.
+  std::vector<double> coarse_v, exact_v;
+  const std::size_t k = std::min(verify_top, points.size());
+  for (std::size_t rank = 0; rank < k; ++rank) {
+    const std::size_t idx = order[rank];
+    if (!points[idx].run_exact) continue;
+    const RunResults r = points[idx].run_exact();
+    out.exact_seconds += r.wall_seconds;
+    out.ranked[idx].exact_energy = r.total_energy;
+    coarse_v.push_back(out.ranked[idx].coarse_energy);
+    exact_v.push_back(r.total_energy);
+  }
+  if (coarse_v.size() >= 2)
+    out.verification_correlation =
+        pearson_correlation(coarse_v.data(), exact_v.data(), coarse_v.size());
+
+  // Final ordering: exact energies where known, else coarse.
+  std::sort(out.ranked.begin(), out.ranked.end(),
+            [](const ExplorationOutcome::Entry& a,
+               const ExplorationOutcome::Entry& b) {
+              return a.exact_energy.value_or(a.coarse_energy) <
+                     b.exact_energy.value_or(b.coarse_energy);
+            });
+  out.winner_confirmed = out.ranked.front().coarse_rank == 0;
+  return out;
+}
+
+std::string ExplorationOutcome::render() const {
+  TextTable t({"rank", "design point", "coarse", "exact", "coarse rank"});
+  for (std::size_t i = 0; i < ranked.size(); ++i) {
+    const Entry& e = ranked[i];
+    t.add_row({std::to_string(i + 1), e.label,
+               format_energy(e.coarse_energy),
+               e.exact_energy ? format_energy(*e.exact_energy) : "-",
+               std::to_string(e.coarse_rank + 1)});
+  }
+  char tail[160];
+  std::snprintf(tail, sizeof tail,
+                "coarse pass: %.3fs; exact verification: %.3fs; winner %s; "
+                "verification correlation %.4f\n",
+                coarse_seconds, exact_seconds,
+                winner_confirmed ? "confirmed" : "DISPLACED",
+                verification_correlation);
+  return t.render() + tail;
+}
+
+}  // namespace socpower::core

@@ -1,0 +1,55 @@
+// Two-phase design-space exploration.
+//
+// The paper's argument for macro-modeling is its *relative* accuracy: it
+// preserves the ranking of design variants (Figure 6), so coarse exploration
+// can run with the cheap estimator and only the shortlisted winners need the
+// exact one. This helper packages that workflow: evaluate every point with
+// the accelerated estimator, rank, re-evaluate the top-k exactly, and report
+// both the final ranking and the fidelity of the coarse pass.
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/coestimator.hpp"
+
+namespace socpower::core {
+
+struct ExplorationPoint {
+  std::string label;
+  /// Cheap estimate (typically Acceleration::kMacroModel or kCaching).
+  std::function<RunResults()> run_coarse;
+  /// Exact estimate (typically Acceleration::kNone). May be empty when the
+  /// caller only wants the coarse ranking.
+  std::function<RunResults()> run_exact;
+};
+
+struct ExplorationOutcome {
+  struct Entry {
+    std::string label;
+    Joules coarse_energy = 0.0;
+    std::optional<Joules> exact_energy;  // set for verified entries
+    std::size_t coarse_rank = 0;
+  };
+  /// All points, sorted by final energy (exact where available, else coarse).
+  std::vector<Entry> ranked;
+  /// Did the exact verification keep the coarse winner on top?
+  bool winner_confirmed = true;
+  /// Pearson correlation between coarse and exact energies over the
+  /// verified subset (1.0 when fewer than two points were verified).
+  double verification_correlation = 1.0;
+  double coarse_seconds = 0.0;
+  double exact_seconds = 0.0;
+
+  [[nodiscard]] const Entry& best() const { return ranked.front(); }
+  [[nodiscard]] std::string render() const;
+};
+
+/// Runs the two-phase exploration. `verify_top` exact evaluations are spent
+/// on the best coarse candidates (0 = coarse-only).
+[[nodiscard]] ExplorationOutcome explore(
+    const std::vector<ExplorationPoint>& points, std::size_t verify_top);
+
+}  // namespace socpower::core

@@ -1,0 +1,52 @@
+#include "core/inventory.hpp"
+
+#include "util/table.hpp"
+
+namespace socpower::core {
+
+SystemInventory take_inventory(const cfsm::Network& network,
+                               const CoEstimator& estimator) {
+  SystemInventory inv;
+  inv.events = network.event_count();
+  for (std::size_t c = 0; c < network.cfsm_count(); ++c) {
+    const auto id = static_cast<cfsm::CfsmId>(c);
+    const cfsm::Cfsm& proc = network.cfsm(id);
+    ProcessInventory p;
+    p.name = proc.name();
+    p.is_sw = estimator.is_sw(id);
+    p.sgraph_nodes = proc.graph().node_count();
+    p.variables = proc.vars().size();
+    if (p.is_sw) {
+      const swsyn::SwImage* img = estimator.sw_image(id);
+      p.code_bytes = img->code_bytes();
+      p.static_paths = proc.graph().enumerate_paths(100'000).size();
+    } else {
+      const hwsyn::HwImage* img = estimator.hw_image(id);
+      p.gates = img->netlist->gate_count();
+      p.flops = img->netlist->dff_count();
+      p.nets = img->netlist->net_count();
+    }
+    inv.processes.push_back(std::move(p));
+  }
+  return inv;
+}
+
+std::string SystemInventory::render() const {
+  TextTable t({"process", "impl", "nodes", "vars", "code (B)", "paths",
+               "gates", "flops", "nets"});
+  for (const auto& p : processes) {
+    t.add_row({p.name, p.is_sw ? "SW" : "HW", std::to_string(p.sgraph_nodes),
+               std::to_string(p.variables),
+               p.is_sw ? std::to_string(p.code_bytes) : "-",
+               p.is_sw ? std::to_string(p.static_paths) : "-",
+               p.is_sw ? "-" : std::to_string(p.gates),
+               p.is_sw ? "-" : std::to_string(p.flops),
+               p.is_sw ? "-" : std::to_string(p.nets)});
+  }
+  std::string out = "system inventory (" + std::to_string(processes.size()) +
+                    " processes, " + std::to_string(events) + " events):\n";
+  out += t.render();
+  return out;
+}
+
+}  // namespace socpower::core

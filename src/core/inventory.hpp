@@ -1,0 +1,39 @@
+// System inventory: what the co-estimator actually built for a network —
+// per-process implementation artifacts (compiled code size and path counts
+// for software; gate/flip-flop/net counts for hardware) and the estimator
+// configuration. The "refined description of the various system components"
+// the paper's compilation flow (Figure 2(a)) produces, summarized.
+#pragma once
+
+#include <string>
+
+#include "core/coestimator.hpp"
+
+namespace socpower::core {
+
+struct ProcessInventory {
+  std::string name;
+  bool is_sw = false;
+  // Software.
+  std::uint32_t code_bytes = 0;
+  std::size_t static_paths = 0;  // enumerable s-graph paths (capped)
+  // Hardware.
+  std::size_t gates = 0;
+  std::size_t flops = 0;
+  std::size_t nets = 0;
+  // Common.
+  std::size_t sgraph_nodes = 0;
+  std::size_t variables = 0;
+};
+
+struct SystemInventory {
+  std::vector<ProcessInventory> processes;
+  std::size_t events = 0;
+  [[nodiscard]] std::string render() const;
+};
+
+/// Collects the inventory; requires est.prepare() to have run.
+[[nodiscard]] SystemInventory take_inventory(const cfsm::Network& network,
+                                             const CoEstimator& estimator);
+
+}  // namespace socpower::core

@@ -1,0 +1,133 @@
+#include "core/report.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "util/table.hpp"
+
+namespace socpower::core {
+
+namespace {
+
+sim::SimTime pick_window(sim::SimTime end_time, sim::SimTime requested) {
+  if (requested > 0) return requested;
+  const sim::SimTime w = end_time / 64;
+  return w == 0 ? 1 : w;
+}
+
+}  // namespace
+
+std::string render_report(const cfsm::Network& network,
+                          const CoEstimator& estimator,
+                          const RunResults& results,
+                          const ReportOptions& options) {
+  std::string out;
+  out += "=== power co-estimation report ===\n";
+  out += results.summary();
+  out += "\n\n";
+
+  TextTable t({"process", "impl", "energy", "share %", "avg power"});
+  const ElectricalParams& ep = estimator.config().electrical;
+  for (std::size_t i = 0; i < network.cfsm_count(); ++i) {
+    const auto id = static_cast<cfsm::CfsmId>(i);
+    const Joules e = results.process_energy[i];
+    char watts[32];
+    std::snprintf(watts, sizeof watts, "%.3g mW",
+                  ep.average_power_watts(e, results.end_time) * 1e3);
+    t.add_row({network.cfsm(id).name(), estimator.is_sw(id) ? "SW" : "HW",
+               format_energy(e),
+               TextTable::fixed(
+                   results.total_energy > 0
+                       ? 100.0 * e / results.total_energy
+                       : 0.0,
+                   1),
+               watts});
+  }
+  t.add_row({"(bus)", "-", format_energy(results.bus_energy),
+             TextTable::fixed(results.total_energy > 0
+                                  ? 100.0 * results.bus_energy /
+                                        results.total_energy
+                                  : 0.0,
+                              1),
+             ""});
+  t.add_row({"(icache)", "-", format_energy(results.cache_energy),
+             TextTable::fixed(results.total_energy > 0
+                                  ? 100.0 * results.cache_energy /
+                                        results.total_energy
+                                  : 0.0,
+                              1),
+             ""});
+  out += t.render();
+
+  if (!options.include_waveforms) return out;
+  const auto& trace = estimator.power_trace();
+  const sim::SimTime window =
+      pick_window(results.end_time, options.window_cycles);
+  for (std::size_t c = 0; c < trace.component_count(); ++c) {
+    const auto comp = static_cast<sim::ComponentId>(c);
+    if (trace.total(comp) <= 0.0) continue;
+    const auto wf = trace.waveform(comp, window);
+    double peak = 0.0;
+    for (const auto& w : wf) peak = std::max(peak, w.watts);
+    if (peak <= 0.0) continue;
+    char head[128];
+    std::snprintf(head, sizeof head,
+                  "\n%s power waveform (window %llu cycles, peak %.3g mW):\n",
+                  trace.component_name(comp).c_str(),
+                  static_cast<unsigned long long>(window), peak * 1e3);
+    out += head;
+    for (const auto& w : wf) {
+      const auto bar = static_cast<std::size_t>(
+          w.watts / peak * static_cast<double>(options.waveform_width));
+      char line[64];
+      std::snprintf(line, sizeof line, "  %10llu |",
+                    static_cast<unsigned long long>(w.start));
+      out += line;
+      out.append(bar, '#');
+      out += '\n';
+    }
+    const auto peaks = sim::PowerTrace::peak_windows(wf, options.peaks);
+    out += "  peaks at cycles:";
+    for (const auto p : peaks) {
+      char buf[32];
+      std::snprintf(buf, sizeof buf, " %llu",
+                    static_cast<unsigned long long>(wf[p].start));
+      out += buf;
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+std::string waveforms_csv(const CoEstimator& estimator,
+                          sim::SimTime window_cycles) {
+  const auto& trace = estimator.power_trace();
+  const sim::SimTime window =
+      pick_window(trace.end_time(), window_cycles);
+  std::string out = "start_cycle";
+  std::vector<std::vector<sim::PowerWindow>> wfs;
+  for (std::size_t c = 0; c < trace.component_count(); ++c) {
+    out += "," + trace.component_name(static_cast<sim::ComponentId>(c));
+    wfs.push_back(
+        trace.waveform(static_cast<sim::ComponentId>(c), window));
+  }
+  out += '\n';
+  std::size_t rows = 0;
+  for (const auto& wf : wfs) rows = std::max(rows, wf.size());
+  for (std::size_t r = 0; r < rows; ++r) {
+    char buf[48];
+    std::snprintf(buf, sizeof buf, "%llu",
+                  static_cast<unsigned long long>(
+                      static_cast<sim::SimTime>(r) * window));
+    out += buf;
+    for (const auto& wf : wfs) {
+      std::snprintf(buf, sizeof buf, ",%.6g",
+                    r < wf.size() ? wf[r].watts : 0.0);
+      out += buf;
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace socpower::core

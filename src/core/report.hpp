@@ -1,0 +1,37 @@
+// Run reporting: renders a co-estimation run the way the paper's framework
+// displays it (Figure 2(b): "SW energy / HW energy / Bus energy" plus energy
+// and power waveforms for the various parts of the system), and exports
+// waveforms as CSV for external plotting.
+#pragma once
+
+#include <string>
+
+#include "cfsm/cfsm.hpp"
+#include "core/coestimator.hpp"
+
+namespace socpower::core {
+
+struct ReportOptions {
+  /// Width of one waveform window in cycles; 0 picks ~64 windows.
+  sim::SimTime window_cycles = 0;
+  /// Bars in the ASCII waveform rendering.
+  std::size_t waveform_width = 48;
+  /// How many peak windows to list.
+  std::size_t peaks = 3;
+  bool include_waveforms = true;
+};
+
+/// Human-readable run report: per-process energy table with SW/HW/bus/cache
+/// rollups, average power, and (when samples were kept) per-component ASCII
+/// power waveforms with peak annotations.
+[[nodiscard]] std::string render_report(const cfsm::Network& network,
+                                        const CoEstimator& estimator,
+                                        const RunResults& results,
+                                        const ReportOptions& options = {});
+
+/// CSV export of all component waveforms: one row per window,
+/// "start_cycle,<component>...," in watts. Requires keep_power_samples.
+[[nodiscard]] std::string waveforms_csv(const CoEstimator& estimator,
+                                        sim::SimTime window_cycles);
+
+}  // namespace socpower::core

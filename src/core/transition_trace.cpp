@@ -1,0 +1,74 @@
+#include "core/transition_trace.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace socpower::core {
+
+void TransitionTrace::record(const TransitionRecord& r) {
+  if (capacity_ != 0 && records_.size() >= capacity_) {
+    ++dropped_;
+    return;
+  }
+  records_.push_back(r);
+}
+
+void TransitionTrace::clear() {
+  records_.clear();
+  dropped_ = 0;
+}
+
+std::vector<TransitionRecord> TransitionTrace::for_task(
+    cfsm::CfsmId task) const {
+  std::vector<TransitionRecord> out;
+  for (const auto& r : records_)
+    if (r.task == task) out.push_back(r);
+  std::stable_sort(out.begin(), out.end(),
+                   [](const TransitionRecord& a, const TransitionRecord& b) {
+                     return a.time < b.time;
+                   });
+  return out;
+}
+
+std::string TransitionTrace::render(const cfsm::Network& network,
+                                    std::size_t max_lines) const {
+  std::string out;
+  char line[160];
+  std::size_t shown = 0;
+  for (const auto& r : records_) {
+    if (shown++ >= max_lines) {
+      std::snprintf(line, sizeof line, "... (%zu more transitions)\n",
+                    records_.size() - max_lines);
+      out += line;
+      break;
+    }
+    std::snprintf(line, sizeof line,
+                  "@%-10llu %-16s path=%-4d %8.1f cycles  %10.3f nJ  %s\n",
+                  static_cast<unsigned long long>(r.time),
+                  network.cfsm(r.task).name().c_str(), r.path, r.cycles,
+                  to_nanojoules(r.energy),
+                  r.simulated ? "simulated" : "estimated");
+    out += line;
+  }
+  if (dropped_ > 0) {
+    std::snprintf(line, sizeof line, "(%llu records dropped at capacity)\n",
+                  static_cast<unsigned long long>(dropped_));
+    out += line;
+  }
+  return out;
+}
+
+std::string TransitionTrace::to_csv(const cfsm::Network& network) const {
+  std::string out = "time,process,path,cycles,energy_nJ,simulated\n";
+  char line[160];
+  for (const auto& r : records_) {
+    std::snprintf(line, sizeof line, "%llu,%s,%d,%.6g,%.6g,%d\n",
+                  static_cast<unsigned long long>(r.time),
+                  network.cfsm(r.task).name().c_str(), r.path, r.cycles,
+                  to_nanojoules(r.energy), r.simulated ? 1 : 0);
+    out += line;
+  }
+  return out;
+}
+
+}  // namespace socpower::core

@@ -1,0 +1,53 @@
+// Transition-level co-simulation tracing.
+//
+// The paper's master "provides source-level graphical interface and
+// debugging capabilities"; this is the headless equivalent: a recorder that
+// captures every CFSM transition (task, path, time, cycles, energy, whether
+// it was simulated or served by an acceleration technique) and renders the
+// trace as text or CSV. Attach with CoEstimator::set_transition_hook.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/coestimator.hpp"
+
+namespace socpower::core {
+
+class TransitionTrace {
+ public:
+  /// Record at most `capacity` transitions (0 = unlimited). Overflowing
+  /// records are dropped and counted.
+  explicit TransitionTrace(std::size_t capacity = 0)
+      : capacity_(capacity) {}
+
+  /// The hook to install: `est.set_transition_hook(trace.hook());`.
+  [[nodiscard]] TransitionHook hook() {
+    return [this](const TransitionRecord& r) { record(r); };
+  }
+
+  void record(const TransitionRecord& r);
+  void clear();
+
+  [[nodiscard]] const std::vector<TransitionRecord>& records() const {
+    return records_;
+  }
+  [[nodiscard]] std::uint64_t dropped() const { return dropped_; }
+
+  /// Records of one task, in time order.
+  [[nodiscard]] std::vector<TransitionRecord> for_task(
+      cfsm::CfsmId task) const;
+
+  /// Text rendering: one line per transition, resolved process names.
+  [[nodiscard]] std::string render(const cfsm::Network& network,
+                                   std::size_t max_lines = 200) const;
+  /// CSV: time,process,path,cycles,energy_nJ,simulated
+  [[nodiscard]] std::string to_csv(const cfsm::Network& network) const;
+
+ private:
+  std::size_t capacity_;
+  std::vector<TransitionRecord> records_;
+  std::uint64_t dropped_ = 0;
+};
+
+}  // namespace socpower::core

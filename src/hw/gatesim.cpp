@@ -1,0 +1,180 @@
+#include "hw/gatesim.hpp"
+
+#include <cassert>
+
+namespace socpower::hw {
+
+GateSim::GateSim(const Netlist* netlist, TechParams tech,
+                 ElectricalParams params)
+    : netlist_(netlist), tech_(tech), params_(params) {
+  std::string err;
+  topo_ = netlist_->levelize(&err);
+  assert(err.empty() && "netlist has combinational cycles");
+
+  // Topological levels and per-net consumer lists for event-driven
+  // evaluation (a la SIS: only gates whose inputs changed are re-evaluated).
+  const auto& gates = netlist_->gates();
+  gate_level_.assign(gates.size(), 0);
+  consumers_.assign(netlist_->net_count(), {});
+  std::vector<int> driver(netlist_->net_count(), -1);
+  for (std::size_t gi = 0; gi < gates.size(); ++gi)
+    driver[static_cast<std::size_t>(gates[gi].out)] = static_cast<int>(gi);
+  for (const std::size_t gi : topo_) {
+    const Gate& g = gates[gi];
+    unsigned lvl = 0;
+    for (int i = 0; i < gate_arity(g.type); ++i) {
+      consumers_[static_cast<std::size_t>(g.in[i])].push_back(gi);
+      const int drv = driver[static_cast<std::size_t>(g.in[i])];
+      if (drv >= 0)
+        lvl = std::max(lvl, gate_level_[static_cast<std::size_t>(drv)] + 1);
+    }
+    gate_level_[gi] = lvl;
+    num_levels_ = std::max(num_levels_, lvl + 1);
+  }
+  level_dirty_.assign(num_levels_, {});
+  gate_dirty_.assign(gates.size(), 0);
+
+  net_cap_.resize(netlist_->net_count());
+  for (std::size_t n = 0; n < netlist_->net_count(); ++n)
+    net_cap_[n] = netlist_->net_capacitance(static_cast<NetId>(n), tech_);
+  value_.assign(netlist_->net_count(), 0);
+  input_next_.assign(netlist_->primary_inputs().size(), 0);
+  clock_energy_per_cycle_ =
+      params_.switch_energy(tech_.clock_cap_per_dff_f) *
+      static_cast<double>(netlist_->dff_count());
+  reset();
+}
+
+void GateSim::set_input(std::size_t input_index, bool value) {
+  assert(input_index < input_next_.size());
+  input_next_[input_index] = value ? 1 : 0;
+}
+
+void GateSim::set_input_word(std::size_t first_input_index,
+                             std::uint32_t value, unsigned width) {
+  for (unsigned b = 0; b < width; ++b)
+    set_input(first_input_index + b, (value >> b) & 1u);
+}
+
+void GateSim::mark_consumers_dirty(NetId net) {
+  for (const std::size_t gi : consumers_[static_cast<std::size_t>(net)]) {
+    if (!gate_dirty_[gi]) {
+      gate_dirty_[gi] = 1;
+      level_dirty_[gate_level_[gi]].push_back(gi);
+    }
+  }
+}
+
+CycleResult GateSim::step() {
+  CycleResult r;
+  auto commit = [&](NetId net, bool v) {
+    auto& cur = value_[static_cast<std::size_t>(net)];
+    const std::uint8_t nv = v ? 1 : 0;
+    if (cur != nv) {
+      cur = nv;
+      ++r.toggles;
+      r.energy +=
+          params_.switch_energy(net_cap_[static_cast<std::size_t>(net)]);
+      mark_consumers_dirty(net);
+    }
+  };
+
+  // Apply primary inputs.
+  const auto& pis = netlist_->primary_inputs();
+  for (std::size_t i = 0; i < pis.size(); ++i)
+    commit(pis[i], input_next_[i] != 0);
+
+  // Event-driven combinational propagation, level by level. Gates marked
+  // dirty by a commit always sit at a strictly higher level, so a single
+  // sweep suffices.
+  const auto& gates = netlist_->gates();
+  for (unsigned lvl = 0; lvl < num_levels_; ++lvl) {
+    auto& work = level_dirty_[lvl];
+    for (std::size_t wi = 0; wi < work.size(); ++wi) {
+      const std::size_t gi = work[wi];
+      gate_dirty_[gi] = 0;
+      const Gate& g = gates[gi];
+      const bool a = value_[static_cast<std::size_t>(g.in[0])] != 0;
+      const bool b = g.in[1] == kNoNet
+                         ? false
+                         : value_[static_cast<std::size_t>(g.in[1])] != 0;
+      const bool c = g.in[2] == kNoNet
+                         ? false
+                         : value_[static_cast<std::size_t>(g.in[2])] != 0;
+      ++gates_evaluated_;
+      commit(g.out, eval_gate(g.type, a, b, c));
+    }
+    work.clear();
+  }
+
+  // Clock edge: latch DFFs. Q toggles are billed this cycle; the dirty marks
+  // they leave are consumed by the next step's sweep.
+  std::vector<std::pair<NetId, bool>> latched;
+  latched.reserve(netlist_->dffs().size());
+  for (const Dff& ff : netlist_->dffs())
+    latched.emplace_back(ff.q, value_[static_cast<std::size_t>(ff.d)] != 0);
+  for (const auto& [q, v] : latched) commit(q, v);
+
+  r.energy += clock_energy_per_cycle_;
+  ++cycles_;
+  total_energy_ += r.energy;
+  return r;
+}
+
+bool GateSim::net_value(NetId n) const {
+  assert(n >= 0 && static_cast<std::size_t>(n) < value_.size());
+  return value_[static_cast<std::size_t>(n)] != 0;
+}
+
+std::uint32_t GateSim::read_word(std::size_t first_output_index,
+                                 unsigned width) const {
+  const auto& outs = netlist_->outputs();
+  std::uint32_t v = 0;
+  for (unsigned b = 0; b < width; ++b) {
+    assert(first_output_index + b < outs.size());
+    if (net_value(outs[first_output_index + b].first)) v |= 1u << b;
+  }
+  return v;
+}
+
+void GateSim::force_net(NetId n, bool value) {
+  assert(n >= 0 && static_cast<std::size_t>(n) < value_.size());
+  auto& cur = value_[static_cast<std::size_t>(n)];
+  const std::uint8_t nv = value ? 1 : 0;
+  if (cur != nv) {
+    cur = nv;
+    mark_consumers_dirty(n);
+  }
+}
+
+void GateSim::full_settle() {
+  const auto& gates = netlist_->gates();
+  for (const std::size_t gi : topo_) {
+    const Gate& g = gates[gi];
+    const bool a = value_[static_cast<std::size_t>(g.in[0])] != 0;
+    const bool b = g.in[1] == kNoNet
+                       ? false
+                       : value_[static_cast<std::size_t>(g.in[1])] != 0;
+    const bool c = g.in[2] == kNoNet
+                       ? false
+                       : value_[static_cast<std::size_t>(g.in[2])] != 0;
+    value_[static_cast<std::size_t>(g.out)] =
+        eval_gate(g.type, a, b, c) ? 1 : 0;
+  }
+}
+
+void GateSim::reset() {
+  value_.assign(netlist_->net_count(), 0);
+  value_[static_cast<std::size_t>(netlist_->const1())] = 1;
+  for (const Dff& ff : netlist_->dffs())
+    value_[static_cast<std::size_t>(ff.q)] = ff.init ? 1 : 0;
+  // Settle combinational logic so the first step() doesn't bill the
+  // power-on transient as switching activity.
+  full_settle();
+  for (auto& w : level_dirty_) w.clear();
+  gate_dirty_.assign(gate_dirty_.size(), 0);
+  // const1 consumers must still be (re)evaluated once after a reset if any
+  // input changes; the settle above already fixed their values.
+}
+
+}  // namespace socpower::hw

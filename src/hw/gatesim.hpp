@@ -1,0 +1,85 @@
+// Gate-level power simulator (the "modified SIS power estimator" role).
+//
+// Per clock cycle: primary inputs are applied, the combinational network is
+// evaluated in level order, every net whose value changed contributes
+// 1/2 * Ceff * Vdd^2, and the flip-flops latch. Energy is reported cycle by
+// cycle, which is what the co-estimation master consumes ("a cycle-by-cycle
+// report of the energy dissipated", Section 3). Because energy depends on
+// the applied data, hardware per-path energies have real variance — the
+// source of the histograms in Figure 4(b).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "hw/netlist.hpp"
+#include "util/units.hpp"
+
+namespace socpower::hw {
+
+struct CycleResult {
+  std::uint64_t toggles = 0;
+  Joules energy = 0.0;
+};
+
+class GateSim {
+ public:
+  GateSim(const Netlist* netlist, TechParams tech = TechParams::generic_250nm(),
+          ElectricalParams params = {});
+
+  /// Set a primary input for the upcoming cycle (index into primary_inputs()).
+  void set_input(std::size_t input_index, bool value);
+  /// Convenience: drive a whole input word, LSB first.
+  void set_input_word(std::size_t first_input_index, std::uint32_t value,
+                      unsigned width);
+
+  /// Evaluate one clock cycle; returns toggles and switched energy
+  /// (combinational + register + clock tree).
+  CycleResult step();
+
+  [[nodiscard]] bool net_value(NetId n) const;
+  /// Read an output word (as marked by mark_output order), LSB first.
+  [[nodiscard]] std::uint32_t read_word(std::size_t first_output_index,
+                                        unsigned width) const;
+
+  /// Reset registers to their init values and all nets to 0.
+  void reset();
+
+  /// Overwrite a net's value WITHOUT billing switching energy. Used by the
+  /// co-estimation master to resynchronize register state after acceleration
+  /// techniques skipped gate-level evaluation of some reactions (the skipped
+  /// activity is what the cache/sampling estimate stands in for).
+  void force_net(NetId n, bool value);
+
+  [[nodiscard]] const Netlist& netlist() const { return *netlist_; }
+  [[nodiscard]] std::uint64_t cycles_simulated() const { return cycles_; }
+  [[nodiscard]] Joules total_energy() const { return total_energy_; }
+
+  [[nodiscard]] std::uint64_t gates_evaluated() const {
+    return gates_evaluated_;
+  }
+
+ private:
+  void full_settle();  // evaluate everything in level order (reset path)
+  void mark_consumers_dirty(NetId net);
+
+  const Netlist* netlist_;
+  TechParams tech_;
+  ElectricalParams params_;
+  std::vector<std::size_t> topo_;        // gate evaluation order
+  std::vector<unsigned> gate_level_;     // topological level per gate
+  std::vector<std::vector<std::size_t>> consumers_;  // net -> gate indices
+  std::vector<std::vector<std::size_t>> level_dirty_;  // work lists per level
+  std::vector<std::uint8_t> gate_dirty_;
+  unsigned num_levels_ = 0;
+  std::vector<double> net_cap_;          // cached Ceff per net
+  std::vector<std::uint8_t> value_;      // current net values
+  std::vector<std::uint8_t> input_next_; // pending PI values
+  Joules clock_energy_per_cycle_ = 0.0;
+  std::uint64_t cycles_ = 0;
+  Joules total_energy_ = 0.0;
+  std::uint64_t gates_evaluated_ = 0;
+};
+
+}  // namespace socpower::hw

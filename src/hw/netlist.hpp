@@ -1,0 +1,122 @@
+// Gate-level netlist for the hardware partition.
+//
+// The paper's hardware power estimator is a modified SIS power simulator:
+// simulate the gate-level netlist for a sequence of input vectors and report
+// energy cycle by cycle, computed from weighted switching activity. This
+// module provides the netlist representation; gatesim.hpp the simulator.
+//
+// Primitive cells: INV/BUF, 2-input AND/OR/NAND/NOR/XOR/XNOR, MUX2 and DFF.
+// Each net carries an effective capacitance (cell output + wire per fanout);
+// a toggle on a net costs 1/2 * Ceff * Vdd^2.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/units.hpp"
+
+namespace socpower::hw {
+
+using NetId = std::int32_t;
+inline constexpr NetId kNoNet = -1;
+
+enum class GateType : std::uint8_t {
+  kInv, kBuf,
+  kAnd2, kOr2, kNand2, kNor2, kXor2, kXnor2,
+  kMux2,  // in0 = a (sel == 0), in1 = b (sel == 1), in2 = sel
+  kGateTypeCount,
+};
+
+inline constexpr std::size_t kNumGateTypes =
+    static_cast<std::size_t>(GateType::kGateTypeCount);
+
+[[nodiscard]] const char* gate_type_name(GateType t);
+[[nodiscard]] int gate_arity(GateType t);
+/// Combinational function of the cell.
+[[nodiscard]] bool eval_gate(GateType t, bool a, bool b, bool c);
+
+struct Gate {
+  GateType type = GateType::kBuf;
+  NetId out = kNoNet;
+  NetId in[3] = {kNoNet, kNoNet, kNoNet};
+};
+
+struct Dff {
+  NetId d = kNoNet;
+  NetId q = kNoNet;
+  bool init = false;
+};
+
+/// Technology parameters (0.25um-class defaults). Capacitances in farads.
+struct TechParams {
+  double cell_output_cap_f[kNumGateTypes] = {};
+  double dff_output_cap_f = 28e-15;
+  double wire_cap_per_fanout_f = 6e-15;
+  double input_net_cap_f = 12e-15;
+  /// Clock network charge per DFF per cycle (clock buffers + local wire).
+  double clock_cap_per_dff_f = 14e-15;
+
+  static TechParams generic_250nm();
+};
+
+class Netlist {
+ public:
+  Netlist();
+
+  // -- construction ---------------------------------------------------------
+  NetId add_net();
+  /// Constant nets (never toggle, cost nothing).
+  [[nodiscard]] NetId const0() const { return const0_; }
+  [[nodiscard]] NetId const1() const { return const1_; }
+
+  NetId add_primary_input(std::string name);
+  void mark_output(NetId n, std::string name);
+
+  /// Adds a gate; returns its (new) output net.
+  NetId add_gate(GateType t, NetId a, NetId b = kNoNet, NetId c = kNoNet);
+  /// Adds a flip-flop whose output is a fresh net; the D input may be
+  /// connected later with connect_dff_d (registers feeding back on logic
+  /// computed from their own outputs).
+  NetId add_dff(bool init = false);
+  void connect_dff_d(NetId q, NetId d);
+
+  // -- introspection --------------------------------------------------------
+  [[nodiscard]] std::size_t net_count() const { return n_nets_; }
+  [[nodiscard]] std::size_t gate_count() const { return gates_.size(); }
+  [[nodiscard]] std::size_t dff_count() const { return dffs_.size(); }
+  [[nodiscard]] const std::vector<Gate>& gates() const { return gates_; }
+  [[nodiscard]] const std::vector<Dff>& dffs() const { return dffs_; }
+  [[nodiscard]] const std::vector<NetId>& primary_inputs() const {
+    return inputs_;
+  }
+  [[nodiscard]] const std::vector<std::pair<NetId, std::string>>& outputs()
+      const {
+    return outputs_;
+  }
+  [[nodiscard]] std::size_t fanout(NetId n) const;
+
+  /// Gates in topological (level) order; empty + error message if the
+  /// combinational part has a cycle.
+  [[nodiscard]] std::vector<std::size_t> levelize(std::string* error) const;
+
+  /// Effective capacitance of a net under `tech`.
+  [[nodiscard]] double net_capacitance(NetId n, const TechParams& tech) const;
+
+  /// Sanity checks (every gate input driven, every DFF D connected, no
+  /// combinational cycles). Empty string on success.
+  [[nodiscard]] std::string validate() const;
+
+ private:
+  std::size_t n_nets_ = 0;
+  NetId const0_ = kNoNet;
+  NetId const1_ = kNoNet;
+  std::vector<Gate> gates_;
+  std::vector<Dff> dffs_;
+  std::vector<NetId> inputs_;
+  std::vector<std::pair<NetId, std::string>> outputs_;
+  std::vector<std::int32_t> driver_gate_;  // net -> gate index, -2 dff, -3 PI/const, -1 none
+  std::vector<std::uint32_t> fanout_;
+};
+
+}  // namespace socpower::hw

@@ -1,0 +1,52 @@
+// VCD (Value Change Dump) writer for gate-level traces.
+//
+// Lets the synthesized netlists be inspected in standard waveform viewers
+// (GTKWave etc.): attach a VcdRecorder to a GateSim, step the simulation,
+// and serialize. Only marked output nets and DFF outputs are recorded by
+// default; arbitrary nets can be added with watch().
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "hw/gatesim.hpp"
+#include "hw/netlist.hpp"
+
+namespace socpower::hw {
+
+class VcdRecorder {
+ public:
+  /// Watches all marked outputs and all DFF Q nets of `sim`'s netlist.
+  explicit VcdRecorder(const GateSim* sim);
+
+  /// Additionally record `net` under `name`. Call before the first sample().
+  void watch(NetId net, std::string name);
+
+  /// Capture the current values as the state at time `t` (typically called
+  /// once after every step()). Times must not decrease.
+  void sample(std::uint64_t t);
+
+  /// Serialize the recording as a VCD document.
+  [[nodiscard]] std::string render(const std::string& module_name = "soc",
+                                   const std::string& timescale = "1ns") const;
+
+  [[nodiscard]] std::size_t signal_count() const { return signals_.size(); }
+  [[nodiscard]] std::size_t sample_count() const { return times_.size(); }
+
+ private:
+  struct Signal {
+    NetId net = kNoNet;
+    std::string name;
+  };
+
+  /// Compact VCD identifier for signal index `i` (printable ASCII 33..126).
+  [[nodiscard]] static std::string id_for(std::size_t i);
+
+  const GateSim* sim_;
+  std::vector<Signal> signals_;
+  std::vector<std::uint64_t> times_;
+  std::vector<std::vector<std::uint8_t>> values_;  // per sample, per signal
+};
+
+}  // namespace socpower::hw

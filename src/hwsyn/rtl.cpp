@@ -1,0 +1,183 @@
+#include "hwsyn/rtl.hpp"
+
+#include <cassert>
+
+namespace socpower::hwsyn {
+
+Word RtlBuilder::input_word(const std::string& name, unsigned width) {
+  Word w(width);
+  for (unsigned b = 0; b < width; ++b)
+    w[b] = nl_->add_primary_input(name + "[" + std::to_string(b) + "]");
+  return w;
+}
+
+Word RtlBuilder::constant(std::uint32_t value, unsigned width) {
+  Word w(width);
+  for (unsigned b = 0; b < width; ++b)
+    w[b] = (value >> b) & 1u ? nl_->const1() : nl_->const0();
+  return w;
+}
+
+Word RtlBuilder::reg_word(std::uint32_t init, unsigned width) {
+  Word w(width);
+  for (unsigned b = 0; b < width; ++b)
+    w[b] = nl_->add_dff(((init >> b) & 1u) != 0);
+  return w;
+}
+
+void RtlBuilder::connect_reg(const Word& q, const Word& d) {
+  assert(q.size() == d.size());
+  for (std::size_t b = 0; b < q.size(); ++b) nl_->connect_dff_d(q[b], d[b]);
+}
+
+NetId RtlBuilder::bit_not(NetId a) { return nl_->add_gate(GateType::kInv, a); }
+NetId RtlBuilder::bit_and(NetId a, NetId b) {
+  return nl_->add_gate(GateType::kAnd2, a, b);
+}
+NetId RtlBuilder::bit_or(NetId a, NetId b) {
+  return nl_->add_gate(GateType::kOr2, a, b);
+}
+NetId RtlBuilder::bit_xor(NetId a, NetId b) {
+  return nl_->add_gate(GateType::kXor2, a, b);
+}
+NetId RtlBuilder::bit_mux(NetId sel, NetId a, NetId b) {
+  // MUX2 cell: in0 selected when sel == 0; want sel ? a : b.
+  return nl_->add_gate(GateType::kMux2, b, a, sel);
+}
+
+Word RtlBuilder::add(const Word& a, const Word& b) {
+  assert(a.size() == b.size());
+  Word sum(a.size());
+  NetId carry = nl_->const0();
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const NetId axb = bit_xor(a[i], b[i]);
+    sum[i] = bit_xor(axb, carry);
+    // carry_out = (a & b) | (carry & (a ^ b))
+    carry = bit_or(bit_and(a[i], b[i]), bit_and(carry, axb));
+  }
+  return sum;
+}
+
+Word RtlBuilder::sub(const Word& a, const Word& b) {
+  // a + ~b + 1 (ripple with carry-in 1).
+  assert(a.size() == b.size());
+  Word diff(a.size());
+  NetId carry = nl_->const1();
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const NetId nb = bit_not(b[i]);
+    const NetId axb = bit_xor(a[i], nb);
+    diff[i] = bit_xor(axb, carry);
+    carry = bit_or(bit_and(a[i], nb), bit_and(carry, axb));
+  }
+  return diff;
+}
+
+Word RtlBuilder::neg(const Word& a) {
+  return sub(constant(0, static_cast<unsigned>(a.size())), a);
+}
+
+Word RtlBuilder::mul(const Word& a, const Word& b) {
+  assert(a.size() == b.size());
+  const auto width = static_cast<unsigned>(a.size());
+  // Shift-add array: acc += (a << i) & {b[i]...}.
+  Word acc = constant(0, width);
+  for (unsigned i = 0; i < width; ++i) {
+    Word partial(width, nl_->const0());
+    for (unsigned j = 0; i + j < width; ++j)
+      partial[i + j] = bit_and(a[j], b[i]);
+    acc = add(acc, partial);
+  }
+  return acc;
+}
+
+Word RtlBuilder::word_and(const Word& a, const Word& b) {
+  assert(a.size() == b.size());
+  Word w(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) w[i] = bit_and(a[i], b[i]);
+  return w;
+}
+
+Word RtlBuilder::word_or(const Word& a, const Word& b) {
+  assert(a.size() == b.size());
+  Word w(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) w[i] = bit_or(a[i], b[i]);
+  return w;
+}
+
+Word RtlBuilder::word_xor(const Word& a, const Word& b) {
+  assert(a.size() == b.size());
+  Word w(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) w[i] = bit_xor(a[i], b[i]);
+  return w;
+}
+
+Word RtlBuilder::word_not(const Word& a) {
+  Word w(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) w[i] = bit_not(a[i]);
+  return w;
+}
+
+Word RtlBuilder::shl_const(const Word& a, unsigned k) {
+  const auto width = a.size();
+  Word w(width, nl_->const0());
+  for (std::size_t i = 0; i + k < width; ++i) w[i + k] = a[i];
+  return w;
+}
+
+Word RtlBuilder::shr_arith_const(const Word& a, unsigned k) {
+  const auto width = a.size();
+  Word w(width);
+  const NetId sign = a[width - 1];
+  for (std::size_t i = 0; i < width; ++i)
+    w[i] = (i + k < width) ? a[i + k] : sign;
+  return w;
+}
+
+NetId RtlBuilder::eq(const Word& a, const Word& b) {
+  assert(a.size() == b.size());
+  NetId any_diff = nl_->const0();
+  for (std::size_t i = 0; i < a.size(); ++i)
+    any_diff = bit_or(any_diff, bit_xor(a[i], b[i]));
+  return bit_not(any_diff);
+}
+
+NetId RtlBuilder::lt_unsigned(const Word& a, const Word& b) {
+  // a < b  <=>  borrow out of a - b.
+  assert(a.size() == b.size());
+  NetId carry = nl_->const1();
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const NetId nb = bit_not(b[i]);
+    const NetId axb = bit_xor(a[i], nb);
+    carry = bit_or(bit_and(a[i], nb), bit_and(carry, axb));
+  }
+  return bit_not(carry);  // no carry-out => borrow => a < b
+}
+
+NetId RtlBuilder::lt_signed(const Word& a, const Word& b) {
+  // Flip sign bits and compare unsigned.
+  Word a2 = a, b2 = b;
+  a2.back() = bit_not(a.back());
+  b2.back() = bit_not(b.back());
+  return lt_unsigned(a2, b2);
+}
+
+NetId RtlBuilder::reduce_or(const Word& a) {
+  NetId acc = nl_->const0();
+  for (const NetId n : a) acc = bit_or(acc, n);
+  return acc;
+}
+
+Word RtlBuilder::mux(NetId sel, const Word& a, const Word& b) {
+  assert(a.size() == b.size());
+  Word w(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) w[i] = bit_mux(sel, a[i], b[i]);
+  return w;
+}
+
+Word RtlBuilder::from_bit(NetId bit, unsigned width) {
+  Word w(width, nl_->const0());
+  w[0] = bit;
+  return w;
+}
+
+}  // namespace socpower::hwsyn

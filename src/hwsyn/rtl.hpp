@@ -1,0 +1,72 @@
+// Word-level RTL construction over the gate-level netlist.
+//
+// The hardware synthesizer maps s-graph expressions to datapath operators;
+// this builder expands each operator into primitive gates (ripple-carry
+// adders, shift-add multipliers, mux trees, reduction networks). Words are
+// little-endian vectors of nets (LSB first).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "hw/netlist.hpp"
+
+namespace socpower::hwsyn {
+
+using hw::GateType;
+using hw::NetId;
+using Word = std::vector<NetId>;
+
+class RtlBuilder {
+ public:
+  explicit RtlBuilder(hw::Netlist* nl) : nl_(nl) {}
+
+  [[nodiscard]] hw::Netlist& netlist() { return *nl_; }
+
+  // -- word sources ----------------------------------------------------------
+  [[nodiscard]] Word input_word(const std::string& name, unsigned width);
+  [[nodiscard]] Word constant(std::uint32_t value, unsigned width);
+  /// Word of DFFs with the given initial value; connect with connect_reg.
+  [[nodiscard]] Word reg_word(std::uint32_t init, unsigned width);
+  void connect_reg(const Word& q, const Word& d);
+
+  // -- bit helpers -----------------------------------------------------------
+  [[nodiscard]] NetId bit_not(NetId a);
+  [[nodiscard]] NetId bit_and(NetId a, NetId b);
+  [[nodiscard]] NetId bit_or(NetId a, NetId b);
+  [[nodiscard]] NetId bit_xor(NetId a, NetId b);
+  /// sel ? a : b.
+  [[nodiscard]] NetId bit_mux(NetId sel, NetId a, NetId b);
+
+  // -- arithmetic ------------------------------------------------------------
+  [[nodiscard]] Word add(const Word& a, const Word& b);
+  [[nodiscard]] Word sub(const Word& a, const Word& b);
+  [[nodiscard]] Word neg(const Word& a);
+  [[nodiscard]] Word mul(const Word& a, const Word& b);  // low `width` bits
+
+  // -- bitwise ---------------------------------------------------------------
+  [[nodiscard]] Word word_and(const Word& a, const Word& b);
+  [[nodiscard]] Word word_or(const Word& a, const Word& b);
+  [[nodiscard]] Word word_xor(const Word& a, const Word& b);
+  [[nodiscard]] Word word_not(const Word& a);
+  [[nodiscard]] Word shl_const(const Word& a, unsigned k);
+  [[nodiscard]] Word shr_arith_const(const Word& a, unsigned k);
+
+  // -- comparisons (1-bit results) --------------------------------------------
+  [[nodiscard]] NetId eq(const Word& a, const Word& b);
+  [[nodiscard]] NetId lt_signed(const Word& a, const Word& b);
+  [[nodiscard]] NetId lt_unsigned(const Word& a, const Word& b);
+  [[nodiscard]] NetId reduce_or(const Word& a);
+
+  // -- selection / widening ----------------------------------------------------
+  /// sel ? a : b, word-wise.
+  [[nodiscard]] Word mux(NetId sel, const Word& a, const Word& b);
+  /// 0/1-extend a single bit to a word.
+  [[nodiscard]] Word from_bit(NetId bit, unsigned width);
+
+ private:
+  hw::Netlist* nl_;
+};
+
+}  // namespace socpower::hwsyn

@@ -1,0 +1,142 @@
+#include "hwsyn/rtl_power.hpp"
+
+#include <bit>
+#include <cassert>
+
+#include "hwsyn/rtl.hpp"
+
+namespace socpower::hwsyn {
+
+namespace {
+
+using cfsm::ExprOp;
+
+/// Total switched capacitance (at activity 1.0) of every net an operator
+/// instance adds to a netlist.
+double operator_capacitance(ExprOp op, unsigned width,
+                            const hw::TechParams& tech) {
+  hw::Netlist nl;
+  RtlBuilder rtl(&nl);
+  const Word a = rtl.input_word("a", width);
+  const Word b = rtl.input_word("b", width);
+  const std::size_t nets_before = nl.net_count();
+  Word out;
+  switch (op) {
+    case ExprOp::kAdd: out = rtl.add(a, b); break;
+    case ExprOp::kSub: out = rtl.sub(a, b); break;
+    case ExprOp::kMul: out = rtl.mul(a, b); break;
+    // Division is not synthesizable; estimate it as a multiplier-class
+    // sequential datapath (conservative but bounded).
+    case ExprOp::kDiv:
+    case ExprOp::kMod: out = rtl.mul(a, b); break;
+    case ExprOp::kNeg: out = rtl.neg(a); break;
+    case ExprOp::kBitAnd: out = rtl.word_and(a, b); break;
+    case ExprOp::kBitOr: out = rtl.word_or(a, b); break;
+    case ExprOp::kBitXor: out = rtl.word_xor(a, b); break;
+    case ExprOp::kBitNot: out = rtl.word_not(a); break;
+    case ExprOp::kShl: out = rtl.shl_const(a, 7); break;
+    case ExprOp::kShr: out = rtl.shr_arith_const(a, 7); break;
+    case ExprOp::kEq: out = Word{rtl.eq(a, b)}; break;
+    case ExprOp::kNe: out = Word{rtl.bit_not(rtl.eq(a, b))}; break;
+    case ExprOp::kLt:
+    case ExprOp::kGe: out = Word{rtl.lt_signed(a, b)}; break;
+    case ExprOp::kGt:
+    case ExprOp::kLe: out = Word{rtl.lt_signed(b, a)}; break;
+    case ExprOp::kLogicAnd:
+      out = Word{rtl.bit_and(rtl.reduce_or(a), rtl.reduce_or(b))};
+      break;
+    case ExprOp::kLogicOr:
+      out = Word{rtl.bit_or(rtl.reduce_or(a), rtl.reduce_or(b))};
+      break;
+    case ExprOp::kLogicNot:
+      out = Word{rtl.bit_not(rtl.reduce_or(a))};
+      break;
+    default:
+      return 0.0;  // leaves have no datapath of their own
+  }
+  double cap = 0.0;
+  for (std::size_t n = nets_before; n < nl.net_count(); ++n)
+    cap += nl.net_capacitance(static_cast<hw::NetId>(n), tech);
+  return cap;
+}
+
+}  // namespace
+
+RtlPowerEstimator::RtlPowerEstimator(RtlPowerConfig config)
+    : config_(config) {
+  for (int i = 0; i <= static_cast<int>(ExprOp::kLogicNot); ++i) {
+    const auto op = static_cast<ExprOp>(i);
+    const double cap =
+        operator_capacitance(op, config_.width, config_.tech);
+    op_energy_[static_cast<std::size_t>(i)] =
+        config_.activity * config_.electrical.switch_energy(cap);
+  }
+  // A register write toggles ~half the word's DFFs plus the clock load.
+  const double reg_cap =
+      static_cast<double>(config_.width) *
+      (config_.tech.dff_output_cap_f + config_.tech.clock_cap_per_dff_f);
+  reg_write_energy_ = 0.5 * config_.electrical.switch_energy(reg_cap);
+  // Driving an output event: flag plus value word leave the block.
+  const double out_cap = static_cast<double>(config_.width + 1) *
+                         (config_.tech.input_net_cap_f +
+                          config_.tech.wire_cap_per_fanout_f);
+  emit_energy_ = 0.5 * config_.electrical.switch_energy(out_cap);
+}
+
+Joules RtlPowerEstimator::op_energy(cfsm::ExprOp op) const {
+  return op_energy_[static_cast<std::size_t>(op)];
+}
+
+Joules RtlPowerEstimator::expr_energy(const cfsm::ExprArena& arena,
+                                      cfsm::ExprId e) const {
+  const cfsm::ExprNode& n = arena.at(e);
+  if (cfsm::expr_arity(n.op) == 0) return 0.0;
+  Joules sum = op_energy(n.op);
+  sum += expr_energy(arena, n.lhs);
+  if (cfsm::expr_arity(n.op) == 2) sum += expr_energy(arena, n.rhs);
+  return sum;
+}
+
+Joules RtlPowerEstimator::estimate_reaction(
+    const cfsm::Cfsm& cfsm, const std::vector<cfsm::NodeId>& trace,
+    const cfsm::ReactionInputs& inputs) const {
+  // First-order data dependence: denser input values switch more datapath
+  // bits. Scale around 1.0 at half-full words.
+  unsigned set_bits = 0;
+  unsigned words = 0;
+  for (const auto& [ev, value] : inputs.all()) {
+    (void)ev;
+    set_bits += static_cast<unsigned>(
+        std::popcount(static_cast<std::uint32_t>(value)));
+    ++words;
+  }
+  const double density =
+      words == 0 ? 0.5
+                 : static_cast<double>(set_bits) /
+                       (static_cast<double>(words) * config_.width);
+  const double scale = 1.0 + config_.data_weight * (2.0 * density - 1.0);
+
+  Joules e = 0.0;
+  const auto& g = cfsm.graph();
+  const auto& arena = cfsm.arena();
+  for (const cfsm::NodeId id : trace) {
+    const cfsm::SNode& n = g.node(id);
+    switch (n.kind) {
+      case cfsm::NodeKind::kEnd:
+        break;
+      case cfsm::NodeKind::kAssign:
+        e += expr_energy(arena, n.expr) + reg_write_energy_;
+        break;
+      case cfsm::NodeKind::kEmit:
+        if (n.expr != cfsm::kNoExpr) e += expr_energy(arena, n.expr);
+        e += emit_energy_;
+        break;
+      case cfsm::NodeKind::kTest:
+        e += expr_energy(arena, n.expr);
+        break;
+    }
+  }
+  return e * scale;
+}
+
+}  // namespace socpower::hwsyn

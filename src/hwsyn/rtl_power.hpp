@@ -1,0 +1,67 @@
+// RT-level hardware power estimation.
+//
+// The paper's HW estimator slot accepts either a gate-level simulator or an
+// RT-level one, "depending on the accuracy/efficiency requirements"
+// (Section 3). This is the RT-level option: instead of simulating gates, a
+// reaction's energy is estimated from the datapath operators its executed
+// s-graph path activates, using per-operator macro energies in the style of
+// RT-level power macro-modeling [2, 18].
+//
+// Characterization is structural and exact in gate count: each operator is
+// synthesized once through the same RtlBuilder the real synthesis uses, its
+// nets' effective capacitances are summed, and the macro energy is
+//     E_op = activity * sum_nets(1/2 * Ceff * Vdd^2),
+// with `activity` the assumed average toggle fraction. A Hamming-weight term
+// on the reaction's input values adds first-order data dependence.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "cfsm/cfsm.hpp"
+#include "hw/netlist.hpp"
+#include "util/units.hpp"
+
+namespace socpower::hwsyn {
+
+struct RtlPowerConfig {
+  unsigned width = 32;
+  /// Average fraction of an operator's nets that toggle per activation.
+  double activity = 0.18;
+  /// Additional weight per set bit of the reaction's input values
+  /// (first-order data dependence), as a fraction of `activity`.
+  double data_weight = 0.35;
+  hw::TechParams tech = hw::TechParams::generic_250nm();
+  ElectricalParams electrical;
+};
+
+class RtlPowerEstimator {
+ public:
+  explicit RtlPowerEstimator(RtlPowerConfig config = {});
+
+  /// Macro energy of one activation of `op` at the configured width.
+  [[nodiscard]] Joules op_energy(cfsm::ExprOp op) const;
+  /// Register write (one word latched) and event-output macro energies.
+  [[nodiscard]] Joules reg_write_energy() const { return reg_write_energy_; }
+  [[nodiscard]] Joules emit_energy() const { return emit_energy_; }
+
+  /// Estimate the energy of one reaction: walks the executed trace, sums the
+  /// macro energies of every operator/assign/emit it activates, and scales
+  /// by the input-value Hamming weights.
+  [[nodiscard]] Joules estimate_reaction(
+      const cfsm::Cfsm& cfsm, const std::vector<cfsm::NodeId>& trace,
+      const cfsm::ReactionInputs& inputs) const;
+
+  [[nodiscard]] const RtlPowerConfig& config() const { return config_; }
+
+ private:
+  [[nodiscard]] Joules expr_energy(const cfsm::ExprArena& arena,
+                                   cfsm::ExprId e) const;
+
+  RtlPowerConfig config_;
+  std::array<Joules, 32> op_energy_{};  // indexed by ExprOp
+  Joules reg_write_energy_ = 0.0;
+  Joules emit_energy_ = 0.0;
+};
+
+}  // namespace socpower::hwsyn

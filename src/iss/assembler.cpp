@@ -1,0 +1,282 @@
+#include "iss/assembler.hpp"
+
+#include <cctype>
+#include <optional>
+#include <vector>
+
+namespace socpower::iss {
+
+namespace {
+
+struct Token {
+  std::string text;
+};
+
+std::vector<std::string> tokenize_line(std::string_view line) {
+  // Strip comments.
+  for (const char c : {';', '#'}) {
+    const auto pos = line.find(c);
+    if (pos != std::string_view::npos) line = line.substr(0, pos);
+  }
+  std::vector<std::string> toks;
+  std::string cur;
+  for (char ch : line) {
+    if (std::isspace(static_cast<unsigned char>(ch)) || ch == ',') {
+      if (!cur.empty()) {
+        toks.push_back(cur);
+        cur.clear();
+      }
+    } else if (ch == '(' || ch == ')') {
+      // "imm(rN)" splits into imm and rN.
+      if (!cur.empty()) {
+        toks.push_back(cur);
+        cur.clear();
+      }
+    } else {
+      cur += ch;
+    }
+  }
+  if (!cur.empty()) toks.push_back(cur);
+  return toks;
+}
+
+std::optional<Opcode> opcode_from_name(const std::string& name) {
+  for (std::size_t i = 0; i < kNumOpcodes; ++i) {
+    const auto op = static_cast<Opcode>(i);
+    if (name == opcode_name(op)) return op;
+  }
+  return std::nullopt;
+}
+
+std::optional<unsigned> parse_reg(const std::string& t) {
+  if (t.size() < 2 || (t[0] != 'r' && t[0] != 'R')) return std::nullopt;
+  unsigned v = 0;
+  for (std::size_t i = 1; i < t.size(); ++i) {
+    if (!std::isdigit(static_cast<unsigned char>(t[i]))) return std::nullopt;
+    v = v * 10 + static_cast<unsigned>(t[i] - '0');
+  }
+  if (v >= kNumRegisters) return std::nullopt;
+  return v;
+}
+
+std::optional<std::int64_t> parse_int(const std::string& t) {
+  if (t.empty()) return std::nullopt;
+  std::size_t i = 0;
+  bool neg = false;
+  if (t[0] == '-' || t[0] == '+') {
+    neg = t[0] == '-';
+    i = 1;
+  }
+  if (i >= t.size()) return std::nullopt;
+  int base = 10;
+  if (t.size() > i + 2 && t[i] == '0' && (t[i + 1] == 'x' || t[i + 1] == 'X')) {
+    base = 16;
+    i += 2;
+  }
+  std::int64_t v = 0;
+  for (; i < t.size(); ++i) {
+    const char c = t[i];
+    int d;
+    if (std::isdigit(static_cast<unsigned char>(c))) d = c - '0';
+    else if (base == 16 && c >= 'a' && c <= 'f') d = c - 'a' + 10;
+    else if (base == 16 && c >= 'A' && c <= 'F') d = c - 'A' + 10;
+    else return std::nullopt;
+    v = v * base + d;
+  }
+  return neg ? -v : v;
+}
+
+bool is_label_def(const std::string& t) {
+  return t.size() > 1 && t.back() == ':';
+}
+
+}  // namespace
+
+AsmResult assemble(std::string_view source, std::uint32_t base_word) {
+  AsmResult res;
+
+  // Pass 1: label word offsets.
+  {
+    std::uint32_t word = 0;
+    std::size_t line_no = 0;
+    std::size_t start = 0;
+    while (start <= source.size()) {
+      const auto end = source.find('\n', start);
+      const auto line = source.substr(
+          start, end == std::string_view::npos ? std::string_view::npos
+                                               : end - start);
+      ++line_no;
+      auto toks = tokenize_line(line);
+      std::size_t ti = 0;
+      while (ti < toks.size() && is_label_def(toks[ti])) {
+        const std::string name = toks[ti].substr(0, toks[ti].size() - 1);
+        if (res.labels.count(name)) {
+          res.error =
+              "line " + std::to_string(line_no) + ": duplicate label " + name;
+          return res;
+        }
+        res.labels[name] = word;
+        ++ti;
+      }
+      if (ti < toks.size()) ++word;  // one instruction per line
+      if (end == std::string_view::npos) break;
+      start = end + 1;
+    }
+  }
+
+  // Pass 2: encode.
+  std::uint32_t word = 0;
+  std::size_t line_no = 0;
+  std::size_t start = 0;
+  auto fail = [&](const std::string& msg) {
+    res.error = "line " + std::to_string(line_no) + ": " + msg;
+    return res;
+  };
+  while (start <= source.size()) {
+    const auto end = source.find('\n', start);
+    const auto line = source.substr(
+        start, end == std::string_view::npos ? std::string_view::npos
+                                             : end - start);
+    ++line_no;
+    auto toks = tokenize_line(line);
+    std::size_t ti = 0;
+    while (ti < toks.size() && is_label_def(toks[ti])) ++ti;
+    if (ti < toks.size()) {
+      const auto op = opcode_from_name(toks[ti]);
+      if (!op) return fail("unknown mnemonic '" + toks[ti] + "'");
+      std::vector<std::string> args(toks.begin() + static_cast<long>(ti) + 1,
+                                    toks.end());
+      Instruction ins;
+      ins.op = *op;
+
+      auto need = [&](std::size_t n) { return args.size() == n; };
+      auto reg_at = [&](std::size_t i) { return parse_reg(args[i]); };
+      auto imm_or_label = [&](std::size_t i,
+                              bool relative) -> std::optional<std::int64_t> {
+        if (auto v = parse_int(args[i])) return v;
+        const auto it = res.labels.find(args[i]);
+        if (it == res.labels.end()) return std::nullopt;
+        if (relative)
+          return static_cast<std::int64_t>(it->second) -
+                 static_cast<std::int64_t>(word);
+        return static_cast<std::int64_t>(it->second + base_word);
+      };
+
+      switch (ins.op) {
+        case Opcode::kNop:
+        case Opcode::kHalt:
+          if (!need(0)) return fail("expected no operands");
+          break;
+        case Opcode::kMovI:
+        case Opcode::kMovHi: {
+          if (!need(2)) return fail("expected rd, imm");
+          const auto rd = reg_at(0);
+          const auto imm = parse_int(args[1]);
+          if (!rd || !imm) return fail("bad operands");
+          ins.rd = static_cast<std::uint8_t>(*rd);
+          ins.imm = static_cast<std::int32_t>(*imm);
+          break;
+        }
+        case Opcode::kAddI:
+        case Opcode::kSubI:
+        case Opcode::kAndI:
+        case Opcode::kOrI:
+        case Opcode::kXorI:
+        case Opcode::kSllI:
+        case Opcode::kSrlI:
+        case Opcode::kSraI:
+        case Opcode::kSltI: {
+          if (!need(3)) return fail("expected rd, rs1, imm");
+          const auto rd = reg_at(0);
+          const auto rs1 = reg_at(1);
+          const auto imm = parse_int(args[2]);
+          if (!rd || !rs1 || !imm) return fail("bad operands");
+          ins.rd = static_cast<std::uint8_t>(*rd);
+          ins.rs1 = static_cast<std::uint8_t>(*rs1);
+          ins.imm = static_cast<std::int32_t>(*imm);
+          break;
+        }
+        case Opcode::kBeq:
+        case Opcode::kBne:
+        case Opcode::kBlt:
+        case Opcode::kBge: {
+          if (!need(3)) return fail("expected rs1, rs2, target");
+          const auto rs1 = reg_at(0);
+          const auto rs2 = reg_at(1);
+          const auto off = imm_or_label(2, /*relative=*/true);
+          if (!rs1 || !rs2 || !off) return fail("bad operands");
+          ins.rs1 = static_cast<std::uint8_t>(*rs1);
+          ins.rs2 = static_cast<std::uint8_t>(*rs2);
+          ins.imm = static_cast<std::int32_t>(*off);
+          break;
+        }
+        case Opcode::kJ: {
+          if (!need(1)) return fail("expected target");
+          const auto t = imm_or_label(0, /*relative=*/false);
+          if (!t) return fail("bad target");
+          ins.imm = static_cast<std::int32_t>(*t);
+          break;
+        }
+        case Opcode::kJal: {
+          if (!need(2)) return fail("expected rd, target");
+          const auto rd = reg_at(0);
+          const auto t = imm_or_label(1, /*relative=*/false);
+          if (!rd || !t) return fail("bad operands");
+          ins.rd = static_cast<std::uint8_t>(*rd);
+          ins.imm = static_cast<std::int32_t>(*t);
+          break;
+        }
+        case Opcode::kJr: {
+          if (!need(1)) return fail("expected rs1");
+          const auto rs1 = reg_at(0);
+          if (!rs1) return fail("bad register");
+          ins.rs1 = static_cast<std::uint8_t>(*rs1);
+          break;
+        }
+        case Opcode::kLw:
+        case Opcode::kLb:
+        case Opcode::kLbu: {
+          if (!need(3)) return fail("expected rd, imm(rs1)");
+          const auto rd = reg_at(0);
+          const auto imm = parse_int(args[1]);
+          const auto rs1 = reg_at(2);
+          if (!rd || !imm || !rs1) return fail("bad operands");
+          ins.rd = static_cast<std::uint8_t>(*rd);
+          ins.imm = static_cast<std::int32_t>(*imm);
+          ins.rs1 = static_cast<std::uint8_t>(*rs1);
+          break;
+        }
+        case Opcode::kSw:
+        case Opcode::kSb: {
+          if (!need(3)) return fail("expected rs2, imm(rs1)");
+          const auto rs2 = reg_at(0);
+          const auto imm = parse_int(args[1]);
+          const auto rs1 = reg_at(2);
+          if (!rs2 || !imm || !rs1) return fail("bad operands");
+          ins.rs2 = static_cast<std::uint8_t>(*rs2);
+          ins.imm = static_cast<std::int32_t>(*imm);
+          ins.rs1 = static_cast<std::uint8_t>(*rs1);
+          break;
+        }
+        default: {  // three-register ALU forms
+          if (!need(3)) return fail("expected rd, rs1, rs2");
+          const auto rd = reg_at(0);
+          const auto rs1 = reg_at(1);
+          const auto rs2 = reg_at(2);
+          if (!rd || !rs1 || !rs2) return fail("bad registers");
+          ins.rd = static_cast<std::uint8_t>(*rd);
+          ins.rs1 = static_cast<std::uint8_t>(*rs1);
+          ins.rs2 = static_cast<std::uint8_t>(*rs2);
+          break;
+        }
+      }
+      res.program.push_back(ins);
+      ++word;
+    }
+    if (end == std::string_view::npos) break;
+    start = end + 1;
+  }
+  return res;
+}
+
+}  // namespace socpower::iss

@@ -1,0 +1,40 @@
+// A small two-pass assembler for SLITE.
+//
+// Accepts the syntax produced by disassemble() plus labels, so hand-written
+// test kernels and characterization templates stay readable:
+//
+//   ; ones-complement accumulate
+//   loop:
+//     lbu  r5, 0(r4)
+//     add  r6, r6, r5
+//     addi r4, r4, 1
+//     bne  r4, r7, loop
+//     nop              ; delay slot
+//     halt
+//
+// Branch targets are labels (assembled to pc-relative word offsets); j/jal
+// targets are labels or absolute word addresses (resolved against the base
+// word address the program will be loaded at).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+#include "iss/isa.hpp"
+
+namespace socpower::iss {
+
+struct AsmResult {
+  Program program;
+  std::unordered_map<std::string, std::uint32_t> labels;  // word offsets
+  std::string error;  // empty on success; includes line number otherwise
+
+  [[nodiscard]] bool ok() const { return error.empty(); }
+};
+
+[[nodiscard]] AsmResult assemble(std::string_view source,
+                                 std::uint32_t base_word = 0);
+
+}  // namespace socpower::iss

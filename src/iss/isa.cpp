@@ -1,0 +1,252 @@
+#include "iss/isa.hpp"
+
+#include <cassert>
+#include <cstdio>
+
+namespace socpower::iss {
+
+const char* opcode_name(Opcode op) {
+  switch (op) {
+    case Opcode::kNop: return "nop";
+    case Opcode::kHalt: return "halt";
+    case Opcode::kMovI: return "movi";
+    case Opcode::kMovHi: return "movhi";
+    case Opcode::kAdd: return "add";
+    case Opcode::kSub: return "sub";
+    case Opcode::kMul: return "mul";
+    case Opcode::kDiv: return "div";
+    case Opcode::kAddI: return "addi";
+    case Opcode::kSubI: return "subi";
+    case Opcode::kAnd: return "and";
+    case Opcode::kOr: return "or";
+    case Opcode::kXor: return "xor";
+    case Opcode::kAndI: return "andi";
+    case Opcode::kOrI: return "ori";
+    case Opcode::kXorI: return "xori";
+    case Opcode::kSll: return "sll";
+    case Opcode::kSrl: return "srl";
+    case Opcode::kSra: return "sra";
+    case Opcode::kSllI: return "slli";
+    case Opcode::kSrlI: return "srli";
+    case Opcode::kSraI: return "srai";
+    case Opcode::kSlt: return "slt";
+    case Opcode::kSltu: return "sltu";
+    case Opcode::kSltI: return "slti";
+    case Opcode::kBeq: return "beq";
+    case Opcode::kBne: return "bne";
+    case Opcode::kBlt: return "blt";
+    case Opcode::kBge: return "bge";
+    case Opcode::kJ: return "j";
+    case Opcode::kJal: return "jal";
+    case Opcode::kJr: return "jr";
+    case Opcode::kLw: return "lw";
+    case Opcode::kLb: return "lb";
+    case Opcode::kLbu: return "lbu";
+    case Opcode::kSw: return "sw";
+    case Opcode::kSb: return "sb";
+    case Opcode::kOpcodeCount: break;
+  }
+  return "?";
+}
+
+EnergyClass energy_class(Opcode op) {
+  switch (op) {
+    case Opcode::kNop: return EnergyClass::kNop;
+    case Opcode::kHalt: return EnergyClass::kHalt;
+    case Opcode::kMovI:
+    case Opcode::kMovHi: return EnergyClass::kMoveImm;
+    case Opcode::kMul: return EnergyClass::kMul;
+    case Opcode::kDiv: return EnergyClass::kDiv;
+    case Opcode::kLw:
+    case Opcode::kLb:
+    case Opcode::kLbu: return EnergyClass::kLoad;
+    case Opcode::kSw:
+    case Opcode::kSb: return EnergyClass::kStore;
+    case Opcode::kBeq:
+    case Opcode::kBne:
+    case Opcode::kBlt:
+    case Opcode::kBge: return EnergyClass::kBranch;
+    case Opcode::kJ:
+    case Opcode::kJal:
+    case Opcode::kJr: return EnergyClass::kJump;
+    default: return EnergyClass::kAlu;
+  }
+}
+
+unsigned base_cycles(Opcode op) {
+  switch (op) {
+    case Opcode::kMul: return 3;
+    case Opcode::kDiv: return 10;
+    default: return 1;
+  }
+}
+
+bool is_branch(Opcode op) {
+  return op == Opcode::kBeq || op == Opcode::kBne || op == Opcode::kBlt ||
+         op == Opcode::kBge;
+}
+
+bool is_jump(Opcode op) {
+  return op == Opcode::kJ || op == Opcode::kJal || op == Opcode::kJr;
+}
+
+bool is_load(Opcode op) {
+  return op == Opcode::kLw || op == Opcode::kLb || op == Opcode::kLbu;
+}
+
+bool is_store(Opcode op) { return op == Opcode::kSw || op == Opcode::kSb; }
+
+bool writes_rd(Opcode op) {
+  if (is_branch(op) || is_store(op)) return false;
+  switch (op) {
+    case Opcode::kNop:
+    case Opcode::kHalt:
+    case Opcode::kJ:
+    case Opcode::kJr:
+      return false;
+    default:
+      return true;
+  }
+}
+
+namespace {
+
+enum class Format { kR, kI, kBranch, kJ, kNone };
+
+Format format_of(Opcode op) {
+  if (is_branch(op)) return Format::kBranch;
+  switch (op) {
+    case Opcode::kNop:
+    case Opcode::kHalt:
+      return Format::kNone;
+    case Opcode::kJ:
+    case Opcode::kJal:
+      return Format::kJ;
+    case Opcode::kMovI:
+    case Opcode::kMovHi:
+    case Opcode::kAddI:
+    case Opcode::kSubI:
+    case Opcode::kAndI:
+    case Opcode::kOrI:
+    case Opcode::kXorI:
+    case Opcode::kSllI:
+    case Opcode::kSrlI:
+    case Opcode::kSraI:
+    case Opcode::kSltI:
+    case Opcode::kLw:
+    case Opcode::kLb:
+    case Opcode::kLbu:
+    case Opcode::kSw:
+    case Opcode::kSb:
+      return Format::kI;
+    default:
+      return Format::kR;
+  }
+}
+
+}  // namespace
+
+std::uint32_t encode(const Instruction& ins) {
+  const auto op = static_cast<std::uint32_t>(ins.op) << 26;
+  const auto rd = static_cast<std::uint32_t>(ins.rd & 31) << 21;
+  const auto rs1 = static_cast<std::uint32_t>(ins.rs1 & 31) << 16;
+  const auto rs2r = static_cast<std::uint32_t>(ins.rs2 & 31) << 11;
+  const auto imm16 = static_cast<std::uint32_t>(ins.imm) & 0xffffu;
+  switch (format_of(ins.op)) {
+    case Format::kNone:
+      return op;
+    case Format::kR:
+      return op | rd | rs1 | rs2r;
+    case Format::kI:
+      assert(ins.imm >= -32768 && ins.imm <= 65535 && "imm16 overflow");
+      if (is_store(ins.op))  // stores carry rs2 in the rd field
+        return op | (static_cast<std::uint32_t>(ins.rs2 & 31) << 21) | rs1 |
+               imm16;
+      return op | rd | rs1 | imm16;
+    case Format::kBranch:
+      // rd field carries rs2 so the 16-bit offset fits.
+      return op | (static_cast<std::uint32_t>(ins.rs2 & 31) << 21) | rs1 |
+             imm16;
+    case Format::kJ:
+      assert(ins.imm >= 0 && ins.imm < (1 << 26) && "jump target overflow");
+      // kJal implicitly links in r30 at the encoding level.
+      return op | (static_cast<std::uint32_t>(ins.imm) & 0x3ffffffu);
+  }
+  return op;
+}
+
+Instruction decode(std::uint32_t word) {
+  Instruction ins;
+  ins.op = static_cast<Opcode>(word >> 26);
+  switch (format_of(ins.op)) {
+    case Format::kNone:
+      break;
+    case Format::kR:
+      ins.rd = (word >> 21) & 31;
+      ins.rs1 = (word >> 16) & 31;
+      ins.rs2 = (word >> 11) & 31;
+      break;
+    case Format::kI:
+      if (is_store(ins.op))
+        ins.rs2 = (word >> 21) & 31;
+      else
+        ins.rd = (word >> 21) & 31;
+      ins.rs1 = (word >> 16) & 31;
+      ins.imm = static_cast<std::int16_t>(word & 0xffffu);
+      break;
+    case Format::kBranch:
+      ins.rs2 = (word >> 21) & 31;
+      ins.rs1 = (word >> 16) & 31;
+      ins.imm = static_cast<std::int16_t>(word & 0xffffu);
+      break;
+    case Format::kJ:
+      ins.imm = static_cast<std::int32_t>(word & 0x3ffffffu);
+      if (ins.op == Opcode::kJal) ins.rd = 30;
+      break;
+  }
+  return ins;
+}
+
+std::string disassemble(const Instruction& ins) {
+  char buf[80];
+  const char* n = opcode_name(ins.op);
+  // Operand shapes the assembler accepts, not raw field dumps.
+  if (ins.op == Opcode::kJr) {
+    std::snprintf(buf, sizeof buf, "%s r%u", n, ins.rs1);
+    return buf;
+  }
+  if (ins.op == Opcode::kMovI || ins.op == Opcode::kMovHi) {
+    std::snprintf(buf, sizeof buf, "%s r%u, %d", n, ins.rd, ins.imm);
+    return buf;
+  }
+  switch (format_of(ins.op)) {
+    case Format::kNone:
+      std::snprintf(buf, sizeof buf, "%s", n);
+      break;
+    case Format::kR:
+      std::snprintf(buf, sizeof buf, "%s r%u, r%u, r%u", n, ins.rd, ins.rs1,
+                    ins.rs2);
+      break;
+    case Format::kI:
+      if (is_load(ins.op))
+        std::snprintf(buf, sizeof buf, "%s r%u, %d(r%u)", n, ins.rd, ins.imm,
+                      ins.rs1);
+      else if (is_store(ins.op))
+        std::snprintf(buf, sizeof buf, "%s r%u, %d(r%u)", n, ins.rs2, ins.imm,
+                      ins.rs1);
+      else
+        std::snprintf(buf, sizeof buf, "%s r%u, r%u, %d", n, ins.rd, ins.rs1,
+                      ins.imm);
+      break;
+    case Format::kBranch:
+      std::snprintf(buf, sizeof buf, "%s r%u, r%u, %d", n, ins.rs1, ins.rs2,
+                    ins.imm);
+      break;
+    case Format::kJ:
+      std::snprintf(buf, sizeof buf, "%s %d", n, ins.imm);
+      break;
+  }
+  return buf;
+}
+
+}  // namespace socpower::iss

@@ -1,0 +1,96 @@
+// SLITE: a small SPARClite-flavoured RISC ISA for the embedded-software side
+// of the co-estimation framework.
+//
+// The paper's flow compiles each software process to SPARClite object code
+// and simulates it on SPARCsim, an ISS enhanced with the measurement-based
+// instruction-level power model of Tiwari et al. We reproduce the parts the
+// co-estimation layer observes: a load/store RISC with delayed branches,
+// load-use interlocks and multi-cycle multiply/divide, executed by an ISS
+// that reports cycles and energy per invocation. Register windows are elided
+// (they affect neither the synchronization protocol nor the acceleration
+// techniques).
+//
+// 32 general registers; r0 reads as zero. Branches and jumps have a single
+// architectural delay slot, as on SPARC.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace socpower::iss {
+
+enum class Opcode : std::uint8_t {
+  kNop,
+  kHalt,  // returns control to the simulation master (breakpoint stand-in)
+  kMovI,  // rd <- sext(imm16)
+  kMovHi, // rd <- imm16 << 16
+  kAdd, kSub, kMul, kDiv,          // rd <- rs1 op rs2
+  kAddI, kSubI,                    // rd <- rs1 op sext(imm16)
+  kAnd, kOr, kXor,                 // rd <- rs1 op rs2
+  kAndI, kOrI, kXorI,
+  kSll, kSrl, kSra,                // rd <- rs1 shift (rs2 & 31)
+  kSllI, kSrlI, kSraI,
+  kSlt, kSltu, kSltI,              // set-on-less-than (signed/unsigned/imm)
+  kBeq, kBne, kBlt, kBge,          // branch rs1 ? rs2, pc-relative imm, 1 delay slot
+  kJ,                              // absolute word target in imm
+  kJal,                            // link in rd, then jump
+  kJr,                             // jump to rs1
+  kLw, kLb, kLbu,                  // rd <- mem[rs1 + sext(imm16)]
+  kSw, kSb,                        // mem[rs1 + sext(imm16)] <- rs2
+  kOpcodeCount,
+};
+
+inline constexpr std::size_t kNumOpcodes =
+    static_cast<std::size_t>(Opcode::kOpcodeCount);
+inline constexpr int kNumRegisters = 32;
+inline constexpr std::uint32_t kInstrBytes = 4;
+
+/// Energy classes for the instruction-level power model: instructions in one
+/// class draw approximately the same supply current (Tiwari's observation).
+enum class EnergyClass : std::uint8_t {
+  kNop, kAlu, kMul, kDiv, kLoad, kStore, kBranch, kJump, kMoveImm, kHalt,
+  kClassCount,
+};
+
+inline constexpr std::size_t kNumEnergyClasses =
+    static_cast<std::size_t>(EnergyClass::kClassCount);
+
+struct Instruction {
+  Opcode op = Opcode::kNop;
+  std::uint8_t rd = 0;
+  std::uint8_t rs1 = 0;
+  std::uint8_t rs2 = 0;
+  std::int32_t imm = 0;  // 16-bit immediates; 26-bit word target for kJ/kJal
+
+  friend bool operator==(const Instruction&, const Instruction&) = default;
+};
+
+using Program = std::vector<Instruction>;
+
+[[nodiscard]] const char* opcode_name(Opcode op);
+[[nodiscard]] EnergyClass energy_class(Opcode op);
+/// Base execution cycles of the opcode, excluding stalls (MUL/DIV are
+/// multi-cycle; everything else is 1).
+[[nodiscard]] unsigned base_cycles(Opcode op);
+[[nodiscard]] bool is_branch(Opcode op);
+[[nodiscard]] bool is_jump(Opcode op);
+[[nodiscard]] bool is_load(Opcode op);
+[[nodiscard]] bool is_store(Opcode op);
+/// True when the opcode writes `rd`.
+[[nodiscard]] bool writes_rd(Opcode op);
+
+/// Binary encoding (4 bytes per instruction, fixed width). Three formats:
+///   R-type: [31:26] op  [25:21] rd  [20:16] rs1  [15:11] rs2  [10:0] 0
+///   I-type: [31:26] op  [25:21] rd  [20:16] rs1  [15:0]  imm16
+///           (branches reuse rd as rs2: op | rs2 | rs1 | imm16)
+///   J-type: [31:26] op  [25:0]  word target
+/// Encoding is used for code-size accounting, the instruction-cache address
+/// stream, and round-trip tests; the ISS executes the decoded form.
+[[nodiscard]] std::uint32_t encode(const Instruction& ins);
+[[nodiscard]] Instruction decode(std::uint32_t word);
+
+/// One-line disassembly, e.g. "add r5, r4, r3".
+[[nodiscard]] std::string disassemble(const Instruction& ins);
+
+}  // namespace socpower::iss

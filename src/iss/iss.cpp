@@ -1,0 +1,263 @@
+#include "iss/iss.hpp"
+
+#include <bit>
+#include <cassert>
+#include <cstring>
+
+namespace socpower::iss {
+
+namespace {
+
+/// Does `ins` read general register `r`? Used for the load-use interlock.
+bool reads_reg(const Instruction& ins, unsigned r) {
+  if (r == 0) return false;  // r0 never interlocks
+  switch (ins.op) {
+    case Opcode::kNop:
+    case Opcode::kHalt:
+    case Opcode::kMovI:
+    case Opcode::kMovHi:
+    case Opcode::kJ:
+    case Opcode::kJal:
+      return false;
+    case Opcode::kJr:
+      return ins.rs1 == r;
+    default:
+      break;
+  }
+  if (ins.rs1 == r) return true;
+  // rs2 read by R-type ALU, branches and stores.
+  const bool has_rs2 = is_branch(ins.op) || is_store(ins.op) ||
+                       (!is_load(ins.op) && ins.op != Opcode::kAddI &&
+                        ins.op != Opcode::kSubI && ins.op != Opcode::kAndI &&
+                        ins.op != Opcode::kOrI && ins.op != Opcode::kXorI &&
+                        ins.op != Opcode::kSllI && ins.op != Opcode::kSrlI &&
+                        ins.op != Opcode::kSraI && ins.op != Opcode::kSltI);
+  return has_rs2 && ins.rs2 == r;
+}
+
+}  // namespace
+
+Iss::Iss(InstructionPowerModel model, IssConfig config)
+    : model_(std::move(model)), config_(config),
+      imem_(config.memory_bytes / kInstrBytes, Instruction{Opcode::kHalt}),
+      dmem_(config.memory_bytes, 0) {}
+
+void Iss::load_program(std::span<const Instruction> prog,
+                       std::uint32_t base_word) {
+  assert(base_word + prog.size() <= imem_.size());
+  std::copy(prog.begin(), prog.end(), imem_.begin() + base_word);
+}
+
+std::int32_t Iss::reg(unsigned r) const {
+  assert(r < kNumRegisters);
+  return r == 0 ? 0 : regs_[r];
+}
+
+void Iss::set_reg(unsigned r, std::int32_t v) {
+  assert(r < kNumRegisters);
+  if (r != 0) regs_[r] = v;
+}
+
+std::int32_t Iss::load_word(std::uint32_t addr) const {
+  assert(addr + 4 <= dmem_.size());
+  std::int32_t v;
+  std::memcpy(&v, dmem_.data() + addr, 4);
+  return v;
+}
+
+void Iss::store_word(std::uint32_t addr, std::int32_t v) {
+  assert(addr + 4 <= dmem_.size());
+  std::memcpy(dmem_.data() + addr, &v, 4);
+}
+
+std::uint8_t Iss::load_byte(std::uint32_t addr) const {
+  assert(addr < dmem_.size());
+  return dmem_[addr];
+}
+
+void Iss::store_byte(std::uint32_t addr, std::uint8_t v) {
+  assert(addr < dmem_.size());
+  dmem_[addr] = v;
+}
+
+void Iss::reset_cpu() {
+  std::memset(regs_, 0, sizeof regs_);
+  pc_ = 0;
+  last_class_ = EnergyClass::kNop;
+  last_load_dest_ = 0;
+  last_alu_operands_ = 0;
+}
+
+const Instruction& Iss::fetch(std::uint32_t word_addr) const {
+  assert(word_addr < imem_.size());
+  return imem_[word_addr];
+}
+
+RunResult Iss::run(std::uint64_t max_instructions) {
+  RunResult r;
+  // Per-invocation pipeline fill: the master resumes the CPU at a
+  // breakpoint; refill cycles draw roughly the stall current.
+  r.cycles += config_.pipeline_fill_cycles;
+  r.stall_cycles += config_.pipeline_fill_cycles;
+  r.energy += model_.stall_energy(config_.pipeline_fill_cycles);
+  last_load_dest_ = 0;
+
+  std::uint64_t budget =
+      max_instructions ? max_instructions : config_.default_max_instructions;
+  bool in_delay_slot = false;
+  std::uint32_t pending_target = 0;
+
+  while (budget-- > 0) {
+    const Instruction& ins = fetch(pc_);
+    if (pc_trace_) pc_trace_->push_back(pc_ * kInstrBytes);
+
+    // Load-use interlock: one bubble when the previous instruction loaded a
+    // register this instruction reads.
+    unsigned stalls = 0;
+    if (last_load_dest_ != 0 && reads_reg(ins, last_load_dest_)) stalls = 1;
+
+    const std::int32_t a = reg(ins.rs1);
+    const std::int32_t b = reg(ins.rs2);
+    const auto ua = static_cast<std::uint32_t>(a);
+    const auto ub = static_cast<std::uint32_t>(b);
+    std::uint32_t next_pc = pc_ + 1;
+    bool transfer = false;
+    std::uint32_t target = 0;
+    unsigned extra_cycles = 0;
+
+    switch (ins.op) {
+      case Opcode::kNop:
+        break;
+      case Opcode::kHalt:
+        break;
+      case Opcode::kMovI:
+        set_reg(ins.rd, ins.imm);
+        break;
+      case Opcode::kMovHi:
+        set_reg(ins.rd,
+                static_cast<std::int32_t>(
+                    (static_cast<std::uint32_t>(ins.imm) & 0xffffu) << 16));
+        break;
+      case Opcode::kAdd: set_reg(ins.rd, static_cast<std::int32_t>(ua + ub)); break;
+      case Opcode::kSub: set_reg(ins.rd, static_cast<std::int32_t>(ua - ub)); break;
+      case Opcode::kMul: set_reg(ins.rd, static_cast<std::int32_t>(ua * ub)); break;
+      case Opcode::kDiv: set_reg(ins.rd, b == 0 ? 0 : a / b); break;
+      case Opcode::kAddI:
+        set_reg(ins.rd, static_cast<std::int32_t>(
+                            ua + static_cast<std::uint32_t>(ins.imm)));
+        break;
+      case Opcode::kSubI:
+        set_reg(ins.rd, static_cast<std::int32_t>(
+                            ua - static_cast<std::uint32_t>(ins.imm)));
+        break;
+      case Opcode::kAnd: set_reg(ins.rd, a & b); break;
+      case Opcode::kOr: set_reg(ins.rd, a | b); break;
+      case Opcode::kXor: set_reg(ins.rd, a ^ b); break;
+      // Logical immediates zero-extend (MIPS convention), so building a wide
+      // constant as movhi + ori is exact.
+      case Opcode::kAndI: set_reg(ins.rd, a & (ins.imm & 0xffff)); break;
+      case Opcode::kOrI: set_reg(ins.rd, a | (ins.imm & 0xffff)); break;
+      case Opcode::kXorI: set_reg(ins.rd, a ^ (ins.imm & 0xffff)); break;
+      case Opcode::kSll: set_reg(ins.rd, static_cast<std::int32_t>(ua << (ub & 31u))); break;
+      case Opcode::kSrl: set_reg(ins.rd, static_cast<std::int32_t>(ua >> (ub & 31u))); break;
+      case Opcode::kSra: set_reg(ins.rd, a >> (ub & 31u)); break;
+      case Opcode::kSllI: set_reg(ins.rd, static_cast<std::int32_t>(ua << (ins.imm & 31))); break;
+      case Opcode::kSrlI: set_reg(ins.rd, static_cast<std::int32_t>(ua >> (ins.imm & 31))); break;
+      case Opcode::kSraI: set_reg(ins.rd, a >> (ins.imm & 31)); break;
+      case Opcode::kSlt: set_reg(ins.rd, a < b ? 1 : 0); break;
+      case Opcode::kSltu: set_reg(ins.rd, ua < ub ? 1 : 0); break;
+      case Opcode::kSltI: set_reg(ins.rd, a < ins.imm ? 1 : 0); break;
+      case Opcode::kBeq:
+        if (a == b) { transfer = true; target = pc_ + static_cast<std::uint32_t>(ins.imm); }
+        break;
+      case Opcode::kBne:
+        if (a != b) { transfer = true; target = pc_ + static_cast<std::uint32_t>(ins.imm); }
+        break;
+      case Opcode::kBlt:
+        if (a < b) { transfer = true; target = pc_ + static_cast<std::uint32_t>(ins.imm); }
+        break;
+      case Opcode::kBge:
+        if (a >= b) { transfer = true; target = pc_ + static_cast<std::uint32_t>(ins.imm); }
+        break;
+      case Opcode::kJ:
+        transfer = true;
+        target = static_cast<std::uint32_t>(ins.imm);
+        break;
+      case Opcode::kJal:
+        set_reg(ins.rd, static_cast<std::int32_t>(pc_ + 2));  // past delay slot
+        transfer = true;
+        target = static_cast<std::uint32_t>(ins.imm);
+        break;
+      case Opcode::kJr:
+        transfer = true;
+        target = ua;
+        break;
+      case Opcode::kLw:
+        set_reg(ins.rd, load_word(ua + static_cast<std::uint32_t>(ins.imm)));
+        break;
+      case Opcode::kLb:
+        set_reg(ins.rd, static_cast<std::int8_t>(
+                            load_byte(ua + static_cast<std::uint32_t>(ins.imm))));
+        break;
+      case Opcode::kLbu:
+        set_reg(ins.rd, load_byte(ua + static_cast<std::uint32_t>(ins.imm)));
+        break;
+      case Opcode::kSw:
+        store_word(ua + static_cast<std::uint32_t>(ins.imm), b);
+        break;
+      case Opcode::kSb:
+        store_byte(ua + static_cast<std::uint32_t>(ins.imm),
+                   static_cast<std::uint8_t>(ub & 0xffu));
+        break;
+      case Opcode::kOpcodeCount:
+        assert(false);
+        break;
+    }
+
+    if (transfer && is_branch(ins.op))
+      extra_cycles = config_.taken_branch_penalty;
+
+    // -- accounting ---------------------------------------------------------
+    const EnergyClass cls = energy_class(ins.op);
+    const unsigned cyc = base_cycles(ins.op) + extra_cycles;
+    r.cycles += cyc + stalls;
+    r.stall_cycles += stalls;
+    r.instructions += 1;
+    r.energy += model_.instruction_energy(last_class_, cls, cyc);
+    if (stalls) r.energy += model_.stall_energy(stalls);
+    if (model_.data_dependent() && cls == EnergyClass::kAlu) {
+      // Mix the operands asymmetrically so identical operands still carry
+      // their value into the signature (a ^ a would always be 0).
+      const std::uint32_t sig = ua ^ ((ub << 16) | (ub >> 16));
+      r.energy += model_.data_energy(
+          static_cast<unsigned>(std::popcount(sig ^ last_alu_operands_)));
+      last_alu_operands_ = sig;
+    }
+    last_class_ = cls;
+    last_load_dest_ =
+        is_load(ins.op) && ins.rd != 0 ? ins.rd : std::uint8_t{0};
+
+    if (ins.op == Opcode::kHalt) {
+      r.halted = true;
+      break;
+    }
+
+    // -- control flow (one architectural delay slot) ------------------------
+    if (in_delay_slot) {
+      // A transfer in a delay slot is unpredictable on real hardware; the
+      // code generator never emits one. The earlier transfer wins.
+      assert(!transfer && "control transfer in a delay slot");
+      pc_ = pending_target;
+      in_delay_slot = false;
+    } else if (transfer) {
+      in_delay_slot = true;
+      pending_target = target;
+      pc_ = next_pc;  // execute the delay slot first
+    } else {
+      pc_ = next_pc;
+    }
+  }
+  return r;
+}
+
+}  // namespace socpower::iss

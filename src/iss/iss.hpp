@@ -1,0 +1,96 @@
+// The SLITE instruction-set simulator.
+//
+// This plays the role of the enhanced SPARCsim in the paper's Figure 2(b):
+// the simulation master loads code for one CFSM path, points the PC at it,
+// and runs to the HALT breakpoint; the ISS returns cycle and energy
+// statistics for exactly the instructions simulated. Timing models the
+// SPARClite features the paper lists — register interlocks (load-use),
+// delayed branches, multi-cycle multiply/divide — plus a per-invocation
+// pipeline-fill charge. Caches are NOT modelled here (the ISS assumes 100 %
+// hits, per Section 3); cache penalties are added by the master from the
+// fast cache simulator.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "iss/isa.hpp"
+#include "iss/power_model.hpp"
+#include "util/units.hpp"
+
+namespace socpower::iss {
+
+struct RunResult {
+  Cycles cycles = 0;
+  Joules energy = 0.0;
+  std::uint64_t instructions = 0;
+  std::uint64_t stall_cycles = 0;
+  bool halted = false;  // false => instruction budget exhausted
+};
+
+struct IssConfig {
+  std::uint32_t memory_bytes = 1u << 16;
+  /// Pipeline-fill cycles charged at every invocation (the master resumes
+  /// the processor at a breakpoint; the pipeline refills).
+  unsigned pipeline_fill_cycles = 3;
+  /// Extra stall cycles on a taken branch beyond the delay slot (0 on
+  /// SPARClite: the delay slot hides the redirect).
+  unsigned taken_branch_penalty = 0;
+  std::uint64_t default_max_instructions = 10'000'000;
+};
+
+class Iss {
+ public:
+  explicit Iss(InstructionPowerModel model, IssConfig config = {});
+
+  // -- program / state ------------------------------------------------------
+  /// Copies `prog` into instruction memory at word address `base_word`.
+  void load_program(std::span<const Instruction> prog,
+                    std::uint32_t base_word);
+  void set_pc(std::uint32_t word_addr) { pc_ = word_addr; }
+  [[nodiscard]] std::uint32_t pc() const { return pc_; }
+
+  [[nodiscard]] std::int32_t reg(unsigned r) const;
+  void set_reg(unsigned r, std::int32_t v);
+
+  [[nodiscard]] std::int32_t load_word(std::uint32_t addr) const;
+  void store_word(std::uint32_t addr, std::int32_t v);
+  [[nodiscard]] std::uint8_t load_byte(std::uint32_t addr) const;
+  void store_byte(std::uint32_t addr, std::uint8_t v);
+
+  /// Clears registers and the inter-instruction power state; memory and the
+  /// loaded program are preserved (the master reloads data explicitly).
+  void reset_cpu();
+
+  // -- execution ------------------------------------------------------------
+  /// Runs from the current PC until HALT or the instruction budget runs out.
+  /// Accumulates nothing across calls: the result covers this call only.
+  RunResult run(std::uint64_t max_instructions = 0);
+
+  /// When non-null, every executed instruction's byte address is appended
+  /// (test/diagnostic aid; the production cache stream comes from the
+  /// master's static per-path traces, as in the paper).
+  void set_pc_trace(std::vector<std::uint32_t>* sink) { pc_trace_ = sink; }
+
+  [[nodiscard]] const InstructionPowerModel& power_model() const {
+    return model_;
+  }
+  [[nodiscard]] const IssConfig& config() const { return config_; }
+
+ private:
+  [[nodiscard]] const Instruction& fetch(std::uint32_t word_addr) const;
+
+  InstructionPowerModel model_;
+  IssConfig config_;
+  std::vector<Instruction> imem_;      // decoded instruction memory
+  std::vector<std::uint8_t> dmem_;     // byte-addressable data memory
+  std::int32_t regs_[kNumRegisters] = {};
+  std::uint32_t pc_ = 0;
+  EnergyClass last_class_ = EnergyClass::kNop;  // circuit state across calls
+  std::uint8_t last_load_dest_ = 0;    // 0 == none (r0 is never a load dest)
+  std::uint32_t last_alu_operands_ = 0;  // data-dependent term state
+  std::vector<std::uint32_t>* pc_trace_ = nullptr;
+};
+
+}  // namespace socpower::iss

@@ -1,0 +1,94 @@
+#include "iss/power_model.hpp"
+
+#include <cassert>
+
+namespace socpower::iss {
+
+InstructionPowerModel::InstructionPowerModel(ElectricalParams params)
+    : params_(params) {}
+
+InstructionPowerModel InstructionPowerModel::sparclite(
+    ElectricalParams params) {
+  InstructionPowerModel m(params);
+  // Base currents (mA). Magnitudes follow the published SPARC measurements:
+  // memory instructions draw the most, ALU in the middle, NOP the least.
+  auto set = [&m](EnergyClass c, double ma) { m.set_base_current_ma(c, ma); };
+  set(EnergyClass::kNop, 198.0);
+  set(EnergyClass::kAlu, 263.0);
+  set(EnergyClass::kMul, 296.0);
+  set(EnergyClass::kDiv, 281.0);
+  set(EnergyClass::kLoad, 330.0);
+  set(EnergyClass::kStore, 319.0);
+  set(EnergyClass::kBranch, 244.0);
+  set(EnergyClass::kJump, 251.0);
+  set(EnergyClass::kMoveImm, 232.0);
+  set(EnergyClass::kHalt, 198.0);
+  // Circuit-state overheads (mA) — small relative to base currents, larger
+  // between dissimilar classes (ALU<->memory) than within a class.
+  for (std::size_t a = 0; a < kNumEnergyClasses; ++a)
+    for (std::size_t b = 0; b < kNumEnergyClasses; ++b)
+      m.overhead_ma_[a][b] = (a == b) ? 5.0 : 17.0;
+  auto ovh = [&m](EnergyClass a, EnergyClass b, double ma) {
+    m.set_overhead_current_ma(a, b, ma);
+    m.set_overhead_current_ma(b, a, ma);
+  };
+  ovh(EnergyClass::kAlu, EnergyClass::kLoad, 24.0);
+  ovh(EnergyClass::kAlu, EnergyClass::kStore, 22.0);
+  ovh(EnergyClass::kLoad, EnergyClass::kStore, 12.0);
+  ovh(EnergyClass::kAlu, EnergyClass::kMul, 28.0);
+  ovh(EnergyClass::kBranch, EnergyClass::kLoad, 20.0);
+  m.set_stall_current_ma(150.0);
+  return m;
+}
+
+InstructionPowerModel InstructionPowerModel::dsp_like(double nj_per_toggle,
+                                                      ElectricalParams params) {
+  InstructionPowerModel m = sparclite(params);
+  m.set_data_toggle_nj(nj_per_toggle);
+  return m;
+}
+
+void InstructionPowerModel::set_base_current_ma(EnergyClass c, double ma) {
+  base_ma_[static_cast<std::size_t>(c)] = ma;
+}
+
+void InstructionPowerModel::set_overhead_current_ma(EnergyClass prev,
+                                                    EnergyClass cur,
+                                                    double ma) {
+  overhead_ma_[static_cast<std::size_t>(prev)][static_cast<std::size_t>(cur)] =
+      ma;
+}
+
+double InstructionPowerModel::base_current_ma(EnergyClass c) const {
+  return base_ma_[static_cast<std::size_t>(c)];
+}
+
+double InstructionPowerModel::overhead_current_ma(EnergyClass prev,
+                                                  EnergyClass cur) const {
+  return overhead_ma_[static_cast<std::size_t>(prev)]
+                     [static_cast<std::size_t>(cur)];
+}
+
+Joules InstructionPowerModel::current_to_energy(double ma,
+                                                unsigned cycles) const {
+  // E = I * Vdd * t, with t = cycles / f.
+  return ma * 1e-3 * params_.vdd_volts * static_cast<double>(cycles) /
+         params_.clock_hz;
+}
+
+Joules InstructionPowerModel::instruction_energy(EnergyClass prev,
+                                                 EnergyClass cur,
+                                                 unsigned cycles) const {
+  const double ma = base_current_ma(cur) + overhead_current_ma(prev, cur);
+  return current_to_energy(ma, cycles);
+}
+
+Joules InstructionPowerModel::stall_energy(unsigned cycles) const {
+  return current_to_energy(stall_ma_, cycles);
+}
+
+Joules InstructionPowerModel::data_energy(unsigned toggles) const {
+  return nj_per_toggle_ * 1e-9 * static_cast<double>(toggles);
+}
+
+}  // namespace socpower::iss

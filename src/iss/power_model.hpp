@@ -1,0 +1,71 @@
+// Instruction-level power model in the style of Tiwari et al. [6], which the
+// paper uses for the SPARClite: each instruction (class) has a base supply
+// current measured while executing it in a loop; executing instruction B
+// after instruction A additionally draws a "circuit-state overhead" current
+// that depends on the (A, B) pair; stalls draw a separate stall current.
+//
+// Energy of an instruction occupying `cycles` clock cycles:
+//   E = (I_base(class) + I_ovh(prev_class, class)) * Vdd * cycles / f
+//
+// Crucially — and this is what makes the paper's energy caching exact for
+// the SPARClite (Section 5.2) — the model is independent of the data values
+// the instructions operate on. An optional data-dependent term (DSP-style)
+// can be enabled to study the caching error the paper predicts for such
+// processors: it adds energy proportional to the Hamming distance of
+// consecutive ALU operand pairs.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "iss/isa.hpp"
+#include "util/units.hpp"
+
+namespace socpower::iss {
+
+class InstructionPowerModel {
+ public:
+  /// Builds the default SPARClite-class table (currents in mA at 3.3 V).
+  static InstructionPowerModel sparclite(ElectricalParams params = {});
+
+  /// Same base tables with the data-dependent term enabled —
+  /// `nj_per_toggle` nanojoules per toggled operand bit.
+  static InstructionPowerModel dsp_like(double nj_per_toggle,
+                                        ElectricalParams params = {});
+
+  [[nodiscard]] const ElectricalParams& params() const { return params_; }
+  [[nodiscard]] bool data_dependent() const { return nj_per_toggle_ > 0.0; }
+
+  void set_base_current_ma(EnergyClass c, double ma);
+  void set_overhead_current_ma(EnergyClass prev, EnergyClass cur, double ma);
+  void set_stall_current_ma(double ma) { stall_ma_ = ma; }
+  void set_data_toggle_nj(double nj) { nj_per_toggle_ = nj; }
+
+  [[nodiscard]] double base_current_ma(EnergyClass c) const;
+  [[nodiscard]] double overhead_current_ma(EnergyClass prev,
+                                           EnergyClass cur) const;
+
+  /// Energy of one instruction of class `cur`, preceded by `prev`, occupying
+  /// `cycles` cycles (base cycles; stalls are billed separately).
+  [[nodiscard]] Joules instruction_energy(EnergyClass prev, EnergyClass cur,
+                                          unsigned cycles) const;
+  /// Energy of `cycles` pipeline-stall cycles.
+  [[nodiscard]] Joules stall_energy(unsigned cycles) const;
+  /// Data-dependent term: energy for `toggles` switched operand bits
+  /// (zero unless the DSP-style term is enabled).
+  [[nodiscard]] Joules data_energy(unsigned toggles) const;
+
+ private:
+  explicit InstructionPowerModel(ElectricalParams params);
+
+  [[nodiscard]] Joules current_to_energy(double ma, unsigned cycles) const;
+
+  ElectricalParams params_;
+  std::array<double, kNumEnergyClasses> base_ma_{};
+  std::array<std::array<double, kNumEnergyClasses>, kNumEnergyClasses>
+      overhead_ma_{};
+  double stall_ma_ = 0.0;
+  double nj_per_toggle_ = 0.0;
+};
+
+}  // namespace socpower::iss

@@ -1,0 +1,48 @@
+#include "sim/event_queue.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace socpower::sim {
+
+void EventQueue::post(SimTime t, cfsm::EventId e, std::int32_t value,
+                      cfsm::CfsmId source) {
+  heap_.push({t, e, value, source, next_seq_++});
+}
+
+SimTime EventQueue::next_time() const {
+  assert(!heap_.empty());
+  return heap_.top().time;
+}
+
+std::vector<EventOccurrence> EventQueue::pop_instant() {
+  std::vector<EventOccurrence> out;
+  if (heap_.empty()) return out;
+  const SimTime t = heap_.top().time;
+  while (!heap_.empty() && heap_.top().time == t) {
+    out.push_back(heap_.top());
+    heap_.pop();
+  }
+  return out;
+}
+
+void EventQueue::clear() {
+  heap_ = {};
+  next_seq_ = 0;
+}
+
+void Stimulus::add(SimTime t, cfsm::EventId e, std::int32_t value) {
+  occurrences.push_back({t, e, value, cfsm::kNoCfsm, 0});
+}
+
+void Stimulus::load_into(EventQueue& q) const {
+  for (const auto& o : occurrences) q.post(o.time, o.event, o.value);
+}
+
+SimTime Stimulus::horizon() const {
+  SimTime h = 0;
+  for (const auto& o : occurrences) h = std::max(h, o.time);
+  return h;
+}
+
+}  // namespace socpower::sim

@@ -1,0 +1,66 @@
+// Discrete-event machinery for the simulation master.
+//
+// The master (the PTOLEMY role in the paper's Figure 2(b)) advances a global
+// time line measured in system clock cycles. Event occurrences are totally
+// ordered by (time, sequence number) so simulation is deterministic; all
+// occurrences sharing the earliest time are popped together as one *instant*,
+// which is what a CFSM reaction consumes.
+#pragma once
+
+#include <cstdint>
+#include <queue>
+#include <vector>
+
+#include "cfsm/cfsm.hpp"
+
+namespace socpower::sim {
+
+using SimTime = std::uint64_t;
+
+struct EventOccurrence {
+  SimTime time = 0;
+  cfsm::EventId event = -1;
+  std::int32_t value = 0;
+  cfsm::CfsmId source = cfsm::kNoCfsm;  // kNoCfsm == environment
+  std::uint64_t seq = 0;                // tie-break for determinism
+};
+
+class EventQueue {
+ public:
+  void post(SimTime t, cfsm::EventId e, std::int32_t value,
+            cfsm::CfsmId source = cfsm::kNoCfsm);
+
+  [[nodiscard]] bool empty() const { return heap_.empty(); }
+  [[nodiscard]] std::size_t size() const { return heap_.size(); }
+  [[nodiscard]] SimTime next_time() const;
+
+  /// Pops every occurrence stamped with the earliest time. Occurrences keep
+  /// their posting order (seq) within the instant.
+  std::vector<EventOccurrence> pop_instant();
+
+  void clear();
+
+ private:
+  struct Later {
+    bool operator()(const EventOccurrence& a,
+                    const EventOccurrence& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+  std::priority_queue<EventOccurrence, std::vector<EventOccurrence>, Later>
+      heap_;
+  std::uint64_t next_seq_ = 0;
+};
+
+/// A pre-built environment stimulus: event occurrences injected into the
+/// queue at simulation start. Workload generators build these.
+struct Stimulus {
+  std::vector<EventOccurrence> occurrences;
+
+  void add(SimTime t, cfsm::EventId e, std::int32_t value = 0);
+  void load_into(EventQueue& q) const;
+  [[nodiscard]] SimTime horizon() const;  // latest stimulus time
+};
+
+}  // namespace socpower::sim

@@ -1,0 +1,84 @@
+#include "sim/power_trace.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <numeric>
+
+namespace socpower::sim {
+
+PowerTrace::PowerTrace(ElectricalParams params) : params_(params) {}
+
+ComponentId PowerTrace::add_component(std::string name) {
+  names_.push_back(std::move(name));
+  totals_.push_back(0.0);
+  samples_.emplace_back();
+  return static_cast<ComponentId>(names_.size() - 1);
+}
+
+const std::string& PowerTrace::component_name(ComponentId c) const {
+  assert(c >= 0 && static_cast<std::size_t>(c) < names_.size());
+  return names_[static_cast<std::size_t>(c)];
+}
+
+ComponentId PowerTrace::component_id(const std::string& name) const {
+  for (std::size_t i = 0; i < names_.size(); ++i)
+    if (names_[i] == name) return static_cast<ComponentId>(i);
+  return -1;
+}
+
+void PowerTrace::record(ComponentId c, SimTime t, Joules energy) {
+  assert(c >= 0 && static_cast<std::size_t>(c) < names_.size());
+  totals_[static_cast<std::size_t>(c)] += energy;
+  if (keep_samples_) samples_[static_cast<std::size_t>(c)].push_back({t, energy});
+  end_time_ = std::max(end_time_, t);
+}
+
+Joules PowerTrace::total(ComponentId c) const {
+  assert(c >= 0 && static_cast<std::size_t>(c) < totals_.size());
+  return totals_[static_cast<std::size_t>(c)];
+}
+
+Joules PowerTrace::grand_total() const {
+  return std::accumulate(totals_.begin(), totals_.end(), 0.0);
+}
+
+std::vector<PowerWindow> PowerTrace::waveform(ComponentId c,
+                                              SimTime width) const {
+  assert(width > 0);
+  assert(c >= 0 && static_cast<std::size_t>(c) < samples_.size());
+  const auto& ss = samples_[static_cast<std::size_t>(c)];
+  const std::size_t n_windows =
+      static_cast<std::size_t>(end_time_ / width) + 1;
+  std::vector<PowerWindow> wf(n_windows);
+  for (std::size_t w = 0; w < n_windows; ++w) {
+    wf[w].start = static_cast<SimTime>(w) * width;
+    wf[w].width = width;
+  }
+  for (const auto& s : ss) {
+    const std::size_t w = static_cast<std::size_t>(s.time / width);
+    wf[w].energy += s.energy;
+  }
+  const double window_seconds = params_.seconds(width);
+  for (auto& w : wf) w.watts = window_seconds > 0 ? w.energy / window_seconds : 0;
+  return wf;
+}
+
+std::vector<std::size_t> PowerTrace::peak_windows(
+    const std::vector<PowerWindow>& wf, std::size_t k) {
+  std::vector<std::size_t> idx(wf.size());
+  std::iota(idx.begin(), idx.end(), std::size_t{0});
+  std::sort(idx.begin(), idx.end(), [&wf](std::size_t a, std::size_t b) {
+    if (wf[a].watts != wf[b].watts) return wf[a].watts > wf[b].watts;
+    return a < b;
+  });
+  if (idx.size() > k) idx.resize(k);
+  return idx;
+}
+
+void PowerTrace::reset() {
+  for (auto& t : totals_) t = 0.0;
+  for (auto& s : samples_) s.clear();
+  end_time_ = 0;
+}
+
+}  // namespace socpower::sim

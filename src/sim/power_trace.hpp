@@ -1,0 +1,73 @@
+// Per-component energy book-keeping and power waveforms.
+//
+// The master "collects the cycles and energy statistics for each invocation
+// of the lower-level simulators, performs the necessary book-keeping, and
+// can display energy and power waveforms for the various parts of the
+// system" (Section 3). PowerTrace is that book-keeper: it accumulates energy
+// per named component, can bucket energy into fixed-width time windows to
+// form a power waveform, and locates peaks — used in Section 5.3 to show
+// power peaks correlate with arbiter handshakes.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/event_queue.hpp"
+#include "util/units.hpp"
+
+namespace socpower::sim {
+
+using ComponentId = std::int32_t;
+
+struct PowerSample {
+  SimTime time = 0;
+  Joules energy = 0.0;
+};
+
+struct PowerWindow {
+  SimTime start = 0;
+  SimTime width = 0;
+  double watts = 0.0;
+  Joules energy = 0.0;
+};
+
+class PowerTrace {
+ public:
+  explicit PowerTrace(ElectricalParams params = {});
+
+  ComponentId add_component(std::string name);
+  [[nodiscard]] std::size_t component_count() const { return names_.size(); }
+  [[nodiscard]] const std::string& component_name(ComponentId c) const;
+  [[nodiscard]] ComponentId component_id(const std::string& name) const;
+
+  /// Attribute `energy` consumed at time `t` to component `c`.
+  void record(ComponentId c, SimTime t, Joules energy);
+  /// Enable/disable retention of individual samples (totals are always
+  /// kept). Waveforms need samples; long batch runs can turn them off.
+  void set_keep_samples(bool keep) { keep_samples_ = keep; }
+
+  [[nodiscard]] Joules total(ComponentId c) const;
+  [[nodiscard]] Joules grand_total() const;
+  [[nodiscard]] SimTime end_time() const { return end_time_; }
+
+  /// Power waveform for one component: energy bucketed into `width`-cycle
+  /// windows, converted to watts at the configured clock.
+  [[nodiscard]] std::vector<PowerWindow> waveform(ComponentId c,
+                                                  SimTime width) const;
+  /// Indices of the `k` highest-power windows, descending.
+  [[nodiscard]] static std::vector<std::size_t> peak_windows(
+      const std::vector<PowerWindow>& wf, std::size_t k);
+
+  void reset();
+
+ private:
+  ElectricalParams params_;
+  bool keep_samples_ = true;
+  std::vector<std::string> names_;
+  std::vector<Joules> totals_;
+  std::vector<std::vector<PowerSample>> samples_;
+  SimTime end_time_ = 0;
+};
+
+}  // namespace socpower::sim

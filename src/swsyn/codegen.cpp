@@ -1,0 +1,608 @@
+#include "swsyn/codegen.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace socpower::swsyn {
+
+namespace {
+
+using cfsm::ExprArena;
+using cfsm::ExprId;
+using cfsm::ExprNode;
+using cfsm::ExprOp;
+using cfsm::NodeId;
+using cfsm::NodeKind;
+using cfsm::SNode;
+using iss::Instruction;
+using iss::Opcode;
+using iss::Program;
+
+// Register conventions (see header).
+constexpr std::uint8_t kBase = 1;
+constexpr std::uint8_t kRes = 8;
+constexpr std::uint8_t kOp2 = 9;
+constexpr std::uint8_t kEmit1 = 10;
+constexpr std::uint8_t kEmit2 = 11;
+constexpr std::uint8_t kScratch = 12;
+
+Instruction make_r(Opcode op, std::uint8_t rd, std::uint8_t rs1,
+                   std::uint8_t rs2) {
+  Instruction i;
+  i.op = op;
+  i.rd = rd;
+  i.rs1 = rs1;
+  i.rs2 = rs2;
+  return i;
+}
+
+Instruction make_i(Opcode op, std::uint8_t rd, std::uint8_t rs1,
+                   std::int32_t imm) {
+  Instruction i;
+  i.op = op;
+  i.rd = rd;
+  i.rs1 = rs1;
+  i.imm = imm;
+  return i;
+}
+
+Instruction make_mem(Opcode op, std::uint8_t data_reg, std::uint8_t addr_reg,
+                     std::int32_t disp) {
+  Instruction i;
+  i.op = op;
+  if (iss::is_store(op))
+    i.rs2 = data_reg;
+  else
+    i.rd = data_reg;
+  i.rs1 = addr_reg;
+  i.imm = disp;
+  return i;
+}
+
+Instruction make_branch(Opcode op, std::uint8_t rs1, std::uint8_t rs2,
+                        std::int32_t off) {
+  Instruction i;
+  i.op = op;
+  i.rs1 = rs1;
+  i.rs2 = rs2;
+  i.imm = off;
+  return i;
+}
+
+/// Loads an arbitrary 32-bit constant into `rd` (1 or 2 instructions).
+void emit_constant(Program& p, std::uint8_t rd, std::int32_t value) {
+  if (!needs_wide_constant(value)) {
+    p.push_back(make_i(Opcode::kMovI, rd, 0, value));
+    return;
+  }
+  const auto uv = static_cast<std::uint32_t>(value);
+  p.push_back(make_i(Opcode::kMovHi, rd, 0,
+                     static_cast<std::int32_t>(uv >> 16)));
+  p.push_back(make_i(Opcode::kOrI, rd, rd,
+                     static_cast<std::int32_t>(uv & 0xffffu)));
+}
+
+/// Operator glue for a binary operator: consumes lhs in r8 and rhs in r9,
+/// leaves the result in r8. Shared verbatim between in-situ code generation
+/// and the characterization templates.
+void emit_binary_op(Program& p, ExprOp op) {
+  switch (op) {
+    case ExprOp::kAdd: p.push_back(make_r(Opcode::kAdd, kRes, kRes, kOp2)); break;
+    case ExprOp::kSub: p.push_back(make_r(Opcode::kSub, kRes, kRes, kOp2)); break;
+    case ExprOp::kMul: p.push_back(make_r(Opcode::kMul, kRes, kRes, kOp2)); break;
+    case ExprOp::kDiv: p.push_back(make_r(Opcode::kDiv, kRes, kRes, kOp2)); break;
+    case ExprOp::kMod:
+      // a - (a/b)*b; with a/0 == 0 this yields a for b == 0.
+      p.push_back(make_r(Opcode::kDiv, kScratch, kRes, kOp2));
+      p.push_back(make_r(Opcode::kMul, kScratch, kScratch, kOp2));
+      p.push_back(make_r(Opcode::kSub, kRes, kRes, kScratch));
+      break;
+    case ExprOp::kBitAnd: p.push_back(make_r(Opcode::kAnd, kRes, kRes, kOp2)); break;
+    case ExprOp::kBitOr: p.push_back(make_r(Opcode::kOr, kRes, kRes, kOp2)); break;
+    case ExprOp::kBitXor: p.push_back(make_r(Opcode::kXor, kRes, kRes, kOp2)); break;
+    case ExprOp::kShl: p.push_back(make_r(Opcode::kSll, kRes, kRes, kOp2)); break;
+    case ExprOp::kShr: p.push_back(make_r(Opcode::kSra, kRes, kRes, kOp2)); break;
+    case ExprOp::kEq:
+      p.push_back(make_r(Opcode::kXor, kRes, kRes, kOp2));
+      p.push_back(make_i(Opcode::kMovI, kOp2, 0, 1));
+      p.push_back(make_r(Opcode::kSltu, kRes, kRes, kOp2));
+      break;
+    case ExprOp::kNe:
+      p.push_back(make_r(Opcode::kXor, kRes, kRes, kOp2));
+      p.push_back(make_r(Opcode::kSltu, kRes, 0, kRes));
+      break;
+    case ExprOp::kLt: p.push_back(make_r(Opcode::kSlt, kRes, kRes, kOp2)); break;
+    case ExprOp::kLe:
+      p.push_back(make_r(Opcode::kSlt, kRes, kOp2, kRes));
+      p.push_back(make_i(Opcode::kXorI, kRes, kRes, 1));
+      break;
+    case ExprOp::kGt: p.push_back(make_r(Opcode::kSlt, kRes, kOp2, kRes)); break;
+    case ExprOp::kGe:
+      p.push_back(make_r(Opcode::kSlt, kRes, kRes, kOp2));
+      p.push_back(make_i(Opcode::kXorI, kRes, kRes, 1));
+      break;
+    case ExprOp::kLogicAnd:
+      p.push_back(make_r(Opcode::kSltu, kRes, 0, kRes));
+      p.push_back(make_r(Opcode::kSltu, kOp2, 0, kOp2));
+      p.push_back(make_r(Opcode::kAnd, kRes, kRes, kOp2));
+      break;
+    case ExprOp::kLogicOr:
+      p.push_back(make_r(Opcode::kOr, kRes, kRes, kOp2));
+      p.push_back(make_r(Opcode::kSltu, kRes, 0, kRes));
+      break;
+    default:
+      assert(false && "not a binary operator");
+  }
+}
+
+/// Operator glue for a unary operator: in-place on r8.
+void emit_unary_op(Program& p, ExprOp op) {
+  switch (op) {
+    case ExprOp::kNeg:
+      p.push_back(make_r(Opcode::kSub, kRes, 0, kRes));
+      break;
+    case ExprOp::kBitNot:
+      p.push_back(make_i(Opcode::kMovI, kOp2, 0, -1));
+      p.push_back(make_r(Opcode::kXor, kRes, kRes, kOp2));
+      break;
+    case ExprOp::kLogicNot:
+      p.push_back(make_i(Opcode::kMovI, kOp2, 0, 1));
+      p.push_back(make_r(Opcode::kSltu, kRes, kRes, kOp2));
+      break;
+    default:
+      assert(false && "not a unary operator");
+  }
+}
+
+/// The AEMIT sequence: appends {event_id, value-in-r8} to the emission ring.
+void emit_aemit(Program& p, std::int32_t event_id) {
+  p.push_back(make_mem(Opcode::kLw, kOp2, kBase, 0));        // count
+  p.push_back(make_i(Opcode::kSllI, kEmit1, kOp2, 3));       // * 8 bytes
+  p.push_back(make_r(Opcode::kAdd, kEmit1, kEmit1, kBase));
+  p.push_back(make_mem(Opcode::kSw, kRes, kEmit1, 8));       // value slot
+  p.push_back(make_i(Opcode::kMovI, kEmit2, 0, event_id));
+  p.push_back(make_mem(Opcode::kSw, kEmit2, kEmit1, 4));     // event slot
+  p.push_back(make_i(Opcode::kAddI, kOp2, kOp2, 1));
+  p.push_back(make_mem(Opcode::kSw, kOp2, kBase, 0));
+}
+
+/// Maximum number of Emit nodes on any root-to-End path (longest-path DP
+/// over the DAG) — sizes the emission ring so it can never overflow.
+unsigned max_emits_on_any_path(const cfsm::SGraph& g) {
+  std::vector<int> memo(g.node_count(), -1);
+  auto dp = [&](auto&& self, NodeId id) -> int {
+    auto& m = memo[static_cast<std::size_t>(id)];
+    if (m >= 0) return m;
+    const SNode& n = g.node(id);
+    int best = 0;
+    if (n.kind == NodeKind::kTest)
+      best = std::max(self(self, n.next), self(self, n.next_else));
+    else if (n.kind != NodeKind::kEnd)
+      best = self(self, n.next);
+    m = best + (n.kind == NodeKind::kEmit ? 1 : 0);
+    return m;
+  };
+  return static_cast<unsigned>(dp(dp, g.root()));
+}
+
+/// Max spill-temporary depth of an expression under the evaluation scheme
+/// "eval lhs at depth d, spill to tmp[d], eval rhs at depth d+1".
+int temp_depth(const ExprArena& a, ExprId e) {
+  const ExprNode& n = a.at(e);
+  switch (cfsm::expr_arity(n.op)) {
+    case 0: return 0;
+    case 1: return temp_depth(a, n.lhs);
+    default:
+      return std::max(temp_depth(a, n.lhs), 1 + temp_depth(a, n.rhs));
+  }
+}
+
+struct GenContext {
+  const cfsm::Cfsm* cfsm = nullptr;
+  const SwImage* layout = nullptr;
+};
+
+/// Evaluates an expression tree into r8 using spill slot `depth` upward.
+void eval_expr(Program& p, const GenContext& gc, ExprId e, int depth) {
+  const ExprArena& a = gc.cfsm->arena();
+  const ExprNode& n = a.at(e);
+  const SwImage& L = *gc.layout;
+  switch (n.op) {
+    case ExprOp::kConst:
+      emit_constant(p, kRes, n.value);
+      return;
+    case ExprOp::kVar:
+      p.push_back(make_mem(Opcode::kLw, kRes, kBase,
+                           static_cast<std::int32_t>(L.var_off) + 4 * n.value));
+      return;
+    case ExprOp::kEventValue: {
+      const int li = L.local_input_index(n.value);
+      assert(li >= 0 && "event value read from a non-input event");
+      p.push_back(make_mem(Opcode::kLw, kRes, kBase,
+                           static_cast<std::int32_t>(L.in_val_off) + 4 * li));
+      return;
+    }
+    case ExprOp::kEventPresent: {
+      const int li = L.local_input_index(n.value);
+      assert(li >= 0 && "presence test of a non-input event");
+      p.push_back(make_mem(Opcode::kLw, kRes, kBase,
+                           static_cast<std::int32_t>(L.in_flag_off) + 4 * li));
+      return;
+    }
+    default:
+      break;
+  }
+  if (cfsm::expr_arity(n.op) == 1) {
+    eval_expr(p, gc, n.lhs, depth);
+    emit_unary_op(p, n.op);
+    return;
+  }
+  // Binary: lhs -> spill, rhs -> r8, restore lhs, apply.
+  eval_expr(p, gc, n.lhs, depth);
+  const auto tmp_disp =
+      static_cast<std::int32_t>(gc.layout->tmp_off) + 4 * depth;
+  p.push_back(make_mem(Opcode::kSw, kRes, kBase, tmp_disp));
+  eval_expr(p, gc, n.rhs, depth + 1);
+  p.push_back(make_r(Opcode::kOr, kOp2, kRes, 0));
+  p.push_back(make_mem(Opcode::kLw, kRes, kBase, tmp_disp));
+  emit_binary_op(p, n.op);
+}
+
+/// Reverse post-order over the s-graph from the root: good fall-through
+/// layout (a Test's taken branch tends to directly follow it).
+std::vector<NodeId> layout_order(const cfsm::SGraph& g) {
+  std::vector<NodeId> post;
+  std::vector<std::uint8_t> seen(g.node_count(), 0);
+  struct Frame {
+    NodeId id;
+    int stage;
+  };
+  std::vector<Frame> stack{{g.root(), 0}};
+  seen[static_cast<std::size_t>(g.root())] = 1;
+  while (!stack.empty()) {
+    Frame& f = stack.back();
+    const SNode& n = g.node(f.id);
+    NodeId succ = cfsm::kNoNode;
+    if (n.kind == NodeKind::kTest) {
+      // Visit `else` first so `then` lands earlier in reverse post-order.
+      if (f.stage == 0) succ = n.next_else;
+      else if (f.stage == 1) succ = n.next;
+    } else if (n.kind != NodeKind::kEnd && f.stage == 0) {
+      succ = n.next;
+    }
+    ++f.stage;
+    if (succ == cfsm::kNoNode) {  // all successors explored
+      post.push_back(f.id);
+      stack.pop_back();
+      continue;
+    }
+    if (!seen[static_cast<std::size_t>(succ)]) {
+      seen[static_cast<std::size_t>(succ)] = 1;
+      stack.push_back({succ, 0});
+    }
+  }
+  std::reverse(post.begin(), post.end());
+  return post;
+}
+
+}  // namespace
+
+int SwImage::local_input_index(cfsm::EventId e) const {
+  for (std::size_t i = 0; i < local_inputs.size(); ++i)
+    if (local_inputs[i] == e) return static_cast<int>(i);
+  return -1;
+}
+
+SwImage compile_cfsm(const cfsm::Cfsm& cfsm, std::uint32_t code_base_word,
+                     std::uint32_t data_base) {
+  assert(cfsm.graph().validate().empty() && "invalid s-graph");
+  SwImage img;
+  img.code_base_word = code_base_word;
+  img.data_base = data_base;
+
+  // Local input slots: triggering inputs first, then sampled inputs.
+  img.local_inputs = cfsm.inputs();
+  for (cfsm::EventId e : cfsm.sampled_inputs()) img.local_inputs.push_back(e);
+
+  // Data layout. The emission ring is sized for the worst-case path, so it
+  // cannot overflow at run time (read_emissions still asserts as a belt).
+  img.max_emits = std::max(1u, max_emits_on_any_path(cfsm.graph()));
+  int max_depth = 0;
+  const auto& g = cfsm.graph();
+  for (std::size_t i = 0; i < g.node_count(); ++i) {
+    const SNode& n = g.node(static_cast<NodeId>(i));
+    if (n.expr != cfsm::kNoExpr)
+      max_depth = std::max(max_depth, temp_depth(cfsm.arena(), n.expr));
+  }
+  img.in_flag_off = 4 + 8 * img.max_emits;
+  img.in_val_off =
+      img.in_flag_off + 4 * static_cast<std::uint32_t>(img.local_inputs.size());
+  img.var_off =
+      img.in_val_off + 4 * static_cast<std::uint32_t>(img.local_inputs.size());
+  img.tmp_off =
+      img.var_off + 4 * static_cast<std::uint32_t>(cfsm.vars().size());
+  img.data_bytes = img.tmp_off + 4 * static_cast<std::uint32_t>(max_depth + 1);
+
+  GenContext gc{&cfsm, &img};
+
+  // Prologue: base pointer.
+  emit_constant(img.code, kBase, static_cast<std::int32_t>(data_base));
+  img.prologue_words = static_cast<std::uint32_t>(img.code.size());
+
+  const std::vector<NodeId> order = layout_order(g);
+  std::vector<std::uint32_t> block_start(g.node_count(), 0);
+  img.node_block.assign(g.node_count(), {0, 0});
+
+  struct Fixup {
+    std::uint32_t word;      // instruction index in img.code
+    NodeId target;           // node whose block start it needs
+    bool absolute;           // J (absolute word addr) vs branch (relative)
+  };
+  std::vector<Fixup> fixups;
+
+  for (std::size_t oi = 0; oi < order.size(); ++oi) {
+    const NodeId id = order[oi];
+    const SNode& n = g.node(id);
+    const auto begin = static_cast<std::uint32_t>(img.code.size());
+    block_start[static_cast<std::size_t>(id)] = begin;
+    const NodeId fall_through =
+        oi + 1 < order.size() ? order[oi + 1] : cfsm::kNoNode;
+
+    switch (n.kind) {
+      case NodeKind::kEnd:
+        img.code.push_back(Instruction{Opcode::kHalt});
+        break;
+      case NodeKind::kAssign: {
+        eval_expr(img.code, gc, n.expr, 0);
+        img.code.push_back(make_mem(
+            Opcode::kSw, kRes, kBase,
+            static_cast<std::int32_t>(img.var_off) + 4 * n.var));
+        if (n.next != fall_through) {
+          fixups.push_back(
+              {static_cast<std::uint32_t>(img.code.size()), n.next, true});
+          img.code.push_back(make_i(Opcode::kJ, 0, 0, 0));
+          img.code.push_back(Instruction{Opcode::kNop});  // delay slot
+        }
+        break;
+      }
+      case NodeKind::kEmit: {
+        if (n.expr != cfsm::kNoExpr)
+          eval_expr(img.code, gc, n.expr, 0);
+        else
+          img.code.push_back(make_i(Opcode::kMovI, kRes, 0, 0));
+        emit_aemit(img.code, n.event);
+        if (n.next != fall_through) {
+          fixups.push_back(
+              {static_cast<std::uint32_t>(img.code.size()), n.next, true});
+          img.code.push_back(make_i(Opcode::kJ, 0, 0, 0));
+          img.code.push_back(Instruction{Opcode::kNop});
+        }
+        break;
+      }
+      case NodeKind::kTest: {
+        eval_expr(img.code, gc, n.expr, 0);
+        // Condition false -> jump to the else block.
+        fixups.push_back(
+            {static_cast<std::uint32_t>(img.code.size()), n.next_else, false});
+        img.code.push_back(make_branch(Opcode::kBeq, kRes, 0, 0));
+        img.code.push_back(Instruction{Opcode::kNop});  // delay slot
+        if (n.next != fall_through) {
+          fixups.push_back(
+              {static_cast<std::uint32_t>(img.code.size()), n.next, true});
+          img.code.push_back(make_i(Opcode::kJ, 0, 0, 0));
+          img.code.push_back(Instruction{Opcode::kNop});
+        }
+        break;
+      }
+    }
+    img.node_block[static_cast<std::size_t>(id)] = {
+        begin, static_cast<std::uint32_t>(img.code.size())};
+  }
+
+  for (const Fixup& f : fixups) {
+    const std::uint32_t tgt = block_start[static_cast<std::size_t>(f.target)];
+    if (f.absolute)
+      img.code[f.word].imm = static_cast<std::int32_t>(code_base_word + tgt);
+    else
+      img.code[f.word].imm =
+          static_cast<std::int32_t>(tgt) - static_cast<std::int32_t>(f.word);
+  }
+  return img;
+}
+
+void stage_reaction(iss::Iss& iss, const SwImage& img,
+                    const cfsm::ReactionInputs& inputs,
+                    const cfsm::CfsmState& state) {
+  iss.store_word(img.data_base + 0, 0);  // clear the emission count
+  for (std::size_t li = 0; li < img.local_inputs.size(); ++li) {
+    const cfsm::EventId e = img.local_inputs[li];
+    const bool present = inputs.present(e);
+    const auto off = static_cast<std::uint32_t>(4 * li);
+    iss.store_word(img.data_base + img.in_flag_off + off, present ? 1 : 0);
+    iss.store_word(img.data_base + img.in_val_off + off,
+                   present ? inputs.value(e) : 0);
+  }
+  for (std::size_t v = 0; v < state.vars.size(); ++v)
+    iss.store_word(img.data_base + img.var_off +
+                       static_cast<std::uint32_t>(4 * v),
+                   state.vars[v]);
+}
+
+std::vector<cfsm::EmittedEvent> read_emissions(const iss::Iss& iss,
+                                               const SwImage& img) {
+  const std::int32_t count = iss.load_word(img.data_base + 0);
+  assert(count >= 0 && static_cast<unsigned>(count) <= img.max_emits &&
+         "emission ring overflow");
+  std::vector<cfsm::EmittedEvent> out;
+  out.reserve(static_cast<std::size_t>(count));
+  for (std::int32_t i = 0; i < count; ++i) {
+    const std::uint32_t rec = img.data_base + 4 + 8 * static_cast<std::uint32_t>(i);
+    out.push_back({iss.load_word(rec), iss.load_word(rec + 4)});
+  }
+  return out;
+}
+
+void read_vars(const iss::Iss& iss, const SwImage& img,
+               cfsm::CfsmState& state) {
+  for (std::size_t v = 0; v < state.vars.size(); ++v)
+    state.vars[v] = iss.load_word(img.data_base + img.var_off +
+                                  static_cast<std::uint32_t>(4 * v));
+}
+
+std::vector<std::uint32_t> address_trace(
+    const SwImage& img, const std::vector<cfsm::NodeId>& trace) {
+  std::vector<std::uint32_t> out;
+  auto push_range = [&](std::uint32_t b, std::uint32_t e) {
+    for (std::uint32_t w = b; w < e; ++w)
+      out.push_back((img.code_base_word + w) * iss::kInstrBytes);
+  };
+  push_range(0, img.prologue_words);
+  for (cfsm::NodeId n : trace) {
+    const auto& [b, e] = img.node_block[static_cast<std::size_t>(n)];
+    push_range(b, e);
+  }
+  return out;
+}
+
+std::string disassemble_image(const cfsm::Cfsm& cfsm, const SwImage& img) {
+  std::string out =
+      "; " + cfsm.name() + ": " + std::to_string(img.code.size()) +
+      " words @ 0x" + [&] {
+        char b[16];
+        std::snprintf(b, sizeof b, "%x", img.code_base_word);
+        return std::string(b);
+      }() + ", data @ 0x" + [&] {
+        char b[16];
+        std::snprintf(b, sizeof b, "%x", img.data_base);
+        return std::string(b);
+      }() + "\n";
+  auto emit_range = [&](std::uint32_t b, std::uint32_t e) {
+    for (std::uint32_t w = b; w < e; ++w) {
+      char line[96];
+      std::snprintf(line, sizeof line, "  %04x:  %s\n",
+                    img.code_base_word + w,
+                    iss::disassemble(img.code[w]).c_str());
+      out += line;
+    }
+  };
+  out += "; prologue\n";
+  emit_range(0, img.prologue_words);
+  // Blocks in layout order (sorted by start).
+  std::vector<std::pair<std::uint32_t, NodeId>> order;
+  for (std::size_t n = 0; n < img.node_block.size(); ++n)
+    order.emplace_back(img.node_block[n].first, static_cast<NodeId>(n));
+  std::sort(order.begin(), order.end());
+  for (const auto& [start, node] : order) {
+    const SNode& sn = cfsm.graph().node(node);
+    const char* kind = sn.kind == NodeKind::kTest     ? "test"
+                       : sn.kind == NodeKind::kAssign ? "assign"
+                       : sn.kind == NodeKind::kEmit   ? "emit"
+                                                      : "end";
+    out += "; node " + std::to_string(node) + " (" + kind + ")\n";
+    emit_range(start, img.node_block[static_cast<std::size_t>(node)].second);
+  }
+  return out;
+}
+
+// -- characterization templates ----------------------------------------------
+
+std::uint32_t template_data_base() { return 0x1000; }
+
+iss::Program empty_template() { return {Instruction{Opcode::kHalt}}; }
+
+iss::Program characterization_template(MacroOp op) {
+  Program p;
+  const auto base = static_cast<std::int32_t>(template_data_base());
+  // Offsets within the scratch block (any distinct word slots work).
+  constexpr std::int32_t kTplVar = 0x80;
+  constexpr std::int32_t kTplVal = 0xa0;
+  constexpr std::int32_t kTplFlag = 0xc0;
+  constexpr std::int32_t kTplTmp = 0x40;
+
+  emit_constant(p, kBase, base);  // harness: base pointer per template
+  switch (op) {
+    case MacroOp::kConst:
+      p.push_back(make_i(Opcode::kMovI, kRes, 0, 42));
+      break;
+    case MacroOp::kConstW:
+      emit_constant(p, kRes, 0x12345678);
+      break;
+    case MacroOp::kRVar:
+      p.push_back(make_mem(Opcode::kLw, kRes, kBase, kTplVar));
+      break;
+    case MacroOp::kEVal:
+      p.push_back(make_mem(Opcode::kLw, kRes, kBase, kTplVal));
+      break;
+    case MacroOp::kTein:
+      p.push_back(make_mem(Opcode::kLw, kRes, kBase, kTplFlag));
+      break;
+    case MacroOp::kAvv:
+      p.push_back(make_i(Opcode::kMovI, kRes, 0, 7));  // staged operand
+      p.push_back(make_mem(Opcode::kSw, kRes, kBase, kTplVar));
+      break;
+    case MacroOp::kAemit:
+      p.push_back(make_i(Opcode::kMovI, kRes, 0, 7));
+      emit_aemit(p, 0);
+      break;
+    case MacroOp::kTivarT:
+    case MacroOp::kTivarF: {
+      p.push_back(make_i(Opcode::kMovI, kRes, 0,
+                         op == MacroOp::kTivarT ? 1 : 0));
+      p.push_back(make_branch(Opcode::kBeq, kRes, 0, 2));  // to halt
+      p.push_back(Instruction{Opcode::kNop});
+      break;
+    }
+    case MacroOp::kTend:
+      break;  // HALT below is the op itself
+    case MacroOp::kNeg:
+    case MacroOp::kBitNot:
+    case MacroOp::kLogicNot: {
+      p.push_back(make_i(Opcode::kMovI, kRes, 0, 7));  // staged operand
+      const ExprOp eop = op == MacroOp::kNeg ? ExprOp::kNeg
+                         : op == MacroOp::kBitNot ? ExprOp::kBitNot
+                                                  : ExprOp::kLogicNot;
+      emit_unary_op(p, eop);
+      break;
+    }
+    default: {
+      // Binary operator: stage lhs, spill, stage rhs, run the glue —
+      // mirroring the in-situ sequence with the leaf evaluations replaced
+      // by staging moves (which is exactly the characterization error the
+      // paper discusses).
+      ExprOp eop;
+      switch (op) {
+        case MacroOp::kAdd: eop = ExprOp::kAdd; break;
+        case MacroOp::kSub: eop = ExprOp::kSub; break;
+        case MacroOp::kMul: eop = ExprOp::kMul; break;
+        case MacroOp::kDiv: eop = ExprOp::kDiv; break;
+        case MacroOp::kMod: eop = ExprOp::kMod; break;
+        case MacroOp::kBitAnd: eop = ExprOp::kBitAnd; break;
+        case MacroOp::kBitOr: eop = ExprOp::kBitOr; break;
+        case MacroOp::kBitXor: eop = ExprOp::kBitXor; break;
+        case MacroOp::kShl: eop = ExprOp::kShl; break;
+        case MacroOp::kShr: eop = ExprOp::kShr; break;
+        case MacroOp::kEq: eop = ExprOp::kEq; break;
+        case MacroOp::kNe: eop = ExprOp::kNe; break;
+        case MacroOp::kLt: eop = ExprOp::kLt; break;
+        case MacroOp::kLe: eop = ExprOp::kLe; break;
+        case MacroOp::kGt: eop = ExprOp::kGt; break;
+        case MacroOp::kGe: eop = ExprOp::kGe; break;
+        case MacroOp::kLogicAnd: eop = ExprOp::kLogicAnd; break;
+        case MacroOp::kLogicOr: eop = ExprOp::kLogicOr; break;
+        default:
+          assert(false && "unhandled macro op");
+          eop = ExprOp::kAdd;
+      }
+      p.push_back(make_i(Opcode::kMovI, kRes, 0, 13));          // operand stage
+      p.push_back(make_mem(Opcode::kSw, kRes, kBase, kTplTmp));  // spill
+      p.push_back(make_r(Opcode::kOr, kOp2, kRes, 0));
+      p.push_back(make_mem(Opcode::kLw, kRes, kBase, kTplTmp));
+      emit_binary_op(p, eop);
+      break;
+    }
+  }
+  p.push_back(Instruction{Opcode::kHalt});
+  return p;
+}
+
+}  // namespace socpower::swsyn

@@ -1,0 +1,110 @@
+// Software synthesis: s-graph -> SLITE machine code (the POLIS "SW synthesis"
+// box of Figure 2(a)).
+//
+// Each software-mapped CFSM is compiled to one program image. The simulation
+// master stages a reaction by writing the input event flags/values and the
+// process variables into the ISS data memory, points the PC at the image
+// entry, and runs to HALT; the code follows the same path through the
+// s-graph as the behavioral model (the data steer the branches), and writes
+// its emissions into a small ring the master reads back.
+//
+// Data block layout (byte offsets from the image's data_base, register r1):
+//   +0                      emission count
+//   +4  .. +4+8*max_emits   emission records {event_id, value} (8 bytes each)
+//   in_flag_off             input presence flags, one word per local input
+//   in_val_off              input values, one word per local input
+//   var_off                 process variables, one word each
+//   tmp_off                 expression spill temporaries
+//
+// Register conventions: r1 data base, r8 expression result, r9 second
+// operand, r10/r11 emission scratch, r12 operator scratch.
+//
+// The same emission helpers also generate the standalone characterization
+// templates for macro-modeling (Section 4.1). A template wraps one macro-op
+// with the minimal harness (base-pointer load, operand staging); the
+// characterizer subtracts an empty template. The harness instructions are
+// precisely the per-macro-op overhead that makes the additive macro-model
+// over-estimate in-situ cost — the paper's "pipeline / compiler effects are
+// difficult to model at this level".
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "cfsm/cfsm.hpp"
+#include "iss/isa.hpp"
+#include "iss/iss.hpp"
+#include "swsyn/macro_op.hpp"
+
+namespace socpower::swsyn {
+
+struct SwImage {
+  iss::Program code;
+  std::uint32_t code_base_word = 0;
+  std::uint32_t data_base = 0;
+
+  std::uint32_t in_flag_off = 0;
+  std::uint32_t in_val_off = 0;
+  std::uint32_t var_off = 0;
+  std::uint32_t tmp_off = 0;
+  std::uint32_t data_bytes = 0;
+  /// Emission-ring capacity; compile_cfsm sets it to the worst-case number
+  /// of emissions on any s-graph path, so overflow is impossible.
+  unsigned max_emits = 16;
+
+  std::vector<cfsm::EventId> local_inputs;  // local slot -> global event id
+
+  /// Per s-graph node: [begin, end) word offsets of its code block.
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> node_block;
+  std::uint32_t prologue_words = 0;
+
+  [[nodiscard]] int local_input_index(cfsm::EventId e) const;
+  [[nodiscard]] std::uint32_t code_bytes() const {
+    return static_cast<std::uint32_t>(code.size()) * iss::kInstrBytes;
+  }
+};
+
+/// Compiles a CFSM's s-graph. `code_base_word` is the word address the image
+/// will be loaded at (jump targets are absolute); `data_base` the byte
+/// address of its data block.
+[[nodiscard]] SwImage compile_cfsm(const cfsm::Cfsm& cfsm,
+                                   std::uint32_t code_base_word,
+                                   std::uint32_t data_base);
+
+// -- runtime protocol (used by the co-estimation master) ---------------------
+
+/// Write input events and variables for one reaction into ISS memory.
+void stage_reaction(iss::Iss& iss, const SwImage& img,
+                    const cfsm::ReactionInputs& inputs,
+                    const cfsm::CfsmState& state);
+
+/// Read the emission ring back. Order matches program order.
+[[nodiscard]] std::vector<cfsm::EmittedEvent> read_emissions(
+    const iss::Iss& iss, const SwImage& img);
+
+/// Read the (possibly updated) variable values back into `state`.
+void read_vars(const iss::Iss& iss, const SwImage& img,
+               cfsm::CfsmState& state);
+
+/// Static instruction byte-address trace of one executed path — the stream
+/// the master feeds to the fast instruction-cache simulator (the ISS itself
+/// assumes 100 % hits, per Section 3 of the paper).
+[[nodiscard]] std::vector<std::uint32_t> address_trace(
+    const SwImage& img, const std::vector<cfsm::NodeId>& trace);
+
+// -- characterization templates (macro-modeling support) ---------------------
+
+/// Standalone template measuring one macro-op; run to HALT on a scratch ISS.
+[[nodiscard]] iss::Program characterization_template(MacroOp op);
+/// Baseline subtracted from every template measurement.
+[[nodiscard]] iss::Program empty_template();
+
+/// Annotated disassembly of a compiled image: prologue, then each s-graph
+/// node's block with its kind. Debugging / documentation aid.
+[[nodiscard]] std::string disassemble_image(const cfsm::Cfsm& cfsm,
+                                            const SwImage& img);
+/// Data base address the templates expect (safe scratch area).
+[[nodiscard]] std::uint32_t template_data_base();
+
+}  // namespace socpower::swsyn

@@ -1,0 +1,146 @@
+#include "swsyn/macro_op.hpp"
+
+#include <cassert>
+#include <cstring>
+
+namespace socpower::swsyn {
+
+const char* macro_op_name(MacroOp op) {
+  switch (op) {
+    case MacroOp::kConst: return "CONST";
+    case MacroOp::kConstW: return "CONSTW";
+    case MacroOp::kRVar: return "RVAR";
+    case MacroOp::kEVal: return "EVAL";
+    case MacroOp::kTein: return "TEIN";
+    case MacroOp::kAdd: return "ADD";
+    case MacroOp::kSub: return "SUB";
+    case MacroOp::kMul: return "MUL";
+    case MacroOp::kDiv: return "DIV";
+    case MacroOp::kMod: return "MOD";
+    case MacroOp::kNeg: return "NEG";
+    case MacroOp::kBitAnd: return "AND";
+    case MacroOp::kBitOr: return "OR";
+    case MacroOp::kBitXor: return "XOR";
+    case MacroOp::kBitNot: return "NOT";
+    case MacroOp::kShl: return "SHL";
+    case MacroOp::kShr: return "SHR";
+    case MacroOp::kEq: return "EQ";
+    case MacroOp::kNe: return "NE";
+    case MacroOp::kLt: return "LT";
+    case MacroOp::kLe: return "LE";
+    case MacroOp::kGt: return "GT";
+    case MacroOp::kGe: return "GE";
+    case MacroOp::kLogicAnd: return "LAND";
+    case MacroOp::kLogicOr: return "LOR";
+    case MacroOp::kLogicNot: return "LNOT";
+    case MacroOp::kAvv: return "AVV";
+    case MacroOp::kAemit: return "AEMIT";
+    case MacroOp::kTivarT: return "TIVART";
+    case MacroOp::kTivarF: return "TIVARF";
+    case MacroOp::kTend: return "TEND";
+    case MacroOp::kMacroOpCount: break;
+  }
+  return "?";
+}
+
+MacroOp macro_op_from_name(const char* name) {
+  for (std::size_t i = 0; i < kNumMacroOps; ++i) {
+    const auto op = static_cast<MacroOp>(i);
+    if (std::strcmp(name, macro_op_name(op)) == 0) return op;
+  }
+  return MacroOp::kMacroOpCount;
+}
+
+MacroOp macro_for_expr_op(cfsm::ExprOp op) {
+  using E = cfsm::ExprOp;
+  switch (op) {
+    case E::kAdd: return MacroOp::kAdd;
+    case E::kSub: return MacroOp::kSub;
+    case E::kMul: return MacroOp::kMul;
+    case E::kDiv: return MacroOp::kDiv;
+    case E::kMod: return MacroOp::kMod;
+    case E::kNeg: return MacroOp::kNeg;
+    case E::kBitAnd: return MacroOp::kBitAnd;
+    case E::kBitOr: return MacroOp::kBitOr;
+    case E::kBitXor: return MacroOp::kBitXor;
+    case E::kBitNot: return MacroOp::kBitNot;
+    case E::kShl: return MacroOp::kShl;
+    case E::kShr: return MacroOp::kShr;
+    case E::kEq: return MacroOp::kEq;
+    case E::kNe: return MacroOp::kNe;
+    case E::kLt: return MacroOp::kLt;
+    case E::kLe: return MacroOp::kLe;
+    case E::kGt: return MacroOp::kGt;
+    case E::kGe: return MacroOp::kGe;
+    case E::kLogicAnd: return MacroOp::kLogicAnd;
+    case E::kLogicOr: return MacroOp::kLogicOr;
+    case E::kLogicNot: return MacroOp::kLogicNot;
+    default:
+      assert(false && "not an operator");
+      return MacroOp::kMacroOpCount;
+  }
+}
+
+bool needs_wide_constant(std::int32_t value) {
+  return value < -32768 || value > 32767;
+}
+
+MacroOp macro_for_leaf(const cfsm::ExprNode& n) {
+  using E = cfsm::ExprOp;
+  switch (n.op) {
+    case E::kConst:
+      return needs_wide_constant(n.value) ? MacroOp::kConstW : MacroOp::kConst;
+    case E::kVar: return MacroOp::kRVar;
+    case E::kEventValue: return MacroOp::kEVal;
+    case E::kEventPresent: return MacroOp::kTein;
+    default:
+      assert(false && "not a leaf");
+      return MacroOp::kMacroOpCount;
+  }
+}
+
+void append_expr_stream(const cfsm::ExprArena& arena, cfsm::ExprId id,
+                        std::vector<MacroOp>& out) {
+  const cfsm::ExprNode& n = arena.at(id);
+  const int arity = cfsm::expr_arity(n.op);
+  if (arity == 0) {
+    out.push_back(macro_for_leaf(n));
+    return;
+  }
+  append_expr_stream(arena, n.lhs, out);
+  if (arity == 2) append_expr_stream(arena, n.rhs, out);
+  out.push_back(macro_for_expr_op(n.op));
+}
+
+std::vector<MacroOp> macro_stream_for_trace(
+    const cfsm::Cfsm& cfsm, const std::vector<cfsm::NodeId>& trace) {
+  std::vector<MacroOp> out;
+  const auto& g = cfsm.graph();
+  const auto& arena = cfsm.arena();
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    const cfsm::SNode& n = g.node(trace[i]);
+    switch (n.kind) {
+      case cfsm::NodeKind::kEnd:
+        out.push_back(MacroOp::kTend);
+        break;
+      case cfsm::NodeKind::kAssign:
+        append_expr_stream(arena, n.expr, out);
+        out.push_back(MacroOp::kAvv);
+        break;
+      case cfsm::NodeKind::kEmit:
+        if (n.expr != cfsm::kNoExpr) append_expr_stream(arena, n.expr, out);
+        out.push_back(MacroOp::kAemit);
+        break;
+      case cfsm::NodeKind::kTest: {
+        append_expr_stream(arena, n.expr, out);
+        assert(i + 1 < trace.size() && "test node cannot end a trace");
+        const bool taken = trace[i + 1] == n.next;
+        out.push_back(taken ? MacroOp::kTivarT : MacroOp::kTivarF);
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace socpower::swsyn

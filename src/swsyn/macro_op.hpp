@@ -1,0 +1,77 @@
+// Macro-operations: the unit of software power macro-modeling (Section 4.1).
+//
+// POLIS characterizes a library of high-level macro-operations — assignments
+// (AVV), tests on values (TIVART / TIVARF, one per branch direction because
+// taken and fall-through branches cost differently), event emission (AEMIT),
+// and ~30 arithmetic/relational/logical functions (ADD, EQ, NOT, ...) — by
+// compiling each to target assembly and measuring delay/energy/code size on
+// the ISS. The resulting parameter file annotates the behavioral model so
+// co-simulation can skip the ISS.
+//
+// Our vocabulary mirrors that: one macro-op per expression operator (the
+// "function library"), plus leaf accessors and the structural ops. The
+// macro-op stream of an execution path is derived purely from the s-graph
+// trace, so the annotator can price any path without running it.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "cfsm/cfsm.hpp"
+#include "cfsm/expr.hpp"
+#include "cfsm/sgraph.hpp"
+
+namespace socpower::swsyn {
+
+enum class MacroOp : std::uint8_t {
+  // Leaf accessors.
+  kConst,   // load a small literal into the expression register
+  kConstW,  // wide literal (movhi + ori)
+  kRVar,    // read a process variable
+  kEVal,    // read an input event's value
+  kTein,    // read an input event's presence flag
+  // Expression operator library (costs are the operator *glue* only; the
+  // operand leaves are priced by the leaf macro-ops above).
+  kAdd, kSub, kMul, kDiv, kMod, kNeg,
+  kBitAnd, kBitOr, kBitXor, kBitNot,
+  kShl, kShr,
+  kEq, kNe, kLt, kLe, kGt, kGe,
+  kLogicAnd, kLogicOr, kLogicNot,
+  // Structural ops.
+  kAvv,     // assign expression result to a variable
+  kAemit,   // emit an output event carrying the expression result
+  kTivarT,  // test, true (fall-through) direction
+  kTivarF,  // test, false (taken-branch) direction
+  kTend,    // end of transition (return to master)
+  kMacroOpCount,
+};
+
+inline constexpr std::size_t kNumMacroOps =
+    static_cast<std::size_t>(MacroOp::kMacroOpCount);
+
+/// Stable mnemonic used in the macro-model parameter file (Figure 3 of the
+/// paper uses AVV, TIVART, TIVARF, AEMIT; operators use their library names).
+[[nodiscard]] const char* macro_op_name(MacroOp op);
+/// Inverse of macro_op_name; kMacroOpCount when unknown.
+[[nodiscard]] MacroOp macro_op_from_name(const char* name);
+
+/// Macro-op pricing the operator glue of an expression operator.
+[[nodiscard]] MacroOp macro_for_expr_op(cfsm::ExprOp op);
+
+/// Whether a literal needs the wide (two-instruction) constant form.
+[[nodiscard]] bool needs_wide_constant(std::int32_t value);
+
+/// The macro-op for one expression leaf node.
+[[nodiscard]] MacroOp macro_for_leaf(const cfsm::ExprNode& n);
+
+/// Macro-op stream of one expression tree, post-order (leaves then glue) —
+/// exactly the order the code generator emits instructions in.
+void append_expr_stream(const cfsm::ExprArena& arena, cfsm::ExprId id,
+                        std::vector<MacroOp>& out);
+
+/// Macro-op stream of one executed path (s-graph node trace). Branch
+/// direction at each Test node is recovered from the trace itself.
+[[nodiscard]] std::vector<MacroOp> macro_stream_for_trace(
+    const cfsm::Cfsm& cfsm, const std::vector<cfsm::NodeId>& trace);
+
+}  // namespace socpower::swsyn

@@ -1,0 +1,54 @@
+// RTOS model for the software partition.
+//
+// POLIS automatically generates a small RTOS that dispatches software CFSM
+// transitions on the (single) embedded processor under a priority-based,
+// non-preemptive policy. For co-estimation, what matters is (a) software
+// transitions of different tasks serialize on the processor, (b) the
+// dispatch order among simultaneously-ready tasks follows the configured
+// priorities, and (c) every dispatch costs a characteristic number of
+// cycles/energy (event-queue handling plus context switch). The scheduling
+// itself is carried out by the co-estimation master using this model.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "cfsm/cfsm.hpp"
+#include "util/units.hpp"
+
+namespace socpower::swsyn {
+
+struct RtosConfig {
+  /// Cycles charged per software transition dispatch (event de-queue, task
+  /// switch, s-graph entry). The POLIS RTOS is a few dozen instructions.
+  Cycles dispatch_cycles = 24;
+  /// Average supply current drawn during dispatch code (mA) — RTOS code is
+  /// ordinary integer code, close to the ALU class current.
+  double dispatch_current_ma = 255.0;
+};
+
+class RtosModel {
+ public:
+  explicit RtosModel(RtosConfig config = {}, ElectricalParams params = {});
+
+  /// Priority: larger value = more urgent. Default 0.
+  void set_priority(cfsm::CfsmId task, int priority);
+  [[nodiscard]] int priority(cfsm::CfsmId task) const;
+
+  /// Among `ready` tasks, pick the one to dispatch: the highest priority,
+  /// FIFO (by queue position) within a priority level.
+  [[nodiscard]] std::size_t pick_next(
+      const std::vector<cfsm::CfsmId>& ready) const;
+
+  [[nodiscard]] Cycles dispatch_cycles() const {
+    return config_.dispatch_cycles;
+  }
+  [[nodiscard]] Joules dispatch_energy() const;
+
+ private:
+  RtosConfig config_;
+  ElectricalParams params_;
+  std::vector<int> priorities_;
+};
+
+}  // namespace socpower::swsyn

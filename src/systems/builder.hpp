@@ -1,0 +1,60 @@
+// Terse construction sugar for CFSM behaviors, shared by the benchmark
+// systems. Wraps one Cfsm's expression arena and s-graph.
+#pragma once
+
+#include "cfsm/cfsm.hpp"
+
+namespace socpower::systems {
+
+struct Behavior {
+  cfsm::Cfsm& c;
+
+  // -- expressions -----------------------------------------------------------
+  using E = cfsm::ExprId;
+  [[nodiscard]] E k(std::int32_t v) { return c.arena().constant(v); }
+  [[nodiscard]] E v(cfsm::VarId var) { return c.arena().variable(var); }
+  [[nodiscard]] E val(cfsm::EventId e) { return c.arena().event_value(e); }
+  [[nodiscard]] E present(cfsm::EventId e) {
+    return c.arena().event_present(e);
+  }
+  [[nodiscard]] E bin(cfsm::ExprOp op, E a, E b) {
+    return c.arena().binary(op, a, b);
+  }
+  [[nodiscard]] E un(cfsm::ExprOp op, E a) { return c.arena().unary(op, a); }
+  [[nodiscard]] E add(E a, E b) { return bin(cfsm::ExprOp::kAdd, a, b); }
+  [[nodiscard]] E sub(E a, E b) { return bin(cfsm::ExprOp::kSub, a, b); }
+  [[nodiscard]] E mul(E a, E b) { return bin(cfsm::ExprOp::kMul, a, b); }
+  [[nodiscard]] E band(E a, E b) { return bin(cfsm::ExprOp::kBitAnd, a, b); }
+  [[nodiscard]] E bxor(E a, E b) { return bin(cfsm::ExprOp::kBitXor, a, b); }
+  [[nodiscard]] E bor(E a, E b) { return bin(cfsm::ExprOp::kBitOr, a, b); }
+  [[nodiscard]] E shl(E a, int bits) {
+    return bin(cfsm::ExprOp::kShl, a, k(bits));
+  }
+  [[nodiscard]] E shr(E a, int bits) {
+    return bin(cfsm::ExprOp::kShr, a, k(bits));
+  }
+  [[nodiscard]] E eq(E a, E b) { return bin(cfsm::ExprOp::kEq, a, b); }
+  [[nodiscard]] E gt(E a, E b) { return bin(cfsm::ExprOp::kGt, a, b); }
+  [[nodiscard]] E ge(E a, E b) { return bin(cfsm::ExprOp::kGe, a, b); }
+  [[nodiscard]] E lt(E a, E b) { return bin(cfsm::ExprOp::kLt, a, b); }
+  [[nodiscard]] E le(E a, E b) { return bin(cfsm::ExprOp::kLe, a, b); }
+
+  // -- s-graph nodes (built bottom-up: successors first) ----------------------
+  using N = cfsm::NodeId;
+  [[nodiscard]] N end() { return c.graph().add_end(); }
+  [[nodiscard]] N assign(cfsm::VarId var, E rhs, N next) {
+    return c.graph().add_assign(var, rhs, next);
+  }
+  [[nodiscard]] N emit(cfsm::EventId e, E value, N next) {
+    return c.graph().add_emit(e, value, next);
+  }
+  [[nodiscard]] N emit0(cfsm::EventId e, N next) {
+    return c.graph().add_emit(e, cfsm::kNoExpr, next);
+  }
+  [[nodiscard]] N test(E cond, N then_n, N else_n) {
+    return c.graph().add_test(cond, then_n, else_n);
+  }
+  void root(N n) { c.graph().set_root(n); }
+};
+
+}  // namespace socpower::systems

@@ -1,0 +1,220 @@
+#include "systems/dashboard.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "systems/builder.hpp"
+
+namespace socpower::systems {
+
+DashboardSystem::DashboardSystem(DashboardParams params) : params_(params) {
+  ev_wheel_ = network_.declare_event("WHEEL_PULSE");
+  ev_t100_ = network_.declare_event("TIMER_100MS");
+  ev_t1s_ = network_.declare_event("TIMER_1S");
+  ev_speed_ = network_.declare_event("SPEED_EV");
+  ev_odo_ = network_.declare_event("ODO_EV");
+  ev_key_ = network_.declare_event("KEY");
+  ev_belt_ = network_.declare_event("BELT");
+  ev_alarm_on_ = network_.declare_event("ALARM_ON");
+  ev_alarm_off_ = network_.declare_event("ALARM_OFF");
+  ev_fuel_sample_ = network_.declare_event("FUEL_SAMPLE");
+  ev_fuel_low_ = network_.declare_event("FUEL_LOW");
+  ev_cruise_set_ = network_.declare_event("CRUISE_SET");
+  ev_cruise_off_ = network_.declare_event("CRUISE_OFF");
+  ev_throttle_ = network_.declare_event("THROTTLE");
+
+  // ---- speedo (software) ------------------------------------------------------
+  {
+    cfsm::Cfsm& c = network_.add_cfsm("speedo");
+    c.add_input(ev_wheel_);
+    c.add_input(ev_t100_);
+    c.add_output(ev_speed_);
+    const auto CNT = c.add_var("PULSE_CNT");
+    const auto SPD = c.add_var("SPEED");
+    Behavior b{c};
+    // TIMER_100MS branch: speed = pulses * circumference factor.
+    auto n100 = b.emit(ev_speed_, b.v(SPD), b.end());
+    n100 = b.assign(CNT, b.k(0), n100);
+    n100 = b.assign(SPD, b.mul(b.v(CNT), b.k(9)), n100);
+    const auto n100t = b.test(b.present(ev_t100_), n100, b.end());
+    // WHEEL_PULSE branch (may coincide with the timer: both run).
+    const auto npulse =
+        b.assign(CNT, b.add(b.v(CNT), b.k(1)), n100t);
+    b.root(b.test(b.present(ev_wheel_), npulse, n100t));
+    speedo_ = c.id();
+  }
+
+  // ---- odometer (software) -------------------------------------------------------
+  {
+    cfsm::Cfsm& c = network_.add_cfsm("odometer");
+    c.add_input(ev_wheel_);
+    c.add_output(ev_odo_);
+    const auto FRAC = c.add_var("FRAC");
+    const auto ODO = c.add_var("ODO");
+    Behavior b{c};
+    const auto n_tick = b.assign(
+        FRAC, b.k(0),
+        b.assign(ODO, b.add(b.v(ODO), b.k(1)),
+                 b.emit(ev_odo_, b.v(ODO), b.end())));
+    const auto n_test = b.test(b.ge(b.v(FRAC), b.k(16)), n_tick, b.end());
+    b.root(b.assign(FRAC, b.add(b.v(FRAC), b.k(1)), n_test));
+    odometer_ = c.id();
+  }
+
+  // ---- cruise control (software) ---------------------------------------------------
+  {
+    cfsm::Cfsm& c = network_.add_cfsm("cruise");
+    c.add_input(ev_cruise_set_);
+    c.add_input(ev_cruise_off_);
+    c.add_input(ev_speed_);
+    c.add_output(ev_throttle_);
+    const auto ON = c.add_var("ENGAGED");
+    const auto TGT = c.add_var("TARGET");
+    const auto THR = c.add_var("THROTTLE");
+    const auto ERR = c.add_var("ERR");
+    Behavior b{c};
+    // SPEED_EV branch, active only while engaged: proportional control.
+    auto nctl = b.emit(ev_throttle_, b.v(THR), b.end());
+    nctl = b.assign(THR, b.add(b.v(THR), b.shr(b.v(ERR), 2)), nctl);
+    nctl = b.assign(ERR, b.sub(b.v(TGT), b.val(ev_speed_)), nctl);
+    const auto n_engaged =
+        b.test(b.gt(b.v(ON), b.k(0)), nctl, b.end());
+    const auto n_speed_t =
+        b.test(b.present(ev_speed_), n_engaged, b.end());
+    // CRUISE_OFF branch.
+    const auto n_off = b.assign(ON, b.k(0), n_speed_t);
+    const auto n_off_t = b.test(b.present(ev_cruise_off_), n_off, n_speed_t);
+    // CRUISE_SET branch: lock the current speed as target.
+    const auto n_set = b.assign(
+        ON, b.k(1), b.assign(TGT, b.val(ev_cruise_set_), n_off_t));
+    b.root(b.test(b.present(ev_cruise_set_), n_set, n_off_t));
+    cruise_ = c.id();
+  }
+
+  // ---- belt alarm (hardware) ---------------------------------------------------------
+  {
+    cfsm::Cfsm& c = network_.add_cfsm("belt_alarm");
+    c.add_input(ev_key_);
+    c.add_input(ev_belt_);
+    c.add_input(ev_t1s_);
+    c.add_output(ev_alarm_on_);
+    c.add_output(ev_alarm_off_);
+    const auto KEYON = c.add_var("KEYON");
+    const auto BELTON = c.add_var("BELTON");
+    const auto SECS = c.add_var("SECS");
+    const auto ALARM = c.add_var("ALARM");
+    Behavior b{c};
+    // TIMER_1S branch: count up while key on and belt off; alarm at 5.
+    const auto n_fire = b.assign(
+        ALARM, b.k(1), b.emit0(ev_alarm_on_, b.end()));
+    const auto n_thresh = b.test(
+        b.band(b.ge(b.v(SECS), b.k(5)), b.eq(b.v(ALARM), b.k(0))), n_fire,
+        b.end());
+    const auto n_count =
+        b.assign(SECS, b.add(b.v(SECS), b.k(1)), n_thresh);
+    const auto n_danger = b.test(
+        b.band(b.gt(b.v(KEYON), b.k(0)),
+               b.eq(b.v(BELTON), b.k(0))),
+        n_count, b.end());
+    const auto n_tick_t = b.test(b.present(ev_t1s_), n_danger, b.end());
+    // BELT / KEY updates clear the alarm state when the danger ends.
+    const auto n_clear = b.assign(
+        SECS, b.k(0),
+        b.assign(ALARM, b.k(0), b.emit0(ev_alarm_off_, n_tick_t)));
+    const auto n_safe = b.test(
+        b.bor(b.eq(b.v(KEYON), b.k(0)), b.gt(b.v(BELTON), b.k(0))),
+        n_clear, n_tick_t);
+    const auto n_belt = b.assign(BELTON, b.val(ev_belt_), n_safe);
+    const auto n_belt_t = b.test(b.present(ev_belt_), n_belt, n_safe);
+    const auto n_key = b.assign(KEYON, b.val(ev_key_), n_belt_t);
+    b.root(b.test(b.present(ev_key_), n_key, n_belt_t));
+    belt_ = c.id();
+  }
+
+  // ---- fuel gauge (hardware) ------------------------------------------------------------
+  {
+    cfsm::Cfsm& c = network_.add_cfsm("fuel");
+    c.add_input(ev_fuel_sample_);
+    c.add_output(ev_fuel_low_);
+    const auto FILT = c.add_var("FILTERED", 256 * 8);  // level<<3 fixed point
+    const auto WARNED = c.add_var("WARNED");
+    Behavior b{c};
+    // filtered += (sample - filtered/8); warn once under the threshold.
+    const auto n_warn = b.assign(
+        WARNED, b.k(1),
+        b.emit(ev_fuel_low_, b.shr(b.v(FILT), 3), b.end()));
+    const auto n_low = b.test(
+        b.band(b.lt(b.shr(b.v(FILT), 3), b.k(params_.fuel_low_threshold)),
+               b.eq(b.v(WARNED), b.k(0))),
+        n_warn, b.end());
+    b.root(b.assign(
+        FILT,
+        b.add(b.v(FILT),
+              b.sub(b.val(ev_fuel_sample_), b.shr(b.v(FILT), 3))),
+        n_low));
+    fuel_ = c.id();
+  }
+
+  assert(network_.validate().empty());
+}
+
+void DashboardSystem::configure(core::CoEstimator& est,
+                                Partition partition) const {
+  if (partition.speedo_hw)
+    est.map_hw(speedo_);
+  else
+    est.map_sw(speedo_, /*rtos_priority=*/3);
+  if (partition.odometer_hw)
+    est.map_hw(odometer_);
+  else
+    est.map_sw(odometer_, /*rtos_priority=*/1);
+  if (partition.cruise_hw)
+    est.map_hw(cruise_);
+  else
+    est.map_sw(cruise_, /*rtos_priority=*/2);
+  est.map_hw(belt_);
+  est.map_hw(fuel_);
+}
+
+sim::Stimulus DashboardSystem::stimulus() const {
+  sim::Stimulus s;
+  Rng rng(params_.seed);
+  const sim::SimTime fc = params_.frame_cycles;
+
+  s.add(1, ev_key_, 1);  // key on immediately; belt fastened at frame 8
+  for (int f = 0; f < params_.frames; ++f) {
+    const sim::SimTime base = 2 + static_cast<sim::SimTime>(f) * fc;
+    // Speed profile: ramp up, cruise, ramp down.
+    const int third = params_.frames / 3;
+    int pulses;
+    if (f < third)
+      pulses = 1 + f * params_.pulses_per_frame_max / std::max(third, 1);
+    else if (f < 2 * third)
+      pulses = params_.pulses_per_frame_max;
+    else
+      pulses = std::max(
+          1, params_.pulses_per_frame_max -
+                 (f - 2 * third) * params_.pulses_per_frame_max /
+                     std::max(third, 1));
+    for (int p = 0; p < pulses; ++p) {
+      const auto jitter = static_cast<sim::SimTime>(rng.below(7));
+      s.add(base + static_cast<sim::SimTime>(p) * (fc / static_cast<sim::SimTime>(pulses + 1)) +
+                jitter,
+            ev_wheel_);
+    }
+    s.add(base + fc - 3, ev_t100_);
+    s.add(base + fc - 2, ev_t1s_);  // scaled so the belt scenario plays out
+    // Fuel drains to empty over ~70% of the scenario, with sensor noise;
+    // the low-pass filter lags ~8 samples behind.
+    const std::int32_t drain = 350 * f / std::max(params_.frames, 1);
+    s.add(base + fc / 2, ev_fuel_sample_,
+          std::max<std::int32_t>(
+              0, 250 - drain + static_cast<std::int32_t>(rng.below(5))));
+    if (f == 8) s.add(base + 5, ev_belt_, 1);
+    if (f == third) s.add(base + 7, ev_cruise_set_, 90);
+    if (f == 2 * third) s.add(base + 7, ev_cruise_off_);
+  }
+  return s;
+}
+
+}  // namespace socpower::systems

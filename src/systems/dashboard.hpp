@@ -1,0 +1,97 @@
+// Automotive dashboard controller — the "automotive controller" the paper's
+// abstract lists as a driver application. The paper gives no details, so the
+// system is modeled on the classic POLIS dashboard example from the same
+// research group: a control-dominated, reactive mix of software and
+// hardware processes.
+//
+//   speedo (SW)      counts wheel pulses and computes the speed each
+//                    TIMER_100MS window, publishing SPEED_EV.
+//   odometer (SW)    accumulates wheel pulses into distance ticks.
+//   cruise (SW)      proportional throttle controller tracking the sampled
+//                    SPEED_EV while engaged (CRUISE_SET / CRUISE_OFF).
+//   belt_alarm (HW)  if the key is on and the belt is off, sounds the alarm
+//                    after five TIMER_1S ticks (the canonical POLIS belt
+//                    controller).
+//   fuel (HW)        exponential smoothing of FUEL_SAMPLE readings; warns
+//                    when the filtered level crosses the low threshold.
+#pragma once
+
+#include "cfsm/cfsm.hpp"
+#include "core/coestimator.hpp"
+#include "sim/event_queue.hpp"
+#include "util/rng.hpp"
+
+namespace socpower::systems {
+
+struct DashboardParams {
+  /// Length of the generated driving scenario, in 100 ms frames.
+  int frames = 40;
+  /// Cycles per 100 ms frame at the modeled clock (scaled down to keep runs
+  /// quick; the relative event rates are what matters).
+  sim::SimTime frame_cycles = 2000;
+  int pulses_per_frame_max = 12;  // ~ top speed
+  std::int32_t fuel_low_threshold = 40;
+  std::uint64_t seed = 7;
+};
+
+class DashboardSystem {
+ public:
+  explicit DashboardSystem(DashboardParams params = {});
+
+  [[nodiscard]] const cfsm::Network& network() const { return network_; }
+  [[nodiscard]] cfsm::Network& network() { return network_; }
+
+  [[nodiscard]] cfsm::CfsmId speedo() const { return speedo_; }
+  [[nodiscard]] cfsm::CfsmId odometer() const { return odometer_; }
+  [[nodiscard]] cfsm::CfsmId cruise() const { return cruise_; }
+  [[nodiscard]] cfsm::CfsmId belt_alarm() const { return belt_; }
+  [[nodiscard]] cfsm::CfsmId fuel() const { return fuel_; }
+  [[nodiscard]] cfsm::EventId alarm_on_event() const { return ev_alarm_on_; }
+  [[nodiscard]] cfsm::EventId fuel_low_event() const { return ev_fuel_low_; }
+
+  /// Which processes go to hardware. belt_alarm and fuel are always HW
+  /// (trivial reactive logic); the three computation tasks are the
+  /// partitioning degrees of freedom.
+  struct Partition {
+    bool speedo_hw = false;
+    bool odometer_hw = false;
+    bool cruise_hw = false;
+  };
+
+  void configure(core::CoEstimator& est, Partition partition) const;
+  void configure(core::CoEstimator& est) const {
+    configure(est, Partition{});
+  }
+
+  /// A driving scenario: key on, belt fastened late (provoking the alarm),
+  /// speed ramping up and down, fuel draining.
+  [[nodiscard]] sim::Stimulus stimulus() const;
+
+  [[nodiscard]] const DashboardParams& params() const { return params_; }
+
+ private:
+  DashboardParams params_;
+  cfsm::Network network_;
+  cfsm::CfsmId speedo_ = cfsm::kNoCfsm;
+  cfsm::CfsmId odometer_ = cfsm::kNoCfsm;
+  cfsm::CfsmId cruise_ = cfsm::kNoCfsm;
+  cfsm::CfsmId belt_ = cfsm::kNoCfsm;
+  cfsm::CfsmId fuel_ = cfsm::kNoCfsm;
+
+  cfsm::EventId ev_wheel_ = -1;
+  cfsm::EventId ev_t100_ = -1;
+  cfsm::EventId ev_t1s_ = -1;
+  cfsm::EventId ev_speed_ = -1;
+  cfsm::EventId ev_odo_ = -1;
+  cfsm::EventId ev_key_ = -1;      // value 1 = on, 0 = off
+  cfsm::EventId ev_belt_ = -1;     // value 1 = fastened
+  cfsm::EventId ev_alarm_on_ = -1;
+  cfsm::EventId ev_alarm_off_ = -1;
+  cfsm::EventId ev_fuel_sample_ = -1;
+  cfsm::EventId ev_fuel_low_ = -1;
+  cfsm::EventId ev_cruise_set_ = -1;
+  cfsm::EventId ev_cruise_off_ = -1;
+  cfsm::EventId ev_throttle_ = -1;
+};
+
+}  // namespace socpower::systems

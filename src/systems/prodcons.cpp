@@ -1,0 +1,151 @@
+#include "systems/prodcons.hpp"
+
+#include <cassert>
+
+#include "systems/builder.hpp"
+
+namespace socpower::systems {
+
+using cfsm::ExprOp;
+
+ProdConsSystem::ProdConsSystem(ProdConsParams params) : params_(params) {
+  ev_start_ = network_.declare_event("START");
+  ev_step_ = network_.declare_event("STEP");
+  ev_end_comp_ = network_.declare_event("END_COMP");
+  ev_tick_ = network_.declare_event("TIMER_TICK");
+  ev_time_ = network_.declare_event("TIME");
+  ev_iter_ = network_.declare_event("ITER");
+  ev_byte_done_ = network_.declare_event("BYTE_DONE");
+  ev_reset_ = network_.declare_event("RESET");
+
+  // ---- producer (software) --------------------------------------------------
+  {
+    cfsm::Cfsm& c = network_.add_cfsm("producer");
+    c.add_input(ev_start_);
+    c.add_input(ev_step_);
+    c.add_output(ev_step_);
+    c.add_output(ev_end_comp_);
+    c.set_reset_event(ev_reset_);
+    const auto PKTS = c.add_var("PKTS");
+    const auto I = c.add_var("I");
+    const auto ACC = c.add_var("ACC");
+    Behavior b{c};
+
+    // START handling (built first; the STEP branch falls through into it so
+    // a START coinciding with a STEP in one instant is not lost — which
+    // matters in the unit-delay behavioral pass where everything piles up):
+    // queue one packet; begin processing if idle.
+    const auto n_begin = b.assign(
+        I, b.k(params_.bytes_per_packet),
+        b.assign(ACC, b.k(0), b.emit(ev_step_, b.k(0), b.end())));
+    const auto n_idle_test = b.test(b.eq(b.v(I), b.k(0)), n_begin, b.end());
+    const auto n_start =
+        b.assign(PKTS, b.add(b.v(PKTS), b.k(1)), n_idle_test);
+    const auto n_start_test =
+        b.test(b.present(ev_start_), n_start, b.end());
+
+    // STEP branch: one checksum-like mixing step per pseudo-byte.
+    // ... packet finished: emit END_COMP; if more packets queued, restart.
+    const auto n_restart = b.assign(
+        I, b.k(params_.bytes_per_packet),
+        b.assign(ACC, b.k(0), b.emit(ev_step_, b.k(0), n_start_test)));
+    const auto n_more =
+        b.test(b.gt(b.v(PKTS), b.k(0)), n_restart, n_start_test);
+    const auto n_finish = b.emit(ev_end_comp_, b.v(ACC),
+                                 b.assign(PKTS, b.sub(b.v(PKTS), b.k(1)),
+                                          n_more));
+    const auto n_continue = b.emit(ev_step_, b.v(I), n_start_test);
+    const auto n_cont_test =
+        b.test(b.gt(b.v(I), b.k(0)), n_continue, n_finish);
+    // Mixing body: ACC := ((ACC + I*7) ^ (ACC >> 3)) + 1, then I := I - 1.
+    const auto mix = b.add(
+        b.bxor(b.add(b.v(ACC), b.mul(b.v(I), b.k(7))), b.shr(b.v(ACC), 3)),
+        b.k(1));
+    const auto n_step_body = b.assign(
+        ACC, mix, b.assign(I, b.sub(b.v(I), b.k(1)), n_cont_test));
+    // Guard: a stale STEP (e.g. one in flight across a RESET) must not run
+    // the body from the idle state.
+    const auto n_step_guard =
+        b.test(b.gt(b.v(I), b.k(0)), n_step_body, n_start_test);
+
+    b.root(b.test(b.present(ev_step_), n_step_guard, n_start_test));
+    producer_ = c.id();
+  }
+
+  // ---- timer (hardware) -------------------------------------------------------
+  {
+    cfsm::Cfsm& c = network_.add_cfsm("timer");
+    c.add_input(ev_tick_);
+    c.add_output(ev_time_);
+    c.set_reset_event(ev_reset_);
+    const auto T = c.add_var("T");
+    Behavior b{c};
+    b.root(b.assign(T, b.add(b.v(T), b.k(1)),
+                    b.emit(ev_time_, b.v(T), b.end())));
+    timer_ = c.id();
+  }
+
+  // ---- consumer (hardware) ----------------------------------------------------
+  {
+    cfsm::Cfsm& c = network_.add_cfsm("consumer");
+    c.add_input(ev_end_comp_);
+    c.add_input(ev_iter_);
+    c.add_sampled_input(ev_time_);
+    c.add_output(ev_iter_);
+    c.add_output(ev_byte_done_);
+    c.set_reset_event(ev_reset_);
+    const auto PREV = c.add_var("PREV_TIME");
+    const auto CNT = c.add_var("N_IT");
+    const auto DACC = c.add_var("DACC");
+    Behavior b{c};
+
+    // ITER branch: one loop iteration, then continue if work remains.
+    const auto n_iter_more =
+        b.test(b.gt(b.v(CNT), b.k(0)), b.emit0(ev_iter_, b.end()), b.end());
+    const auto n_iter_body = b.assign(
+        DACC, b.add(b.bxor(b.v(DACC), b.shl(b.v(CNT), 2)), b.k(3)),
+        b.emit(ev_byte_done_, b.v(DACC),
+               b.assign(CNT, b.sub(b.v(CNT), b.k(1)), n_iter_more)));
+    const auto n_iter_guard =
+        b.test(b.gt(b.v(CNT), b.k(0)), n_iter_body, b.end());
+    const auto n_iter_test =
+        b.test(b.present(ev_iter_), n_iter_guard, b.end());
+
+    // END_COMP branch: N_IT += (TIME - PREV_TIME) + base; loop that many
+    // times. The base term is the fixed per-packet processing (header
+    // handling) the consumer performs regardless of the arrival spacing;
+    // accumulation (rather than overwrite) keeps work queued when packets
+    // arrive faster than the loop drains.
+    const auto n_kick =
+        b.test(b.gt(b.v(CNT), b.k(0)), b.emit0(ev_iter_, b.end()), b.end());
+    const auto n_end_comp = b.assign(
+        CNT,
+        b.add(b.v(CNT),
+              b.add(b.sub(b.val(ev_time_), b.v(PREV)),
+                    b.k(params_.consumer_base_iterations))),
+        b.assign(PREV, b.val(ev_time_), n_kick));
+
+    b.root(b.test(b.present(ev_end_comp_), n_end_comp, n_iter_test));
+    consumer_ = c.id();
+  }
+
+  assert(network_.validate().empty());
+}
+
+void ProdConsSystem::configure(core::CoEstimator& est) const {
+  est.map_sw(producer_, /*rtos_priority=*/1);
+  est.map_hw(timer_);
+  est.map_hw(consumer_);
+}
+
+sim::Stimulus ProdConsSystem::stimulus(sim::SimTime horizon) const {
+  sim::Stimulus s;
+  for (int p = 0; p < params_.num_packets; ++p)
+    s.add(1 + static_cast<sim::SimTime>(p) * params_.start_gap, ev_start_);
+  for (sim::SimTime t = params_.tick_period; t <= horizon;
+       t += params_.tick_period)
+    s.add(t, ev_tick_);
+  return s;
+}
+
+}  // namespace socpower::systems

@@ -1,0 +1,76 @@
+// The producer / timer / consumer example of the paper's Figure 1 — the
+// system that motivates co-estimation.
+//
+//   producer (SW, SPARClite): upon START from the environment, performs a
+//     checksum-like computation over NUM_BYTES pseudo-bytes (one self-
+//     triggered STEP transition per byte), then emits END_COMP.
+//   timer (HW): counts TIMER_TICKs and broadcasts the current TIME.
+//   consumer (HW): upon END_COMP, computes N_IT = TIME - PREV_TIME and runs
+//     a loop of N_IT iterations (one self-triggered ITER transition each),
+//     emitting BYTE_DONE per iteration.
+//
+// The time between consecutive END_COMPs — and hence the consumer's
+// workload — depends on how long the producer's software actually takes.
+// A timing-independent behavioral trace (unit-delay transitions) makes the
+// intervals tiny and under-estimates the consumer's energy, reproducing the
+// ~62 % error of Figure 1(b).
+#pragma once
+
+#include "cfsm/cfsm.hpp"
+#include "core/coestimator.hpp"
+#include "sim/event_queue.hpp"
+
+namespace socpower::systems {
+
+struct ProdConsParams {
+  int num_packets = 20;
+  /// Pseudo-bytes the producer processes per packet (STEP transitions).
+  int bytes_per_packet = 32;
+  /// Environment tick period (cycles) driving the HW timer.
+  sim::SimTime tick_period = 64;
+  /// Gap between START events from the environment (cycles). Small gaps
+  /// queue the packets back-to-back, maximizing the timing sensitivity.
+  sim::SimTime start_gap = 2;
+  /// Fixed per-packet iterations the consumer runs on top of the
+  /// timing-dependent TIME - PREV_TIME term.
+  int consumer_base_iterations = 20;
+};
+
+class ProdConsSystem {
+ public:
+  explicit ProdConsSystem(ProdConsParams params = {});
+
+  [[nodiscard]] const cfsm::Network& network() const { return network_; }
+  [[nodiscard]] cfsm::Network& network() { return network_; }
+
+  [[nodiscard]] cfsm::CfsmId producer() const { return producer_; }
+  [[nodiscard]] cfsm::CfsmId timer() const { return timer_; }
+  [[nodiscard]] cfsm::CfsmId consumer() const { return consumer_; }
+  [[nodiscard]] cfsm::EventId byte_done_event() const { return ev_byte_done_; }
+
+  /// Map producer to SW, timer and consumer to HW (the paper's partition).
+  void configure(core::CoEstimator& est) const;
+
+  /// Environment stimulus: a burst of STARTs plus periodic TIMER_TICKs
+  /// covering `horizon` cycles.
+  [[nodiscard]] sim::Stimulus stimulus(sim::SimTime horizon) const;
+
+  [[nodiscard]] const ProdConsParams& params() const { return params_; }
+
+ private:
+  ProdConsParams params_;
+  cfsm::Network network_;
+  cfsm::CfsmId producer_ = cfsm::kNoCfsm;
+  cfsm::CfsmId timer_ = cfsm::kNoCfsm;
+  cfsm::CfsmId consumer_ = cfsm::kNoCfsm;
+  cfsm::EventId ev_start_ = -1;
+  cfsm::EventId ev_step_ = -1;
+  cfsm::EventId ev_end_comp_ = -1;
+  cfsm::EventId ev_tick_ = -1;
+  cfsm::EventId ev_time_ = -1;
+  cfsm::EventId ev_iter_ = -1;
+  cfsm::EventId ev_byte_done_ = -1;
+  cfsm::EventId ev_reset_ = -1;
+};
+
+}  // namespace socpower::systems

@@ -1,0 +1,67 @@
+#include "util/histogram.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cstdio>
+
+namespace socpower {
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi), width_((hi - lo) / static_cast<double>(bins)),
+      counts_(bins, 0) {
+  assert(bins > 0 && hi > lo);
+}
+
+void Histogram::add(double x) {
+  auto bin = static_cast<long>((x - lo_) / width_);
+  bin = std::clamp(bin, 0L, static_cast<long>(counts_.size()) - 1);
+  ++counts_[static_cast<std::size_t>(bin)];
+  ++total_;
+}
+
+std::size_t Histogram::count(std::size_t bin) const {
+  assert(bin < counts_.size());
+  return counts_[bin];
+}
+
+double Histogram::bin_low(std::size_t bin) const {
+  return lo_ + width_ * static_cast<double>(bin);
+}
+
+double Histogram::bin_high(std::size_t bin) const {
+  return lo_ + width_ * static_cast<double>(bin + 1);
+}
+
+std::size_t Histogram::mode_bin() const {
+  const auto it = std::max_element(counts_.begin(), counts_.end());
+  return static_cast<std::size_t>(it - counts_.begin());
+}
+
+double Histogram::concentration(std::size_t k) const {
+  if (total_ == 0) return 0.0;
+  const std::size_t m = mode_bin();
+  const std::size_t lo = m > k ? m - k : 0;
+  const std::size_t hi = std::min(m + k, counts_.size() - 1);
+  std::size_t inside = 0;
+  for (std::size_t b = lo; b <= hi; ++b) inside += counts_[b];
+  return static_cast<double>(inside) / static_cast<double>(total_);
+}
+
+std::string Histogram::render(std::size_t max_bar_width) const {
+  const std::size_t peak =
+      total_ ? counts_[mode_bin()] : std::size_t{1};
+  std::string out;
+  char line[160];
+  for (std::size_t b = 0; b < counts_.size(); ++b) {
+    const std::size_t bar =
+        peak ? counts_[b] * max_bar_width / peak : std::size_t{0};
+    std::snprintf(line, sizeof line, "[%9.3g, %9.3g) %6zu ", bin_low(b),
+                  bin_high(b), counts_[b]);
+    out += line;
+    out.append(bar, '#');
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace socpower

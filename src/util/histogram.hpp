@@ -1,0 +1,42 @@
+// Fixed-bin histogram used to reproduce the per-path energy histograms of
+// Figure 4(b) and for power-waveform summaries.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace socpower {
+
+class Histogram {
+ public:
+  /// Bins [lo, hi) split evenly into `bins` buckets; values outside the range
+  /// are clamped into the first/last bucket so no sample is lost.
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double x);
+
+  [[nodiscard]] std::size_t bin_count() const { return counts_.size(); }
+  [[nodiscard]] std::size_t count(std::size_t bin) const;
+  [[nodiscard]] std::size_t total() const { return total_; }
+  [[nodiscard]] double bin_low(std::size_t bin) const;
+  [[nodiscard]] double bin_high(std::size_t bin) const;
+  /// Index of the fullest bin (first on ties); 0 when empty.
+  [[nodiscard]] std::size_t mode_bin() const;
+  /// Fraction of samples within +-`k` bins of the mode; the paper's
+  /// "clustered around the mean" observation made quantitative.
+  [[nodiscard]] double concentration(std::size_t k) const;
+
+  /// ASCII rendering (one row per bin: range, count, bar), for the Fig. 4(b)
+  /// reproduction binary.
+  [[nodiscard]] std::string render(std::size_t max_bar_width = 50) const;
+
+ private:
+  double lo_;
+  double hi_;
+  double width_;
+  std::vector<std::size_t> counts_;
+  std::size_t total_ = 0;
+};
+
+}  // namespace socpower

@@ -1,0 +1,30 @@
+// Deterministic pseudo-random source for workload generation (packet
+// payloads, environment event jitter). A fixed algorithm (splitmix64 +
+// xoshiro256**) keeps traces reproducible across platforms and standard
+// library versions, which std::mt19937 distributions do not guarantee.
+#pragma once
+
+#include <cstdint>
+
+namespace socpower {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ull);
+
+  /// Uniform 64-bit value.
+  std::uint64_t next();
+  /// Uniform in [0, bound) (bound > 0); uses rejection-free Lemire reduction.
+  std::uint64_t below(std::uint64_t bound);
+  /// Uniform in [lo, hi] inclusive.
+  std::int64_t range(std::int64_t lo, std::int64_t hi);
+  /// Uniform double in [0, 1).
+  double uniform();
+  /// Bernoulli(p).
+  bool chance(double p);
+
+ private:
+  std::uint64_t s_[4];
+};
+
+}  // namespace socpower

@@ -1,0 +1,85 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <vector>
+
+namespace socpower {
+
+void RunningStats::add(double x) {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  sum_ += x;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+void RunningStats::reset() { *this = RunningStats{}; }
+
+double RunningStats::variance() const {
+  if (n_ < 1) return 0.0;
+  return m2_ / static_cast<double>(n_);
+}
+
+double RunningStats::sample_variance() const {
+  if (n_ < 2) return 0.0;
+  return m2_ / static_cast<double>(n_ - 1);
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+double RunningStats::cv() const {
+  const double m = mean();
+  if (m == 0.0) return 0.0;
+  return stddev() / std::fabs(m);
+}
+
+double percent_error(double estimate, double reference) {
+  if (reference == 0.0) return estimate == 0.0 ? 0.0 : 100.0;
+  return std::fabs(estimate - reference) / std::fabs(reference) * 100.0;
+}
+
+double pearson_correlation(const double* x, const double* y, std::size_t n) {
+  if (n < 2) return 0.0;
+  const double nd = static_cast<double>(n);
+  double sx = 0, sy = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    sx += x[i];
+    sy += y[i];
+  }
+  const double mx = sx / nd, my = sy / nd;
+  double num = 0, dx2 = 0, dy2 = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double dx = x[i] - mx, dy = y[i] - my;
+    num += dx * dy;
+    dx2 += dx * dx;
+    dy2 += dy * dy;
+  }
+  const double den = std::sqrt(dx2 * dy2);
+  if (den == 0.0) return 0.0;
+  return num / den;
+}
+
+bool same_ranking(const double* x, const double* y, std::size_t n) {
+  std::vector<std::size_t> ix(n), iy(n);
+  std::iota(ix.begin(), ix.end(), std::size_t{0});
+  std::iota(iy.begin(), iy.end(), std::size_t{0});
+  auto by = [](const double* v) {
+    return [v](std::size_t a, std::size_t b) {
+      if (v[a] != v[b]) return v[a] < v[b];
+      return a < b;  // stable tie-break so equal values cannot flip ranking
+    };
+  };
+  std::sort(ix.begin(), ix.end(), by(x));
+  std::sort(iy.begin(), iy.end(), by(y));
+  return ix == iy;
+}
+
+}  // namespace socpower

@@ -1,0 +1,54 @@
+// Streaming statistics used by the energy cache (Section 4.2 of the paper):
+// the cache stores, per (task, path), the running mean and variance of the
+// energy/delay values reported by the lower-level simulator. Welford's
+// algorithm gives numerically stable single-pass estimates.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace socpower {
+
+/// Single-pass mean / variance accumulator (Welford).
+class RunningStats {
+ public:
+  void add(double x);
+  void reset();
+
+  [[nodiscard]] std::size_t count() const { return n_; }
+  [[nodiscard]] double mean() const { return n_ ? mean_ : 0.0; }
+  /// Population variance (the paper thresholds "variance" of observed
+  /// energies; with n==0 or n==1 this is 0).
+  [[nodiscard]] double variance() const;
+  /// Sample variance (divides by n-1); 0 for n < 2.
+  [[nodiscard]] double sample_variance() const;
+  [[nodiscard]] double stddev() const;
+  /// Coefficient of variation stddev/|mean|; 0 when mean is 0.
+  [[nodiscard]] double cv() const;
+  [[nodiscard]] double min() const { return n_ ? min_ : 0.0; }
+  [[nodiscard]] double max() const { return n_ ? max_ : 0.0; }
+  [[nodiscard]] double sum() const { return sum_; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  double sum_ = 0.0;
+};
+
+/// Relative error |est - ref| / |ref| in percent; 0 when ref == 0 && est == 0.
+[[nodiscard]] double percent_error(double estimate, double reference);
+
+/// Pearson correlation of two equally-sized series; used to check the
+/// near-linear relation of Figure 6. Returns 0 for degenerate inputs.
+[[nodiscard]] double pearson_correlation(const double* x, const double* y,
+                                         std::size_t n);
+
+/// Checks whether sorting indices of `x` ascending equals sorting indices of
+/// `y` ascending — the paper's "relative accuracy" / ranking-fidelity test.
+[[nodiscard]] bool same_ranking(const double* x, const double* y,
+                                std::size_t n);
+
+}  // namespace socpower

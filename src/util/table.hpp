@@ -1,0 +1,26 @@
+// Minimal fixed-width text table printer used by the bench binaries to emit
+// the paper's tables (Table 1, Table 2, Figure 1(b), ...) in a readable form.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace socpower {
+
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> headers);
+
+  void add_row(std::vector<std::string> cells);
+  /// Convenience: formats doubles with %.4g.
+  static std::string num(double v);
+  static std::string fixed(double v, int decimals);
+
+  [[nodiscard]] std::string render() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace socpower

@@ -1,0 +1,41 @@
+#include "util/units.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+namespace socpower {
+
+Joules ElectricalParams::switch_energy(double cap_farads) const {
+  return 0.5 * cap_farads * vdd_volts * vdd_volts;
+}
+
+double ElectricalParams::seconds(Cycles cycles) const {
+  return static_cast<double>(cycles) / clock_hz;
+}
+
+double ElectricalParams::average_power_watts(Joules e, Cycles cycles) const {
+  if (cycles == 0) return 0.0;
+  return e / seconds(cycles);
+}
+
+double to_nanojoules(Joules e) { return e * 1e9; }
+double to_microjoules(Joules e) { return e * 1e6; }
+double to_millijoules(Joules e) { return e * 1e3; }
+Joules from_nanojoules(double nj) { return nj * 1e-9; }
+
+std::string format_energy(Joules e) {
+  char buf[64];
+  const double mag = std::fabs(e);
+  if (mag >= 1.0 || mag == 0.0) {
+    std::snprintf(buf, sizeof buf, "%.4g J", e);
+  } else if (mag >= 1e-3) {
+    std::snprintf(buf, sizeof buf, "%.4g mJ", e * 1e3);
+  } else if (mag >= 1e-6) {
+    std::snprintf(buf, sizeof buf, "%.4g uJ", e * 1e6);
+  } else {
+    std::snprintf(buf, sizeof buf, "%.4g nJ", e * 1e9);
+  }
+  return buf;
+}
+
+}  // namespace socpower

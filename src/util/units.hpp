@@ -1,0 +1,43 @@
+// Physical units and electrical parameters used throughout the co-estimation
+// framework. Energies are carried as double joules; helpers convert to the
+// paper's reporting units (nJ, uJ, mJ). Times are carried as integer clock
+// cycles at a component-specific frequency; helpers convert to seconds.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace socpower {
+
+using Cycles = std::uint64_t;
+using Joules = double;
+
+/// Electrical operating point shared by the power models.
+/// Defaults match the paper's exploration experiment (Section 5.3):
+/// Vdd = 3.3 V, f = 100 MHz (SPARClite-class embedded clock).
+struct ElectricalParams {
+  double vdd_volts = 3.3;
+  double clock_hz = 100.0e6;
+
+  /// Energy of charging/discharging capacitance `cap_farads` once:
+  /// E = 1/2 * C * Vdd^2.
+  [[nodiscard]] Joules switch_energy(double cap_farads) const;
+
+  /// Seconds elapsed for `cycles` clock cycles.
+  [[nodiscard]] double seconds(Cycles cycles) const;
+
+  /// Average power over `cycles` for total energy `e`.
+  [[nodiscard]] double average_power_watts(Joules e, Cycles cycles) const;
+};
+
+/// Unit conversions for reporting.
+[[nodiscard]] double to_nanojoules(Joules e);
+[[nodiscard]] double to_microjoules(Joules e);
+[[nodiscard]] double to_millijoules(Joules e);
+[[nodiscard]] Joules from_nanojoules(double nj);
+
+/// Render an energy with an auto-selected engineering unit, e.g. "6.97e-05 J",
+/// "123.4 nJ". Used by the report printers.
+[[nodiscard]] std::string format_energy(Joules e);
+
+}  // namespace socpower

@@ -1,0 +1,295 @@
+// Acceleration-technique unit tests: the energy/delay cache (Section 4.2),
+// the macro-model library and parameter file (Section 4.1), and the
+// K-memory sequence compactor (Section 4.3).
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/compactor.hpp"
+#include "core/energy_cache.hpp"
+#include "core/macromodel.hpp"
+#include "swsyn/macro_op.hpp"
+#include "util/rng.hpp"
+
+namespace socpower::core {
+namespace {
+
+using swsyn::MacroOp;
+
+TEST(EnergyCache, ColdLookupMisses) {
+  EnergyCache c;
+  EXPECT_FALSE(c.lookup(0, 0).has_value());
+}
+
+TEST(EnergyCache, ServesAfterThresholdCalls) {
+  EnergyCache c({.thresh_variance = 0.0, .thresh_iss_calls = 3});
+  c.record(1, 2, 100, 5e-9);
+  c.record(1, 2, 100, 5e-9);
+  EXPECT_FALSE(c.lookup(1, 2).has_value());  // only 2 calls
+  c.record(1, 2, 100, 5e-9);
+  const auto hit = c.lookup(1, 2);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_DOUBLE_EQ(hit->cycles, 100.0);
+  EXPECT_DOUBLE_EQ(hit->energy, 5e-9);
+  EXPECT_EQ(c.hits(), 1u);
+  EXPECT_EQ(c.simulations(), 3u);
+}
+
+TEST(EnergyCache, VarianceThresholdBlocksUnstablePaths) {
+  EnergyCache c({.thresh_variance = 1e-6, .thresh_iss_calls = 2});
+  c.record(0, 0, 100, 1e-9);
+  c.record(0, 0, 100, 9e-9);  // wildly different energy
+  EXPECT_FALSE(c.lookup(0, 0).has_value());
+  // A generous threshold admits it.
+  EnergyCache loose({.thresh_variance = 10.0, .thresh_iss_calls = 2});
+  loose.record(0, 0, 100, 1e-9);
+  loose.record(0, 0, 100, 9e-9);
+  const auto hit = loose.lookup(0, 0);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_DOUBLE_EQ(hit->energy, 5e-9);  // mean of observations
+}
+
+TEST(EnergyCache, KeysAreTaskAndPath) {
+  EnergyCache c({.thresh_variance = 0.0, .thresh_iss_calls = 1});
+  c.record(1, 1, 10, 1e-9);
+  c.record(1, 2, 20, 2e-9);
+  c.record(2, 1, 30, 3e-9);
+  EXPECT_DOUBLE_EQ(c.lookup(1, 1)->cycles, 10.0);
+  EXPECT_DOUBLE_EQ(c.lookup(1, 2)->cycles, 20.0);
+  EXPECT_DOUBLE_EQ(c.lookup(2, 1)->cycles, 30.0);
+  EXPECT_EQ(c.entries(), 3u);
+}
+
+TEST(EnergyCache, MeanIgnoresEligibility) {
+  EnergyCache c({.thresh_variance = 0.0, .thresh_iss_calls = 100});
+  c.record(0, 0, 10, 4e-9);
+  EXPECT_FALSE(c.lookup(0, 0).has_value());
+  const auto m = c.mean(0, 0);
+  ASSERT_TRUE(m.has_value());
+  EXPECT_DOUBLE_EQ(m->energy, 4e-9);
+  EXPECT_EQ(c.hits(), 0u);  // mean() is not a hit
+}
+
+TEST(EnergyCache, EnergyStatsExposedForHistograms) {
+  EnergyCache c;
+  c.record(3, 7, 5, 1e-9);
+  c.record(3, 7, 5, 3e-9);
+  const auto* stats = c.energy_stats(3, 7);
+  ASSERT_NE(stats, nullptr);
+  EXPECT_EQ(stats->count(), 2u);
+  EXPECT_DOUBLE_EQ(stats->mean(), 2e-9);
+  EXPECT_EQ(c.energy_stats(9, 9), nullptr);
+}
+
+TEST(EnergyCache, ClearEmptiesEverything) {
+  EnergyCache c({.thresh_variance = 0.0, .thresh_iss_calls = 1});
+  c.record(0, 0, 1, 1e-9);
+  (void)c.lookup(0, 0);
+  c.clear();
+  EXPECT_EQ(c.entries(), 0u);
+  EXPECT_EQ(c.hits(), 0u);
+  EXPECT_FALSE(c.lookup(0, 0).has_value());
+}
+
+// --- macro-model -------------------------------------------------------------
+
+TEST(MacroModel, CharacterizationProducesPositiveCosts) {
+  const auto lib = MacroModelLibrary::characterize(
+      iss::InstructionPowerModel::sparclite());
+  // Every op except the degenerate TEND must have nonzero delay and energy.
+  for (std::size_t i = 0; i < swsyn::kNumMacroOps; ++i) {
+    const auto op = static_cast<MacroOp>(i);
+    if (op == MacroOp::kTend) continue;
+    EXPECT_GT(lib.cost(op).cycles, 0.0) << swsyn::macro_op_name(op);
+    EXPECT_GT(lib.cost(op).energy, 0.0) << swsyn::macro_op_name(op);
+    EXPECT_GT(lib.cost(op).size_bytes, 0u) << swsyn::macro_op_name(op);
+  }
+}
+
+TEST(MacroModel, RelativeCostOrdering) {
+  const auto lib = MacroModelLibrary::characterize(
+      iss::InstructionPowerModel::sparclite());
+  // Event emission (8-instruction sequence) costs more than an assignment;
+  // a multiply costs more than an add (3-cycle multiplier).
+  EXPECT_GT(lib.cost(MacroOp::kAemit).cycles, lib.cost(MacroOp::kAvv).cycles);
+  EXPECT_GT(lib.cost(MacroOp::kMul).cycles, lib.cost(MacroOp::kAdd).cycles);
+  // Wide constants need the two-instruction form.
+  EXPECT_GT(lib.cost(MacroOp::kConstW).cycles,
+            lib.cost(MacroOp::kConst).cycles);
+}
+
+TEST(MacroModel, EstimateIsAdditive) {
+  const auto lib = MacroModelLibrary::characterize(
+      iss::InstructionPowerModel::sparclite());
+  const std::vector<MacroOp> stream = {MacroOp::kRVar, MacroOp::kConst,
+                                       MacroOp::kAdd, MacroOp::kAvv,
+                                       MacroOp::kTend};
+  const auto est = lib.estimate(stream);
+  double cycles = 0;
+  Joules energy = 0;
+  for (const auto op : stream) {
+    cycles += lib.cost(op).cycles;
+    energy += lib.cost(op).energy;
+  }
+  EXPECT_DOUBLE_EQ(est.cycles, cycles);
+  EXPECT_DOUBLE_EQ(est.energy, energy);
+}
+
+TEST(MacroModel, ParameterFileRoundTrip) {
+  const auto lib = MacroModelLibrary::characterize(
+      iss::InstructionPowerModel::sparclite());
+  const std::string text = lib.to_parameter_file();
+  // Header must match the Figure 3 format.
+  EXPECT_NE(text.find(".unit_time cycle"), std::string::npos);
+  EXPECT_NE(text.find(".unit_energy nJ"), std::string::npos);
+  EXPECT_NE(text.find(".time AVV "), std::string::npos);
+  EXPECT_NE(text.find(".energy AEMIT "), std::string::npos);
+
+  std::string error;
+  const auto parsed = MacroModelLibrary::from_parameter_file(text, &error);
+  ASSERT_TRUE(parsed.has_value()) << error;
+  for (std::size_t i = 0; i < swsyn::kNumMacroOps; ++i) {
+    const auto op = static_cast<MacroOp>(i);
+    EXPECT_NEAR(parsed->cost(op).cycles, lib.cost(op).cycles, 1e-9);
+    EXPECT_NEAR(parsed->cost(op).energy, lib.cost(op).energy,
+                lib.cost(op).energy * 1e-5 + 1e-18);
+    EXPECT_EQ(parsed->cost(op).size_bytes, lib.cost(op).size_bytes);
+  }
+}
+
+TEST(MacroModel, ParameterFileRejectsGarbage) {
+  std::string error;
+  EXPECT_FALSE(MacroModelLibrary::from_parameter_file(".bogus X 1", &error)
+                   .has_value());
+  EXPECT_NE(error.find("line 1"), std::string::npos);
+  EXPECT_FALSE(
+      MacroModelLibrary::from_parameter_file(".time NOSUCHOP 5", &error)
+          .has_value());
+  EXPECT_FALSE(
+      MacroModelLibrary::from_parameter_file(".unit_time second", &error)
+          .has_value());
+}
+
+// --- sequence compactor -------------------------------------------------------
+
+TEST(Compactor, KeepsEverythingBelowMinLength) {
+  SequenceCompactor c({.k_memory = 64, .keep_ratio = 0.25, .window = 4,
+                       .min_length = 8});
+  const std::vector<std::uint32_t> s = {1, 2, 3};
+  const auto kept = c.select(s);
+  EXPECT_EQ(kept.size(), 3u);
+}
+
+TEST(Compactor, KeepRatioOneIsIdentity) {
+  SequenceCompactor c({.k_memory = 64, .keep_ratio = 1.0, .window = 4,
+                       .min_length = 1});
+  std::vector<std::uint32_t> s(40);
+  for (std::size_t i = 0; i < s.size(); ++i) s[i] = static_cast<std::uint32_t>(i);
+  const auto kept = c.select(s);
+  EXPECT_EQ(kept.size(), s.size());
+}
+
+TEST(Compactor, SelectsRequestedFraction) {
+  SequenceCompactor c({.k_memory = 64, .keep_ratio = 0.25, .window = 4,
+                       .min_length = 8});
+  std::vector<std::uint32_t> s(64, 7);
+  const auto kept = c.select(s);
+  EXPECT_EQ(kept.size(), 16u);  // 0.25 * 64, in windows of 4
+  // Indices sorted and unique.
+  for (std::size_t i = 1; i < kept.size(); ++i)
+    EXPECT_LT(kept[i - 1], kept[i]);
+}
+
+TEST(Compactor, PreservesUnigramDistribution) {
+  // 75% zeros, 25% ones, block-structured.
+  std::vector<std::uint32_t> s;
+  for (int i = 0; i < 16; ++i) {
+    s.insert(s.end(), {0, 0, 0, 1});
+  }
+  SequenceCompactor c({.k_memory = 64, .keep_ratio = 0.25, .window = 4,
+                       .min_length = 8});
+  const auto kept = c.select(s);
+  EXPECT_LT(SequenceCompactor::unigram_distance(s, kept), 0.05);
+}
+
+TEST(Compactor, PreservesBigramsBetterThanStride) {
+  // Alternating pattern: bigrams (0,1) and (1,0) dominate. Window-based
+  // selection keeps them; a stride-2 subsample would destroy them.
+  std::vector<std::uint32_t> s;
+  for (int i = 0; i < 64; ++i) s.push_back(static_cast<std::uint32_t>(i % 2));
+  SequenceCompactor c({.k_memory = 64, .keep_ratio = 0.25, .window = 4,
+                       .min_length = 8});
+  const auto kept = c.select(s);
+  EXPECT_LT(SequenceCompactor::bigram_distance(s, kept), 0.1);
+  std::vector<std::size_t> stride;
+  for (std::size_t i = 0; i < s.size(); i += 2) stride.push_back(i);
+  // The strided subsample has NO adjacent pairs at all -> distance 2.
+  EXPECT_GT(SequenceCompactor::bigram_distance(s, stride), 1.0);
+}
+
+TEST(Compactor, SkewedMixtureKeptProportionally) {
+  Rng rng(5);
+  std::vector<std::uint32_t> s;
+  for (int i = 0; i < 128; ++i)
+    s.push_back(rng.chance(0.9) ? 10u : 20u);
+  SequenceCompactor c({.k_memory = 128, .keep_ratio = 0.25, .window = 4,
+                       .min_length = 8});
+  const auto kept = c.select(s);
+  EXPECT_LT(SequenceCompactor::unigram_distance(s, kept), 0.15);
+}
+
+TEST(DynamicCompaction, BootstrapSimulatesFirstBuffer) {
+  DynamicCompactionStream d({.k_memory = 8, .keep_ratio = 0.25, .window = 2,
+                             .min_length = 4});
+  int simulated_first = 0;
+  for (int i = 0; i < 8; ++i)
+    if (d.feed(static_cast<std::uint32_t>(i % 2))) ++simulated_first;
+  EXPECT_EQ(simulated_first, 8);  // no statistics yet: simulate everything
+  int simulated_second = 0;
+  for (int i = 0; i < 8; ++i)
+    if (d.feed(static_cast<std::uint32_t>(i % 2))) ++simulated_second;
+  EXPECT_LT(simulated_second, 8);  // the keep pattern now thins the stream
+  EXPECT_EQ(d.fed(), 16u);
+  EXPECT_EQ(d.simulated(), static_cast<std::uint64_t>(8 + simulated_second));
+}
+
+TEST(Compactor, StaticBeatsDynamicOnNonstationarySequences) {
+  // "Clearly, static compaction is more powerful than dynamic compaction
+  // since we are allowed to observe and manipulate the entire original
+  // sequence" (Section 4.3). A sequence whose distribution shifts midway
+  // defeats the dynamic scheme (each buffer's keep pattern is derived from
+  // the PREVIOUS buffer), while static selection sees everything.
+  std::vector<std::uint32_t> s;
+  for (int i = 0; i < 128; ++i) s.push_back(1);  // phase 1
+  for (int i = 0; i < 128; ++i) s.push_back(2);  // phase 2: all-new symbols
+  const CompactionParams params{.k_memory = 64, .keep_ratio = 0.25,
+                                .window = 4, .min_length = 8};
+
+  SequenceCompactor stat(params);
+  const auto static_kept = stat.select(s);  // whole trace at once
+
+  DynamicCompactionStream dyn(params);
+  std::vector<std::size_t> dynamic_kept;
+  for (std::size_t i = 0; i < s.size(); ++i)
+    if (dyn.feed(s[i])) dynamic_kept.push_back(i);
+
+  const double d_static = SequenceCompactor::unigram_distance(s, static_kept);
+  const double d_dynamic =
+      SequenceCompactor::unigram_distance(s, dynamic_kept);
+  EXPECT_LE(d_static, d_dynamic + 1e-12);
+  EXPECT_LT(d_static, 0.05);  // static nails the 50/50 mixture
+}
+
+TEST(DynamicCompaction, LongRunConvergesToKeepRatio) {
+  DynamicCompactionStream d({.k_memory = 32, .keep_ratio = 0.25, .window = 4,
+                             .min_length = 8});
+  Rng rng(11);
+  for (int i = 0; i < 3200; ++i) d.feed(static_cast<std::uint32_t>(rng.below(4)));
+  const double frac =
+      static_cast<double>(d.simulated()) / static_cast<double>(d.fed());
+  EXPECT_LT(frac, 0.35);  // bootstrap buffer amortizes away
+  EXPECT_GT(frac, 0.15);
+}
+
+}  // namespace
+}  // namespace socpower::core

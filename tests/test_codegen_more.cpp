@@ -1,0 +1,186 @@
+// Additional code-generator coverage: block-range bookkeeping, address
+// traces over random paths, emission-ring capacity, cross-image layout
+// disjointness, and the characterization-template/empty-template contract.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "cfsm/dsl.hpp"
+#include "iss/iss.hpp"
+#include "swsyn/codegen.hpp"
+#include "util/rng.hpp"
+
+namespace socpower::swsyn {
+namespace {
+
+cfsm::Network branching_net() {
+  cfsm::Network net;
+  const auto r = cfsm::parse_network(R"(
+    event T, OUT;
+    process p {
+      input T;
+      output OUT;
+      var a = 0, b = 0;
+      if (val(T) > 10) {
+        a = a + val(T);
+        if (a > 100) { emit OUT(a); a = 0; }
+      } else if (val(T) > 0) {
+        b = b + 1;
+      } else {
+        a = a - 1;
+        b = b - 1;
+      }
+    }
+  )", net);
+  EXPECT_TRUE(r.ok()) << r.error;
+  return net;
+}
+
+TEST(CodegenMore, NodeBlocksPartitionTheImage) {
+  cfsm::Network net = branching_net();
+  const cfsm::Cfsm& p = net.cfsm(0);
+  const SwImage img = compile_cfsm(p, 0x30, 0x900);
+  // Every node has a nonempty block after the prologue; blocks do not
+  // overlap; together with the prologue they cover the whole image.
+  std::set<std::uint32_t> covered;
+  for (std::uint32_t w = 0; w < img.prologue_words; ++w) covered.insert(w);
+  for (std::size_t n = 0; n < p.graph().node_count(); ++n) {
+    const auto& [b, e] = img.node_block[n];
+    EXPECT_LT(b, e) << "node " << n;
+    for (std::uint32_t w = b; w < e; ++w) {
+      EXPECT_FALSE(covered.count(w)) << "overlap at word " << w;
+      covered.insert(w);
+    }
+  }
+  EXPECT_EQ(covered.size(), img.code.size());
+}
+
+TEST(CodegenMore, AddressTraceFollowsExecutedPathOnly) {
+  cfsm::Network net = branching_net();
+  const cfsm::Cfsm& p = net.cfsm(0);
+  const SwImage img = compile_cfsm(p, 0x30, 0x900);
+  Rng rng(17);
+  cfsm::CfsmState st = p.make_state();
+  for (int step = 0; step < 20; ++step) {
+    cfsm::ReactionInputs in;
+    in.set(net.event_id("T"), static_cast<std::int32_t>(rng.range(-20, 60)));
+    cfsm::CfsmState before = st;
+    const cfsm::Reaction r = p.react(in, st);
+    const auto trace = address_trace(img, r.trace);
+    // The trace visits exactly the blocks of the executed nodes, in order.
+    std::size_t pos = img.prologue_words;  // skip prologue entries
+    ASSERT_GE(trace.size(), pos);
+    for (const cfsm::NodeId n : r.trace) {
+      const auto& [b, e] = img.node_block[static_cast<std::size_t>(n)];
+      for (std::uint32_t w = b; w < e; ++w) {
+        ASSERT_LT(pos, trace.size());
+        EXPECT_EQ(trace[pos], (img.code_base_word + w) * iss::kInstrBytes);
+        ++pos;
+      }
+    }
+    EXPECT_EQ(pos, trace.size());
+    (void)before;
+  }
+}
+
+TEST(CodegenMore, EmissionRingHoldsManyEvents) {
+  // A path that emits 12 events in one reaction stays within the ring.
+  cfsm::Network net;
+  const auto trig = net.declare_event("T");
+  const auto out = net.declare_event("OUT");
+  cfsm::Cfsm& c = net.add_cfsm("p");
+  c.add_input(trig);
+  c.add_output(out);
+  auto& g = c.graph();
+  auto& a = c.arena();
+  cfsm::NodeId next = g.add_end();
+  for (int i = 0; i < 12; ++i)
+    next = g.add_emit(out, a.constant(i), next);
+  g.set_root(next);
+
+  const SwImage img = compile_cfsm(c, 0x20, 0x800);
+  iss::Iss iss(iss::InstructionPowerModel::sparclite(), {});
+  iss.load_program(img.code, img.code_base_word);
+  cfsm::ReactionInputs in;
+  in.set(trig, 0);
+  stage_reaction(iss, img, in, c.make_state());
+  iss.set_pc(img.code_base_word);
+  ASSERT_TRUE(iss.run().halted);
+  const auto ems = read_emissions(iss, img);
+  ASSERT_EQ(ems.size(), 12u);
+  for (int i = 0; i < 12; ++i) EXPECT_EQ(ems[static_cast<std::size_t>(i)].value, 11 - i);
+}
+
+TEST(CodegenMore, ImagesForDifferentTasksDoNotAlias) {
+  cfsm::Network net;
+  const auto r = cfsm::parse_network(R"(
+    event A, B;
+    process one { input A; var x = 1; x = x + 1; }
+    process two { input B; var y = 2; y = y * 3; }
+  )", net);
+  ASSERT_TRUE(r.ok());
+  const SwImage i1 = compile_cfsm(net.cfsm(0), 0x20, 0x800);
+  const SwImage i2 =
+      compile_cfsm(net.cfsm(1), 0x20 + static_cast<std::uint32_t>(i1.code.size()) + 8,
+                   0x800 + ((i1.data_bytes + 15) & ~15u));
+  // Code regions disjoint.
+  EXPECT_LE(i1.code_base_word + i1.code.size(), i2.code_base_word);
+  // Data regions disjoint.
+  EXPECT_LE(i1.data_base + i1.data_bytes, i2.data_base);
+}
+
+TEST(CodegenMore, TemplatesShareTheInSituEmissionShapes) {
+  // The characterization contract: op template == harness + the exact glue
+  // the in-situ generator emits. Spot-check AEMIT: the template's tail
+  // (minus harness and halt) appears verbatim inside a compiled image that
+  // emits an event.
+  const iss::Program tpl = characterization_template(MacroOp::kAemit);
+  ASSERT_GE(tpl.size(), 10u);
+  // Template: [movi r1][movi r8][8-op emit seq][halt]
+  std::vector<iss::Opcode> seq;
+  for (std::size_t i = 2; i + 1 < tpl.size(); ++i) seq.push_back(tpl[i].op);
+  ASSERT_EQ(seq.size(), 8u);
+
+  cfsm::Network net;
+  const auto rr = cfsm::parse_network(R"(
+    event T, OUT;
+    process p { input T; output OUT; emit OUT(5); }
+  )", net);
+  ASSERT_TRUE(rr.ok());
+  const SwImage img = compile_cfsm(net.cfsm(0), 0x20, 0x800);
+  bool found = false;
+  for (std::size_t i = 0; i + seq.size() <= img.code.size(); ++i) {
+    bool match = true;
+    for (std::size_t k = 0; k < seq.size(); ++k)
+      if (img.code[i + k].op != seq[k]) match = false;
+    if (match) found = true;
+  }
+  EXPECT_TRUE(found) << "in-situ AEMIT glue diverged from its template";
+}
+
+TEST(CodegenMore, DisassembleImageListsAllBlocks) {
+  cfsm::Network net = branching_net();
+  const cfsm::Cfsm& p = net.cfsm(0);
+  const SwImage img = compile_cfsm(p, 0x30, 0x900);
+  const std::string listing = disassemble_image(p, img);
+  EXPECT_NE(listing.find("; prologue"), std::string::npos);
+  EXPECT_NE(listing.find("(test)"), std::string::npos);
+  EXPECT_NE(listing.find("(assign)"), std::string::npos);
+  EXPECT_NE(listing.find("(end)"), std::string::npos);
+  // One disassembly line per instruction word plus annotations.
+  std::size_t insn_lines = 0, pos = 0;
+  while ((pos = listing.find("\n  ", pos)) != std::string::npos) {
+    ++insn_lines;
+    ++pos;
+  }
+  EXPECT_EQ(insn_lines, img.code.size());
+}
+
+TEST(CodegenMore, EmptyTemplateIsJustHalt) {
+  const iss::Program e = empty_template();
+  ASSERT_EQ(e.size(), 1u);
+  EXPECT_EQ(e[0].op, iss::Opcode::kHalt);
+}
+
+}  // namespace
+}  // namespace socpower::swsyn

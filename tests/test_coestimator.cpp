@@ -1,0 +1,346 @@
+// Integration tests of the co-estimation master: determinism, energy
+// accounting, acceleration-technique behavior at the system level, RTOS
+// scheduling, cache/bus coupling, and batch-vs-online HW equivalence.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/coestimator.hpp"
+#include "systems/prodcons.hpp"
+#include "systems/tcpip.hpp"
+
+namespace socpower::core {
+namespace {
+
+systems::TcpIpParams small_tcpip() {
+  systems::TcpIpParams p;
+  p.num_packets = 4;
+  p.packet_bytes = 32;
+  p.dma_block_size = 8;
+  return p;
+}
+
+TEST(CoEstimator, DeterministicAcrossRuns) {
+  systems::TcpIpSystem sys(small_tcpip());
+  CoEstimator est(&sys.network(), {});
+  sys.configure(est);
+  est.prepare();
+  const auto r1 = est.run(sys.stimulus());
+  const auto r2 = est.run(sys.stimulus());
+  EXPECT_DOUBLE_EQ(r1.total_energy, r2.total_energy);
+  EXPECT_EQ(r1.end_time, r2.end_time);
+  EXPECT_EQ(r1.reactions, r2.reactions);
+  EXPECT_EQ(r1.iss_instructions, r2.iss_instructions);
+  EXPECT_EQ(r1.process_energy, r2.process_energy);
+}
+
+TEST(CoEstimator, EnergyAccountingIsConsistent) {
+  systems::TcpIpSystem sys(small_tcpip());
+  CoEstimator est(&sys.network(), {});
+  sys.configure(est);
+  est.prepare();
+  const auto r = est.run(sys.stimulus());
+  EXPECT_NEAR(r.total_energy,
+              r.cpu_energy + r.hw_energy + r.bus_energy + r.cache_energy,
+              r.total_energy * 1e-12);
+  double processes = 0;
+  for (const auto e : r.process_energy) processes += e;
+  EXPECT_NEAR(processes, r.cpu_energy + r.hw_energy, r.total_energy * 1e-12);
+  // The PowerTrace books the same totals.
+  EXPECT_NEAR(est.power_trace().grand_total(), r.total_energy,
+              r.total_energy * 1e-12);
+}
+
+TEST(CoEstimator, BatchAndOnlineHwEstimationAgree) {
+  systems::TcpIpSystem sys(small_tcpip());
+  CoEstimatorConfig cfg;
+  cfg.hw_batch = true;
+  CoEstimator est(&sys.network(), cfg);
+  sys.configure(est);
+  est.prepare();
+  const auto batch = est.run(sys.stimulus());
+  est.config().hw_batch = false;
+  const auto online = est.run(sys.stimulus());
+  EXPECT_NEAR(batch.hw_energy, online.hw_energy, batch.hw_energy * 1e-9);
+  EXPECT_NEAR(batch.total_energy, online.total_energy,
+              batch.total_energy * 1e-9);
+  EXPECT_EQ(batch.end_time, online.end_time);
+}
+
+TEST(CoEstimator, CachingIsExactAndSkipsIssWork) {
+  auto p = small_tcpip();
+  p.num_packets = 16;  // enough repetition to amortize the warmup calls
+  systems::TcpIpSystem sys(p);
+  CoEstimator est(&sys.network(), {});
+  sys.configure(est);
+  est.prepare();
+  const auto orig = est.run(sys.stimulus());
+  est.config().accel = Acceleration::kCaching;
+  const auto cached = est.run(sys.stimulus());
+  // Zero accuracy loss (data-independent SPARClite power model) — the
+  // paper's Table 1 claim.
+  EXPECT_NEAR(cached.total_energy, orig.total_energy,
+              orig.total_energy * 1e-9);
+  EXPECT_EQ(cached.end_time, orig.end_time);  // delays cached too
+  EXPECT_LT(cached.iss_invocations, orig.iss_invocations / 2);
+  EXPECT_GT(cached.cache_hits_served, 0u);
+}
+
+TEST(CoEstimator, CachingRespectsWarmupThreshold) {
+  systems::TcpIpSystem sys(small_tcpip());
+  CoEstimatorConfig cfg;
+  cfg.accel = Acceleration::kCaching;
+  cfg.energy_cache.thresh_iss_calls = 1'000'000;  // never eligible
+  CoEstimator est(&sys.network(), cfg);
+  sys.configure(est);
+  est.prepare();
+  const auto r = est.run(sys.stimulus());
+  EXPECT_EQ(r.cache_hits_served, 0u);  // everything simulated
+}
+
+TEST(CoEstimator, MacroModelOverestimatesSoftwareEnergy) {
+  systems::TcpIpSystem sys(small_tcpip());
+  CoEstimator est(&sys.network(), {});
+  sys.configure(est);
+  est.prepare();
+  const auto orig = est.run(sys.stimulus());
+  est.config().accel = Acceleration::kMacroModel;
+  const auto mm = est.run(sys.stimulus());
+  // Conservative (over-)estimate, and no ISS invocations at all.
+  EXPECT_GT(mm.cpu_energy, orig.cpu_energy);
+  EXPECT_EQ(mm.iss_invocations, 0u);
+  // HW side is untouched by software macro-modeling.
+  EXPECT_NEAR(mm.hw_energy, orig.hw_energy, orig.hw_energy * 0.35);
+}
+
+TEST(CoEstimator, MacroModelPreservesDmaRanking) {
+  // The relative-accuracy property of Figure 6: ranking of DMA
+  // configurations by energy is preserved under macro-modeling.
+  std::vector<double> orig_e, mm_e;
+  for (const unsigned dma : {4u, 16u, 64u}) {
+    auto p = small_tcpip();
+    p.num_packets = 6;
+    p.dma_block_size = dma;
+    systems::TcpIpSystem sys(p);
+    CoEstimator est(&sys.network(), {});
+    sys.configure(est);
+    est.prepare();
+    orig_e.push_back(est.run(sys.stimulus()).total_energy);
+    est.config().accel = Acceleration::kMacroModel;
+    mm_e.push_back(est.run(sys.stimulus()).total_energy);
+  }
+  EXPECT_TRUE(same_ranking(orig_e.data(), mm_e.data(), orig_e.size()));
+}
+
+TEST(CoEstimator, SamplingReducesWorkWithBoundedError) {
+  auto p = small_tcpip();
+  p.num_packets = 30;  // enough transitions for the K-memory to engage
+  systems::TcpIpSystem sys(p);
+  CoEstimator est(&sys.network(), {});
+  sys.configure(est);
+  est.prepare();
+  const auto orig = est.run(sys.stimulus());
+  est.config().accel = Acceleration::kSampling;
+  est.config().sampling = {.k_memory = 32, .keep_ratio = 0.25, .window = 4,
+                           .min_length = 8};
+  const auto sampled = est.run(sys.stimulus());
+  EXPECT_LT(sampled.iss_invocations, orig.iss_invocations);
+  EXPECT_EQ(sys.packets_ok(est), p.num_packets);  // function unaffected
+  EXPECT_LT(percent_error(sampled.total_energy, orig.total_energy), 10.0);
+}
+
+TEST(CoEstimator, HwCachingAblationTradesAccuracyForWork) {
+  auto p = small_tcpip();
+  p.num_packets = 12;
+  systems::TcpIpSystem sys(p);
+  CoEstimator est(&sys.network(), {});
+  sys.configure(est);
+  est.prepare();
+  const auto orig = est.run(sys.stimulus());
+  est.config().accel = Acceleration::kCaching;
+  est.config().accelerate_hw = true;
+  est.config().energy_cache.thresh_variance = 0.5;  // accept spread
+  const auto hwc = est.run(sys.stimulus());
+  EXPECT_LT(hwc.gate_sim_cycles, orig.gate_sim_cycles);
+  // Data-dependent gate energy makes cached HW approximate but close.
+  EXPECT_LT(percent_error(hwc.hw_energy, orig.hw_energy), 25.0);
+}
+
+TEST(CoEstimator, IcacheAddsPenaltiesAndEnergy) {
+  systems::TcpIpSystem sys(small_tcpip());
+  CoEstimatorConfig cfg;
+  cfg.icache.size_bytes = 256;  // tiny cache: misses guaranteed
+  cfg.icache.line_bytes = 16;
+  CoEstimator est(&sys.network(), cfg);
+  sys.configure(est);
+  est.prepare();
+  const auto small_cache = est.run(sys.stimulus());
+  est.config().enable_icache = false;
+  const auto no_cache = est.run(sys.stimulus());
+  EXPECT_GT(small_cache.icache.accesses, 0u);
+  EXPECT_GT(small_cache.icache.misses, 0u);
+  EXPECT_GT(small_cache.cache_energy, 0.0);
+  EXPECT_DOUBLE_EQ(no_cache.cache_energy, 0.0);
+  // Miss penalties stretch the schedule.
+  EXPECT_GT(small_cache.end_time, no_cache.end_time);
+  // Function unaffected either way.
+  EXPECT_EQ(sys.packets_ok(est), 4);
+}
+
+TEST(CoEstimator, DmaSizeSweepsEnergyMonotonically) {
+  double prev = 1e9;
+  for (const unsigned dma : {2u, 8u, 32u}) {
+    auto p = small_tcpip();
+    p.dma_block_size = dma;
+    systems::TcpIpSystem sys(p);
+    CoEstimator est(&sys.network(), {});
+    sys.configure(est);
+    est.prepare();
+    const auto r = est.run(sys.stimulus());
+    EXPECT_LT(r.total_energy, prev) << "dma=" << dma;
+    prev = r.total_energy;
+  }
+}
+
+TEST(CoEstimator, RtosPriorityOrdersSimultaneousDispatch) {
+  // Two SW tasks triggered in the same instant: the higher-priority task's
+  // transition must complete (and emit) first.
+  cfsm::Network net;
+  const auto go = net.declare_event("GO");
+  const auto out_hi = net.declare_event("OUT_HI");
+  const auto out_lo = net.declare_event("OUT_LO");
+  for (const auto& [name, out] :
+       {std::pair{"hi", out_hi}, std::pair{"lo", out_lo}}) {
+    cfsm::Cfsm& c = net.add_cfsm(name);
+    c.add_input(go);
+    c.add_output(out);
+    auto& g = c.graph();
+    g.set_root(g.add_emit(out, cfsm::kNoExpr, g.add_end()));
+  }
+  CoEstimator est(&net, {});
+  est.map_sw(net.cfsm_id("hi"), /*priority=*/5);
+  est.map_sw(net.cfsm_id("lo"), /*priority=*/1);
+  est.prepare();
+
+  std::vector<cfsm::EventId> order;
+  est.set_environment_hook(
+      [&](const sim::EventOccurrence& o, sim::EventQueue&) {
+        if (o.event == out_hi || o.event == out_lo) order.push_back(o.event);
+      });
+  sim::Stimulus stim;
+  stim.add(1, go);
+  est.run(stim);
+  ASSERT_EQ(order.size(), 2u);
+  EXPECT_EQ(order[0], out_hi);
+  EXPECT_EQ(order[1], out_lo);
+}
+
+TEST(CoEstimator, TransitionHookSeesEveryReaction) {
+  systems::TcpIpSystem sys(small_tcpip());
+  CoEstimator est(&sys.network(), {});
+  sys.configure(est);
+  est.prepare();
+  std::uint64_t hook_count = 0;
+  Joules hook_energy = 0;
+  est.set_transition_hook([&](const TransitionRecord& r) {
+    ++hook_count;
+    hook_energy += r.energy;
+    EXPECT_GE(r.path, 0);
+  });
+  const auto r = est.run(sys.stimulus());
+  // Reset transitions have no record; everything else does.
+  EXPECT_EQ(hook_count, r.reactions);
+  EXPECT_GT(hook_energy, 0.0);
+}
+
+TEST(CoEstimator, MaxReactionsGuardTruncates) {
+  systems::TcpIpSystem sys(small_tcpip());
+  CoEstimatorConfig cfg;
+  cfg.max_reactions = 10;
+  CoEstimator est(&sys.network(), cfg);
+  sys.configure(est);
+  est.prepare();
+  const auto r = est.run(sys.stimulus());
+  EXPECT_TRUE(r.truncated);
+  EXPECT_LE(r.reactions, 10u);
+}
+
+TEST(CoEstimator, PowerWaveformAvailableWhenSamplesKept) {
+  systems::TcpIpSystem sys(small_tcpip());
+  CoEstimatorConfig cfg;
+  cfg.keep_power_samples = true;
+  CoEstimator est(&sys.network(), cfg);
+  sys.configure(est);
+  est.prepare();
+  const auto r = est.run(sys.stimulus());
+  const auto& trace = est.power_trace();
+  const auto bus_c = trace.component_id("bus");
+  ASSERT_GE(bus_c, 0);
+  const auto wf = trace.waveform(bus_c, 64);
+  double wf_sum = 0;
+  for (const auto& w : wf) wf_sum += w.energy;
+  EXPECT_NEAR(wf_sum, r.bus_energy, r.bus_energy * 1e-9);
+  EXPECT_FALSE(est.bus_model().grant_times().empty());
+}
+
+TEST(CoEstimator, SeparateEstimationUnderestimatesTimingSensitiveHw) {
+  systems::ProdConsSystem sys(
+      {.num_packets = 8, .bytes_per_packet = 16, .tick_period = 32,
+       .start_gap = 2});
+  CoEstimator est(&sys.network(), {});
+  sys.configure(est);
+  est.prepare();
+  const auto co = est.run(sys.stimulus(/*horizon=*/30000));
+  const auto sep = est.run_separate(sys.stimulus(/*horizon=*/30000));
+  const auto prod = static_cast<std::size_t>(sys.producer());
+  const auto cons = static_cast<std::size_t>(sys.consumer());
+  // Producer: same computation either way -> estimates agree closely.
+  EXPECT_LT(percent_error(sep.process_energy[prod], co.process_energy[prod]),
+            5.0);
+  // Consumer: the timing-dependent loop shrinks dramatically under
+  // unit-delay traces -> significant under-estimation (Figure 1(b)).
+  EXPECT_LT(sep.process_energy[cons], 0.7 * co.process_energy[cons]);
+}
+
+TEST(CoEstimator, ProcessStateExposesFunctionalOutcome) {
+  systems::TcpIpSystem sys(small_tcpip());
+  CoEstimator est(&sys.network(), {});
+  sys.configure(est);
+  est.prepare();
+  est.run(sys.stimulus());
+  EXPECT_EQ(sys.packets_ok(est), 4);
+  EXPECT_EQ(sys.packets_bad(est), 0);
+}
+
+TEST(CoEstimator, PathTablesPopulatedPerTask) {
+  systems::TcpIpSystem sys(small_tcpip());
+  CoEstimator est(&sys.network(), {});
+  sys.configure(est);
+  est.prepare();
+  est.run(sys.stimulus());
+  EXPECT_GT(est.path_table(sys.create_pack()).size(), 0u);
+  EXPECT_GT(est.path_table(sys.checksum()).size(), 0u);
+}
+
+TEST(CoEstimator, DataDependentModeMakesCachingApproximate) {
+  // With a DSP-style data-dependent instruction power model, per-path SW
+  // energies vary, so a variance-tolerant cache introduces (bounded) error —
+  // the behavior the paper predicts for such processors in Section 5.2.
+  auto p = small_tcpip();
+  p.num_packets = 10;
+  systems::TcpIpSystem sys(p);
+  CoEstimatorConfig cfg;
+  cfg.data_nj_per_toggle = 1.5;
+  CoEstimator est(&sys.network(), cfg);
+  sys.configure(est);
+  est.prepare();
+  const auto orig = est.run(sys.stimulus());
+  est.config().accel = Acceleration::kCaching;
+  est.config().energy_cache.thresh_variance = 1.0;
+  const auto cached = est.run(sys.stimulus());
+  EXPECT_NE(cached.total_energy, orig.total_energy);
+  EXPECT_LT(percent_error(cached.total_energy, orig.total_energy), 8.0);
+}
+
+}  // namespace
+}  // namespace socpower::core

@@ -1,0 +1,254 @@
+// CFSM DSL front-end tests: parsing, lowering to s-graphs, expression
+// precedence, error diagnostics, and end-to-end co-estimation of a
+// DSL-described system.
+#include <gtest/gtest.h>
+
+#include "cfsm/dsl.hpp"
+#include "core/coestimator.hpp"
+
+namespace socpower::cfsm {
+namespace {
+
+Network parse_ok(const char* src) {
+  Network net;
+  const DslResult r = parse_network(src, net);
+  EXPECT_TRUE(r.ok()) << r.error;
+  return net;
+}
+
+std::string parse_err(const char* src) {
+  Network net;
+  const DslResult r = parse_network(src, net);
+  EXPECT_FALSE(r.ok());
+  return r.error;
+}
+
+TEST(Dsl, MinimalProcess) {
+  Network net = parse_ok(R"(
+    event GO, DONE;
+    process p {
+      input GO;
+      output DONE;
+      var x = 5;
+      x = x + 1;
+      emit DONE(x);
+    }
+  )");
+  ASSERT_EQ(net.cfsm_count(), 1u);
+  const Cfsm& p = net.cfsm(net.cfsm_id("p"));
+  EXPECT_EQ(p.vars().size(), 1u);
+  EXPECT_EQ(p.vars()[0].init, 5);
+
+  CfsmState st = p.make_state();
+  ReactionInputs in;
+  in.set(net.event_id("GO"), 0);
+  const Reaction r = p.react(in, st);
+  EXPECT_EQ(st.vars[0], 6);
+  ASSERT_EQ(r.emissions.size(), 1u);
+  EXPECT_EQ(r.emissions[0].value, 6);
+}
+
+TEST(Dsl, IfElseChainsAndPresence) {
+  Network net = parse_ok(R"(
+    event A, B, OUT;
+    process p {
+      input A, B;
+      output OUT;
+      var mode = 0;
+      if (present(A) && present(B)) {
+        mode = 3;
+      } else if (present(A)) {
+        mode = 1;
+      } else {
+        mode = 2;
+      }
+      emit OUT(mode);
+    }
+  )");
+  const Cfsm& p = net.cfsm(0);
+  CfsmState st = p.make_state();
+  ReactionInputs both, only_a, only_b;
+  both.set(net.event_id("A"), 0);
+  both.set(net.event_id("B"), 0);
+  only_a.set(net.event_id("A"), 0);
+  only_b.set(net.event_id("B"), 0);
+  EXPECT_EQ(p.react(both, st).emissions[0].value, 3);
+  EXPECT_EQ(p.react(only_a, st).emissions[0].value, 1);
+  EXPECT_EQ(p.react(only_b, st).emissions[0].value, 2);
+}
+
+TEST(Dsl, ExpressionPrecedenceIsCLike) {
+  Network net = parse_ok(R"(
+    event T, OUT;
+    process p {
+      input T;
+      output OUT;
+      var r = 0;
+      r = 2 + 3 * 4;              # 14
+      r = r + (1 << 2 + 1);       # shift binds looser than '+': 1<<3 = 8
+      if (r == 22 && 1 | 0) {     # '&&' binds looser than '|'
+        emit OUT(-2 * -3 + ~0);   # 6 + (-1) = 5
+      }
+    }
+  )");
+  const Cfsm& p = net.cfsm(0);
+  CfsmState st = p.make_state();
+  ReactionInputs in;
+  in.set(net.event_id("T"), 0);
+  const Reaction r = p.react(in, st);
+  EXPECT_EQ(st.vars[0], 22);
+  ASSERT_EQ(r.emissions.size(), 1u);
+  EXPECT_EQ(r.emissions[0].value, 5);
+}
+
+TEST(Dsl, HexLiteralsAndValAccess) {
+  Network net = parse_ok(R"(
+    event IN, OUT;
+    process p {
+      input IN;
+      output OUT;
+      emit OUT(val(IN) & 0xFF);
+    }
+  )");
+  const Cfsm& p = net.cfsm(0);
+  CfsmState st = p.make_state();
+  ReactionInputs in;
+  in.set(net.event_id("IN"), 0x1234);
+  EXPECT_EQ(p.react(in, st).emissions[0].value, 0x34);
+}
+
+TEST(Dsl, SampledInputsAndReset) {
+  Network net = parse_ok(R"(
+    event TRIG, TIME, RST;
+    process p {
+      input TRIG;
+      sampled TIME;
+      reset RST;
+      var last = 7;
+      last = val(TIME);
+    }
+  )");
+  const Cfsm& p = net.cfsm(0);
+  EXPECT_TRUE(p.triggers_on(net.event_id("TRIG")));
+  EXPECT_FALSE(p.triggers_on(net.event_id("TIME")));
+  EXPECT_TRUE(p.listens_to(net.event_id("TIME")));
+  ASSERT_TRUE(p.reset_event().has_value());
+  EXPECT_EQ(*p.reset_event(), net.event_id("RST"));
+}
+
+TEST(Dsl, MultipleProcessesShareEvents) {
+  Network net = parse_ok(R"(
+    event PING, PONG;
+    process a { input PING; output PONG; emit PONG; }
+    process b { input PONG; output PING; emit PING; }
+  )");
+  EXPECT_EQ(net.cfsm_count(), 2u);
+  EXPECT_EQ(net.receivers(net.event_id("PONG")),
+            std::vector<CfsmId>{net.cfsm_id("b")});
+}
+
+TEST(Dsl, CommentsBothStyles) {
+  parse_ok(R"(
+    // line comment
+    event E;          # trailing comment
+    process p {
+      input E;
+      # whole-line comment
+    }
+  )");
+}
+
+// --- diagnostics -------------------------------------------------------------
+
+TEST(DslErrors, UnknownEventInDecl) {
+  const auto e = parse_err("process p { input NOPE; }");
+  EXPECT_NE(e.find("unknown event 'NOPE'"), std::string::npos);
+  EXPECT_NE(e.find("line 1"), std::string::npos);
+}
+
+TEST(DslErrors, UnknownVariable) {
+  const auto e = parse_err(R"(
+    event E;
+    process p { input E; x = 1; }
+  )");
+  EXPECT_NE(e.find("unknown variable 'x'"), std::string::npos);
+  EXPECT_NE(e.find("line 3"), std::string::npos);
+}
+
+TEST(DslErrors, DuplicateEventAndProcessAndVar) {
+  EXPECT_NE(parse_err("event E; event E;").find("duplicate event"),
+            std::string::npos);
+  EXPECT_NE(parse_err("event E; process p {} process p {}")
+                .find("duplicate process"),
+            std::string::npos);
+  EXPECT_NE(
+      parse_err("event E; process p { var v; var v; }")
+          .find("duplicate variable"),
+      std::string::npos);
+}
+
+TEST(DslErrors, SyntaxProblemsAreReported) {
+  EXPECT_FALSE(parse_err("process p {").empty());          // missing '}'
+  EXPECT_FALSE(parse_err("event E; process p { input E; emit; }").empty());
+  EXPECT_FALSE(
+      parse_err("event E; process p { var v; v = (1 + ; }").empty());
+  EXPECT_FALSE(parse_err("garbage").empty());
+  EXPECT_FALSE(parse_err("event E; process p { var v = 99999999999; }")
+                   .empty());  // via integer literal rule in expressions?
+}
+
+TEST(DslErrors, OutOfRangeLiteralInExpression) {
+  const auto e = parse_err(R"(
+    event E;
+    process p { input E; var v; v = 4294967296; }
+  )");
+  EXPECT_NE(e.find("32-bit"), std::string::npos);
+}
+
+// --- end to end ---------------------------------------------------------------
+
+TEST(Dsl, EndToEndCoEstimation) {
+  // A DSL-described two-process system runs through the full co-estimation
+  // pipeline (SW compilation, HW synthesis, ISS + gate-level verification).
+  Network net = parse_ok(R"(
+    event KICK, STEP, LIGHT;
+    process counter {          // software
+      input KICK, STEP;
+      output STEP, LIGHT;
+      var n = 0;
+      if (present(KICK)) {
+        n = 8;
+        emit STEP;
+      }
+      if (present(STEP)) {
+        n = n - 1;
+        if (n > 0) {
+          emit STEP;
+        } else {
+          emit LIGHT(n);
+        }
+      }
+    }
+    process blinker {          // hardware
+      input LIGHT;
+      var on = 0;
+      on = !on;
+    }
+  )");
+  core::CoEstimatorConfig cfg;
+  cfg.verify_lowlevel = true;
+  core::CoEstimator est(&net, cfg);
+  est.map_sw(net.cfsm_id("counter"), 1);
+  est.map_hw(net.cfsm_id("blinker"));
+  est.prepare();
+  sim::Stimulus stim;
+  stim.add(1, net.event_id("KICK"));
+  const auto r = est.run(stim);
+  EXPECT_FALSE(r.truncated);
+  EXPECT_GT(r.total_energy, 0.0);
+  EXPECT_GE(r.sw_reactions, 9u);  // kick + 8 steps
+  EXPECT_EQ(est.process_state(net.cfsm_id("blinker")).vars[0], 1);
+}
+
+}  // namespace
+}  // namespace socpower::cfsm

@@ -1,0 +1,95 @@
+// Two-phase exploration helper and macro-model injection tests.
+#include <gtest/gtest.h>
+
+#include "core/explorer.hpp"
+#include "systems/tcpip.hpp"
+
+namespace socpower::core {
+namespace {
+
+std::vector<ExplorationPoint> dma_points(const std::vector<unsigned>& dmas) {
+  std::vector<ExplorationPoint> pts;
+  for (const unsigned dma : dmas) {
+    ExplorationPoint p;
+    p.label = "dma=" + std::to_string(dma);
+    p.run_coarse = [dma] {
+      systems::TcpIpSystem sys(
+          {.num_packets = 5, .packet_bytes = 64, .dma_block_size = dma});
+      CoEstimatorConfig cfg;
+      cfg.accel = Acceleration::kMacroModel;
+      CoEstimator est(&sys.network(), cfg);
+      sys.configure(est);
+      est.prepare();
+      return est.run(sys.stimulus());
+    };
+    p.run_exact = [dma] {
+      systems::TcpIpSystem sys(
+          {.num_packets = 5, .packet_bytes = 64, .dma_block_size = dma});
+      CoEstimator est(&sys.network(), {});
+      sys.configure(est);
+      est.prepare();
+      return est.run(sys.stimulus());
+    };
+    pts.push_back(std::move(p));
+  }
+  return pts;
+}
+
+TEST(Explorer, CoarseRankingVerifiedExactly) {
+  const auto outcome = explore(dma_points({4, 16, 64}), /*verify_top=*/2);
+  ASSERT_EQ(outcome.ranked.size(), 3u);
+  // Larger DMA is cheaper in this system: the winner is dma=64.
+  EXPECT_EQ(outcome.best().label, "dma=64");
+  EXPECT_TRUE(outcome.winner_confirmed);
+  // Verified entries carry exact energies; the last-ranked one does not.
+  EXPECT_TRUE(outcome.ranked[0].exact_energy.has_value());
+  EXPECT_TRUE(outcome.ranked[1].exact_energy.has_value());
+  EXPECT_FALSE(outcome.ranked[2].exact_energy.has_value());
+  EXPECT_GT(outcome.verification_correlation, 0.99);
+  // The macro-model over-estimates: coarse > exact for verified points.
+  for (const auto& e : outcome.ranked) {
+    if (e.exact_energy) {
+      EXPECT_GT(e.coarse_energy, *e.exact_energy);
+    }
+  }
+  const std::string text = outcome.render();
+  EXPECT_NE(text.find("dma=64"), std::string::npos);
+  EXPECT_NE(text.find("winner confirmed"), std::string::npos);
+}
+
+TEST(Explorer, CoarseOnlyModeSkipsExactRuns) {
+  const auto outcome = explore(dma_points({8, 32}), /*verify_top=*/0);
+  for (const auto& e : outcome.ranked)
+    EXPECT_FALSE(e.exact_energy.has_value());
+  EXPECT_DOUBLE_EQ(outcome.exact_seconds, 0.0);
+  EXPECT_TRUE(outcome.winner_confirmed);
+}
+
+TEST(MacroModelInjection, ParameterFileRoundTripDrivesRuns) {
+  // Characterize on one estimator, export the Figure 3 parameter file,
+  // import it into a fresh estimator, and check that macro-modeled runs
+  // agree exactly.
+  systems::TcpIpSystem sys_a({.num_packets = 3, .packet_bytes = 32});
+  CoEstimatorConfig cfg;
+  cfg.accel = Acceleration::kMacroModel;
+  CoEstimator a(&sys_a.network(), cfg);
+  sys_a.configure(a);
+  a.prepare();
+  const auto ra = a.run(sys_a.stimulus());
+  const std::string param_file = a.macromodel().to_parameter_file();
+
+  systems::TcpIpSystem sys_b({.num_packets = 3, .packet_bytes = 32});
+  CoEstimator b(&sys_b.network(), cfg);
+  sys_b.configure(b);
+  b.prepare();
+  auto loaded = MacroModelLibrary::from_parameter_file(param_file);
+  ASSERT_TRUE(loaded.has_value());
+  b.set_macromodel(*loaded);
+  const auto rb = b.run(sys_b.stimulus());
+  // nJ-granularity parameter files round to ~1e-6 relative.
+  EXPECT_NEAR(rb.total_energy, ra.total_energy, ra.total_energy * 1e-4);
+  EXPECT_EQ(rb.iss_invocations, 0u);
+}
+
+}  // namespace
+}  // namespace socpower::core

@@ -1,0 +1,118 @@
+// Failure-injection coverage: corrupted checksums are detected, software
+// tasks are isolated from each other in the shared data memory, and
+// runaway self-triggering is caught by the reaction guard.
+#include <gtest/gtest.h>
+
+#include "cfsm/dsl.hpp"
+#include "core/coestimator.hpp"
+#include "systems/tcpip.hpp"
+
+namespace socpower {
+namespace {
+
+TEST(FailureInjection, CorruptedExpectedChecksumIsFlagged) {
+  // Overwrite the latched CHK_EXP with garbage right after the memory model
+  // publishes it: ip_check must then count the packet as bad — exercising
+  // the error path of the comparison (".. flags an error if they do not
+  // match", Section 5.1).
+  systems::TcpIpSystem sys({.num_packets = 3, .packet_bytes = 32});
+  core::CoEstimator est(&sys.network(), {});
+  sys.configure(est);
+  est.prepare();
+  const auto chk_exp = sys.network().event_id("CHK_EXP");
+  int corrupted = 0;
+  est.set_environment_hook(  // composes after the memory model's hook
+      [&](const sim::EventOccurrence& o, sim::EventQueue& q) {
+        if (o.event == chk_exp && o.value != -1 && corrupted < 2) {
+          ++corrupted;
+          q.post(o.time + 1, chk_exp, -1);  // tamper (marker value)
+        }
+      });
+  est.run(sys.stimulus());
+  EXPECT_EQ(corrupted, 2);
+  EXPECT_EQ(sys.packets_bad(est), 2);
+  EXPECT_EQ(sys.packets_ok(est), 1);
+}
+
+TEST(FailureInjection, SoftwareTasksAreMemoryIsolated) {
+  // Two SW tasks with identically-named variables run interleaved on the
+  // one CPU; each must keep its own state (their data blocks are disjoint
+  // in the ISS memory).
+  cfsm::Network net;
+  const auto r = cfsm::parse_network(R"(
+    event GO_A, GO_B, OUT_A, OUT_B;
+    process a {
+      input GO_A; output OUT_A;
+      var count = 0;
+      count = count + 1;
+      emit OUT_A(count);
+    }
+    process b {
+      input GO_B; output OUT_B;
+      var count = 100;
+      count = count + 10;
+      emit OUT_B(count);
+    }
+  )", net);
+  ASSERT_TRUE(r.ok()) << r.error;
+  core::CoEstimatorConfig cfg;
+  cfg.verify_lowlevel = true;  // cross-checks ISS memory vs behavioral state
+  core::CoEstimator est(&net, cfg);
+  est.map_sw(net.cfsm_id("a"), 1);
+  est.map_sw(net.cfsm_id("b"), 2);
+  est.prepare();
+  sim::Stimulus stim;
+  for (int i = 0; i < 5; ++i) {
+    stim.add(1 + 10 * static_cast<sim::SimTime>(i), net.event_id("GO_A"));
+    stim.add(2 + 10 * static_cast<sim::SimTime>(i), net.event_id("GO_B"));
+  }
+  est.run(stim);
+  EXPECT_EQ(est.process_state(net.cfsm_id("a")).vars[0], 5);
+  EXPECT_EQ(est.process_state(net.cfsm_id("b")).vars[0], 150);
+}
+
+TEST(FailureInjection, RunawaySelfTriggerHitsTheGuard) {
+  cfsm::Network net;
+  const auto r = cfsm::parse_network(R"(
+    event GO, LOOP;
+    process runaway {
+      input GO, LOOP;
+      output LOOP;
+      emit LOOP;   // unconditional: re-triggers forever
+    }
+  )", net);
+  ASSERT_TRUE(r.ok()) << r.error;
+  core::CoEstimatorConfig cfg;
+  cfg.max_reactions = 500;
+  core::CoEstimator est(&net, cfg);
+  est.map_hw(net.cfsm_id("runaway"));
+  est.prepare();
+  sim::Stimulus stim;
+  stim.add(1, net.event_id("GO"));
+  const auto res = est.run(stim);
+  EXPECT_TRUE(res.truncated);
+  EXPECT_LE(res.reactions, 500u);
+}
+
+TEST(FailureInjection, EmissionsToUnconnectedEventsAreHarmless) {
+  cfsm::Network net;
+  const auto r = cfsm::parse_network(R"(
+    event GO, NOWHERE;
+    process p {
+      input GO; output NOWHERE;
+      emit NOWHERE(42);
+    }
+  )", net);
+  ASSERT_TRUE(r.ok()) << r.error;
+  core::CoEstimator est(&net, {});
+  est.map_sw(net.cfsm_id("p"), 0);
+  est.prepare();
+  sim::Stimulus stim;
+  stim.add(1, net.event_id("GO"));
+  const auto res = est.run(stim);
+  EXPECT_FALSE(res.truncated);
+  EXPECT_EQ(res.sw_reactions, 1u);
+}
+
+}  // namespace
+}  // namespace socpower

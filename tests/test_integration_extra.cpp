@@ -1,0 +1,236 @@
+// Additional integration and edge-case coverage: separate-estimation
+// semantics, odd workload shapes, SW image layout invariants, randomized
+// event-queue ordering, and cross-feature combinations.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/coestimator.hpp"
+#include "core/report.hpp"
+#include "swsyn/codegen.hpp"
+#include "systems/dashboard.hpp"
+#include "systems/prodcons.hpp"
+#include "systems/tcpip.hpp"
+#include "util/rng.hpp"
+
+namespace socpower {
+namespace {
+
+TEST(SeparateEstimation, IgnoresSharedResourceEffects) {
+  // Separate per-component estimation has no notion of the shared bus or
+  // cache (each estimator sees only its own trace) — that blindness is the
+  // paper's Section 2 argument.
+  systems::TcpIpSystem sys({.num_packets = 3, .packet_bytes = 32});
+  core::CoEstimator est(&sys.network(), {});
+  sys.configure(est);
+  est.prepare();
+  const auto sep = est.run_separate(sys.stimulus());
+  EXPECT_DOUBLE_EQ(sep.bus_energy, 0.0);
+  EXPECT_DOUBLE_EQ(sep.cache_energy, 0.0);
+  EXPECT_GT(sep.cpu_energy, 0.0);
+  EXPECT_GT(sep.hw_energy, 0.0);
+}
+
+TEST(SeparateEstimation, IsDeterministic) {
+  systems::ProdConsSystem sys({.num_packets = 5, .bytes_per_packet = 8});
+  core::CoEstimator est(&sys.network(), {});
+  sys.configure(est);
+  est.prepare();
+  const auto a = est.run_separate(sys.stimulus(20000));
+  const auto b = est.run_separate(sys.stimulus(20000));
+  EXPECT_EQ(a.process_energy, b.process_energy);
+  EXPECT_EQ(a.iss_instructions, b.iss_instructions);
+}
+
+TEST(SeparateEstimation, InterleavesWithCoEstimationRuns) {
+  // run() and run_separate() share one estimator; alternating them must not
+  // leak state between modes.
+  systems::TcpIpSystem sys({.num_packets = 2, .packet_bytes = 16});
+  core::CoEstimator est(&sys.network(), {});
+  sys.configure(est);
+  est.prepare();
+  const auto co1 = est.run(sys.stimulus());
+  const auto sep1 = est.run_separate(sys.stimulus());
+  const auto co2 = est.run(sys.stimulus());
+  const auto sep2 = est.run_separate(sys.stimulus());
+  EXPECT_DOUBLE_EQ(co1.total_energy, co2.total_energy);
+  EXPECT_DOUBLE_EQ(sep1.total_energy, sep2.total_energy);
+}
+
+TEST(TcpIpEdge, DmaLargerThanPacket) {
+  systems::TcpIpSystem sys(
+      {.num_packets = 2, .packet_bytes = 16, .dma_block_size = 128});
+  core::CoEstimator est(&sys.network(), {});
+  sys.configure(est);
+  est.prepare();
+  const auto r = est.run(sys.stimulus());
+  EXPECT_FALSE(r.truncated);
+  EXPECT_EQ(sys.packets_ok(est), 2);
+}
+
+TEST(TcpIpEdge, OddPacketSizesAndNonPowerOfTwoDma) {
+  // Odd packet length (tail byte zero-padded into its word) with a
+  // non-power-of-two — but word-aligned — DMA block size.
+  systems::TcpIpSystem sys(
+      {.num_packets = 3, .packet_bytes = 29, .dma_block_size = 6, .seed = 4});
+  core::CoEstimatorConfig cfg;
+  cfg.verify_lowlevel = true;
+  core::CoEstimator est(&sys.network(), cfg);
+  sys.configure(est);
+  est.prepare();
+  est.run(sys.stimulus());
+  EXPECT_EQ(sys.packets_ok(est), 3);
+  EXPECT_EQ(sys.packets_bad(est), 0);
+}
+
+TEST(TcpIpEdge, SingleBytePackets) {
+  systems::TcpIpSystem sys(
+      {.num_packets = 4, .packet_bytes = 1, .dma_block_size = 16});
+  core::CoEstimator est(&sys.network(), {});
+  sys.configure(est);
+  est.prepare();
+  est.run(sys.stimulus());
+  EXPECT_EQ(sys.packets_ok(est), 4);
+}
+
+TEST(TcpIpEdge, HwIpCheckMappingIsFunctionallyEquivalent) {
+  for (const bool hw : {false, true}) {
+    systems::TcpIpParams p;
+    p.num_packets = 4;
+    p.packet_bytes = 48;
+    p.ip_check_in_hw = hw;
+    systems::TcpIpSystem sys(p);
+    core::CoEstimator est(&sys.network(), {});
+    sys.configure(est);
+    est.prepare();
+    est.run(sys.stimulus());
+    EXPECT_EQ(sys.packets_ok(est), 4) << (hw ? "HW" : "SW");
+  }
+}
+
+TEST(ProdConsEdge, NoTimerTicksStillProcessesBaseIterations) {
+  // Without TIME updates, the consumer still runs its base per-packet work:
+  // the timing-dependent term is zero, not the whole loop.
+  systems::ProdConsParams p;
+  p.num_packets = 2;
+  p.bytes_per_packet = 4;
+  p.consumer_base_iterations = 5;
+  systems::ProdConsSystem sys(p);
+  core::CoEstimator est(&sys.network(), {});
+  sys.configure(est);
+  est.prepare();
+  sim::Stimulus stim;  // STARTs only, no TIMER_TICKs
+  stim.add(1, sys.network().event_id("START"));
+  stim.add(3, sys.network().event_id("START"));
+  std::uint64_t byte_dones = 0;
+  est.set_environment_hook(
+      [&](const sim::EventOccurrence& o, sim::EventQueue&) {
+        if (o.event == sys.byte_done_event()) ++byte_dones;
+      });
+  const auto r = est.run(stim);
+  EXPECT_FALSE(r.truncated);
+  EXPECT_EQ(byte_dones, 2u * 5u);
+}
+
+TEST(MacroModelIntegration, ParameterFileDrivesIdenticalEstimates) {
+  // The characterized library serializes to the Figure 3 format and, once
+  // reloaded, must reproduce the co-estimator's macro-model energies.
+  systems::TcpIpSystem sys({.num_packets = 3, .packet_bytes = 32});
+  core::CoEstimatorConfig cfg;
+  cfg.accel = core::Acceleration::kMacroModel;
+  core::CoEstimator est(&sys.network(), cfg);
+  sys.configure(est);
+  est.prepare();
+  const auto r = est.run(sys.stimulus());
+
+  std::string error;
+  const auto reloaded = core::MacroModelLibrary::from_parameter_file(
+      est.macromodel().to_parameter_file(), &error);
+  ASSERT_TRUE(reloaded.has_value()) << error;
+  // Spot-check a stream estimate end to end.
+  const std::vector<swsyn::MacroOp> stream = {
+      swsyn::MacroOp::kRVar, swsyn::MacroOp::kConst, swsyn::MacroOp::kAdd,
+      swsyn::MacroOp::kAvv, swsyn::MacroOp::kAemit, swsyn::MacroOp::kTend};
+  EXPECT_NEAR(reloaded->estimate(stream).energy,
+              est.macromodel().estimate(stream).energy,
+              est.macromodel().estimate(stream).energy * 1e-4);
+  EXPECT_GT(r.total_energy, 0.0);
+}
+
+TEST(SwImageLayout, OffsetsAreOrderedAndCovered) {
+  systems::TcpIpSystem sys({.num_packets = 1});
+  core::CoEstimator est(&sys.network(), {});
+  sys.configure(est);
+  est.prepare();
+  const swsyn::SwImage* img = est.sw_image(sys.create_pack());
+  ASSERT_NE(img, nullptr);
+  EXPECT_LT(0u, img->in_flag_off);
+  EXPECT_LT(img->in_flag_off, img->in_val_off);
+  EXPECT_LT(img->in_val_off, img->var_off);
+  EXPECT_LT(img->var_off, img->tmp_off);
+  EXPECT_LE(img->tmp_off, img->data_bytes);
+  EXPECT_GT(img->code.size(), 0u);
+  EXPECT_EQ(img->code_bytes(), img->code.size() * iss::kInstrBytes);
+  // Every declared input has a local slot; unknown events do not.
+  for (const auto e : sys.network().cfsm(sys.create_pack()).inputs())
+    EXPECT_GE(img->local_input_index(e), 0);
+  EXPECT_EQ(img->local_input_index(9999), -1);
+  // HW units have no SW image and vice versa.
+  EXPECT_EQ(est.sw_image(sys.checksum()), nullptr);
+  EXPECT_EQ(est.hw_image(sys.create_pack()), nullptr);
+  EXPECT_NE(est.hw_image(sys.checksum()), nullptr);
+}
+
+TEST(EventQueueProperty, RandomPostingsPopInNondecreasingTime) {
+  Rng rng(31);
+  sim::EventQueue q;
+  for (int i = 0; i < 500; ++i)
+    q.post(rng.below(100), static_cast<cfsm::EventId>(rng.below(5)), 0);
+  sim::SimTime last = 0;
+  std::size_t popped = 0;
+  while (!q.empty()) {
+    const auto instant = q.pop_instant();
+    ASSERT_FALSE(instant.empty());
+    EXPECT_GE(instant.front().time, last);
+    // All occurrences in an instant share one timestamp.
+    for (const auto& o : instant) EXPECT_EQ(o.time, instant.front().time);
+    last = instant.front().time;
+    popped += instant.size();
+  }
+  EXPECT_EQ(popped, 500u);
+}
+
+TEST(DashboardPartitions, AllEightPartitionsRunGreen) {
+  for (unsigned mask = 0; mask < 8; ++mask) {
+    systems::DashboardSystem sys({.frames = 8});
+    core::CoEstimatorConfig cfg;
+    cfg.verify_lowlevel = true;
+    core::CoEstimator est(&sys.network(), cfg);
+    sys.configure(est, {.speedo_hw = (mask & 1) != 0,
+                        .odometer_hw = (mask & 2) != 0,
+                        .cruise_hw = (mask & 4) != 0});
+    est.prepare();
+    const auto r = est.run(sys.stimulus());
+    EXPECT_FALSE(r.truncated) << "mask=" << mask;
+    EXPECT_GT(r.total_energy, 0.0) << "mask=" << mask;
+  }
+}
+
+TEST(RtlEstimatorIntegration, BatchAndOnlineAgree) {
+  systems::TcpIpParams p;
+  p.num_packets = 3;
+  p.packet_bytes = 32;
+  p.checksum_rtl_estimator = true;
+  systems::TcpIpSystem sys(p);
+  core::CoEstimator est(&sys.network(), {});
+  sys.configure(est);
+  est.prepare();
+  est.config().hw_batch = true;
+  const auto batch = est.run(sys.stimulus());
+  est.config().hw_batch = false;
+  const auto online = est.run(sys.stimulus());
+  EXPECT_NEAR(batch.hw_energy, online.hw_energy, batch.hw_energy * 1e-9);
+}
+
+}  // namespace
+}  // namespace socpower

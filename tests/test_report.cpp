@@ -1,0 +1,131 @@
+// Run-report rendering and CSV export tests.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/report.hpp"
+#include "systems/tcpip.hpp"
+
+namespace socpower::core {
+namespace {
+
+struct ReportFixture : ::testing::Test {
+  ReportFixture() : sys({.num_packets = 3, .packet_bytes = 32}) {}
+
+  void run(bool keep_samples) {
+    CoEstimatorConfig cfg;
+    cfg.keep_power_samples = keep_samples;
+    est = std::make_unique<CoEstimator>(&sys.network(), cfg);
+    sys.configure(*est);
+    est->prepare();
+    results = est->run(sys.stimulus());
+  }
+
+  systems::TcpIpSystem sys;
+  std::unique_ptr<CoEstimator> est;
+  RunResults results;
+};
+
+TEST_F(ReportFixture, ReportListsEveryProcessWithImplementation) {
+  run(/*keep_samples=*/false);
+  ReportOptions opt;
+  opt.include_waveforms = false;
+  const std::string report =
+      render_report(sys.network(), *est, results, opt);
+  EXPECT_NE(report.find("create_pack"), std::string::npos);
+  EXPECT_NE(report.find("packet_queue"), std::string::npos);
+  EXPECT_NE(report.find("ip_check"), std::string::npos);
+  EXPECT_NE(report.find("checksum"), std::string::npos);
+  EXPECT_NE(report.find("(bus)"), std::string::npos);
+  EXPECT_NE(report.find("(icache)"), std::string::npos);
+  EXPECT_NE(report.find("SW"), std::string::npos);
+  EXPECT_NE(report.find("HW"), std::string::npos);
+}
+
+TEST_F(ReportFixture, WaveformsRenderedWhenSamplesKept) {
+  run(/*keep_samples=*/true);
+  const std::string report = render_report(sys.network(), *est, results);
+  EXPECT_NE(report.find("power waveform"), std::string::npos);
+  EXPECT_NE(report.find("peaks at cycles:"), std::string::npos);
+  EXPECT_NE(report.find('#'), std::string::npos);
+}
+
+TEST_F(ReportFixture, SharesSumToRoughlyHundredPercent) {
+  run(false);
+  ReportOptions opt;
+  opt.include_waveforms = false;
+  const std::string report =
+      render_report(sys.network(), *est, results, opt);
+  // Crude but effective: extract the share column values and sum them.
+  double sum = 0;
+  std::istringstream in(report);
+  std::string line;
+  while (std::getline(in, line)) {
+    // Rows look like "| name | SW | 1.23 uJ | 45.6 | ...".
+    const auto p1 = line.rfind("| ");
+    if (p1 == std::string::npos) continue;
+    std::size_t col = 0, pos = 0;
+    std::vector<std::string> cells;
+    while ((pos = line.find("| ", pos)) != std::string::npos) {
+      const auto end = line.find(" |", pos + 2);
+      if (end == std::string::npos) break;
+      cells.push_back(line.substr(pos + 2, end - pos - 2));
+      pos = end;
+      ++col;
+    }
+    if (cells.size() >= 4) {
+      try {
+        sum += std::stod(cells[3]);
+      } catch (...) {
+      }
+    }
+  }
+  EXPECT_NEAR(sum, 100.0, 1.5);
+}
+
+TEST_F(ReportFixture, CsvHasHeaderAndAlignedRows) {
+  run(true);
+  const std::string csv = waveforms_csv(*est, /*window_cycles=*/128);
+  std::istringstream in(csv);
+  std::string header;
+  ASSERT_TRUE(std::getline(in, header));
+  EXPECT_EQ(header.rfind("start_cycle", 0), 0u);
+  const auto cols =
+      static_cast<std::size_t>(std::count(header.begin(), header.end(), ',')) +
+      1;
+  EXPECT_EQ(cols, 1u + sys.network().cfsm_count() + 2);  // + bus + icache
+  std::string row;
+  std::size_t rows = 0;
+  while (std::getline(in, row)) {
+    EXPECT_EQ(static_cast<std::size_t>(
+                  std::count(row.begin(), row.end(), ',')) +
+                  1,
+              cols);
+    ++rows;
+  }
+  EXPECT_GT(rows, 2u);
+}
+
+TEST_F(ReportFixture, CsvPowerIntegratesBackToTotalEnergy) {
+  run(true);
+  const sim::SimTime window = 64;
+  const std::string csv = waveforms_csv(*est, window);
+  // Sum all component watts * window seconds == total energy.
+  std::istringstream in(csv);
+  std::string line;
+  std::getline(in, line);  // header
+  double joules = 0;
+  const double wsec = ElectricalParams{}.seconds(window);
+  while (std::getline(in, line)) {
+    std::size_t pos = line.find(',');
+    while (pos != std::string::npos) {
+      const auto next = line.find(',', pos + 1);
+      joules += std::stod(line.substr(pos + 1, next - pos - 1)) * wsec;
+      pos = next;
+    }
+  }
+  EXPECT_NEAR(joules, results.total_energy, results.total_energy * 1e-6);
+}
+
+}  // namespace
+}  // namespace socpower::core

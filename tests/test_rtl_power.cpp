@@ -1,0 +1,144 @@
+// RT-level power estimator tests: operator macro energies, reaction
+// estimates, and fidelity against the gate-level reference on a real system.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <vector>
+
+#include "core/coestimator.hpp"
+#include "hwsyn/rtl_power.hpp"
+#include "systems/tcpip.hpp"
+#include "util/stats.hpp"
+
+namespace socpower::hwsyn {
+namespace {
+
+using cfsm::ExprOp;
+
+TEST(RtlPower, OperatorEnergiesArePositiveAndOrdered) {
+  RtlPowerEstimator est;
+  // Multiplier >> adder >> bitwise AND >> single-bit compare output.
+  EXPECT_GT(est.op_energy(ExprOp::kMul), est.op_energy(ExprOp::kAdd));
+  EXPECT_GT(est.op_energy(ExprOp::kAdd), est.op_energy(ExprOp::kBitAnd));
+  for (const auto op : {ExprOp::kAdd, ExprOp::kSub, ExprOp::kMul,
+                        ExprOp::kBitXor, ExprOp::kEq, ExprOp::kLt,
+                        ExprOp::kLogicAnd})
+    EXPECT_GT(est.op_energy(op), 0.0);
+  // Constant shifts are pure wiring in hardware: free at RT level.
+  EXPECT_DOUBLE_EQ(est.op_energy(ExprOp::kShl), 0.0);
+  EXPECT_GT(est.reg_write_energy(), 0.0);
+  EXPECT_GT(est.emit_energy(), 0.0);
+}
+
+TEST(RtlPower, EnergyScalesWithWidthAndVdd) {
+  RtlPowerConfig narrow;
+  narrow.width = 8;
+  RtlPowerConfig wide;
+  wide.width = 32;
+  RtlPowerEstimator n(narrow), w(wide);
+  EXPECT_GT(w.op_energy(ExprOp::kAdd), 2.0 * n.op_energy(ExprOp::kAdd));
+
+  RtlPowerConfig hi;
+  hi.electrical.vdd_volts = 3.3;
+  RtlPowerConfig lo;
+  lo.electrical.vdd_volts = 1.65;
+  RtlPowerEstimator h(hi), l(lo);
+  EXPECT_NEAR(h.op_energy(ExprOp::kAdd) / l.op_energy(ExprOp::kAdd), 4.0,
+              1e-9);
+}
+
+TEST(RtlPower, ReactionEstimateSumsActivatedOperators) {
+  cfsm::Network net;
+  const auto trig = net.declare_event("T");
+  cfsm::Cfsm& c = net.add_cfsm("x");
+  c.add_input(trig);
+  const auto v = c.add_var("v");
+  auto& g = c.graph();
+  auto& a = c.arena();
+  const auto end = g.add_end();
+  const auto heavy = g.add_assign(
+      v, a.binary(ExprOp::kMul, a.variable(v), a.variable(v)), end);
+  const auto light = g.add_assign(
+      v, a.binary(ExprOp::kAdd, a.variable(v), a.constant(1)), end);
+  g.set_root(g.add_test(a.event_value(trig), heavy, light));
+
+  RtlPowerEstimator est;
+  cfsm::CfsmState st = c.make_state();
+  cfsm::ReactionInputs in;
+  in.set(trig, 1);
+  const auto r_heavy = c.react(in, st);
+  in.clear();
+  in.set(trig, 0);
+  const auto r_light = c.react(in, st);
+  const Joules e_heavy = est.estimate_reaction(c, r_heavy.trace, in);
+  const Joules e_light = est.estimate_reaction(c, r_light.trace, in);
+  EXPECT_GT(e_heavy, e_light);  // multiplier path costs more than adder path
+}
+
+TEST(RtlPower, DataDensityScalesEstimate) {
+  cfsm::Network net;
+  const auto trig = net.declare_event("T");
+  cfsm::Cfsm& c = net.add_cfsm("x");
+  c.add_input(trig);
+  const auto v = c.add_var("v");
+  auto& g = c.graph();
+  auto& a = c.arena();
+  g.set_root(g.add_assign(
+      v, a.binary(ExprOp::kAdd, a.variable(v), a.event_value(trig)),
+      g.add_end()));
+  RtlPowerEstimator est;
+  cfsm::CfsmState st = c.make_state();
+  cfsm::ReactionInputs sparse, dense;
+  sparse.set(trig, 0);
+  dense.set(trig, -1);  // all 32 bits set
+  const auto tr = c.react(sparse, st).trace;
+  EXPECT_GT(est.estimate_reaction(c, tr, dense),
+            est.estimate_reaction(c, tr, sparse));
+}
+
+TEST(RtlPower, TracksGateLevelOnTcpIpChecksum) {
+  // Fidelity: the RT-level estimate of the checksum ASIC must land in the
+  // same ballpark as the gate-level reference over a full workload (it is
+  // a structural macro model: factor-of-3 agreement is the expectation),
+  // and functionality must be untouched.
+  auto run_with = [](bool rtl) {
+    systems::TcpIpParams p;
+    p.num_packets = 8;
+    p.packet_bytes = 64;
+    p.checksum_rtl_estimator = rtl;
+    systems::TcpIpSystem sys(p);
+    core::CoEstimator est(&sys.network(), {});
+    sys.configure(est);
+    est.prepare();
+    const auto r = est.run(sys.stimulus());
+    EXPECT_EQ(sys.packets_ok(est), 8);
+    return r.process_energy[static_cast<std::size_t>(sys.checksum())];
+  };
+  const Joules gate = run_with(false);
+  const Joules rtl = run_with(true);
+  EXPECT_GT(rtl, 0.0);
+  EXPECT_GT(rtl, gate / 3.0);
+  EXPECT_LT(rtl, gate * 3.0);
+}
+
+TEST(RtlPower, WorksUnderHwCachingAcceleration) {
+  systems::TcpIpParams p;
+  p.num_packets = 6;
+  p.packet_bytes = 32;
+  p.checksum_rtl_estimator = true;
+  systems::TcpIpSystem sys(p);
+  core::CoEstimatorConfig cfg;
+  cfg.accel = core::Acceleration::kCaching;
+  cfg.accelerate_hw = true;
+  cfg.energy_cache.thresh_variance = 1.0;
+  core::CoEstimator est(&sys.network(), cfg);
+  sys.configure(est);
+  est.prepare();
+  const auto r = est.run(sys.stimulus());
+  EXPECT_FALSE(r.truncated);
+  EXPECT_EQ(sys.packets_ok(est), 6);
+  EXPECT_GT(r.cache_hits_served, 0u);
+}
+
+}  // namespace
+}  // namespace socpower::hwsyn

@@ -1,0 +1,252 @@
+// S-graph tests: construction/validation, execution semantics (sequential
+// assignment visibility, branch direction, emissions), path enumeration and
+// interning.
+#include <gtest/gtest.h>
+
+#include "cfsm/cfsm.hpp"
+#include "cfsm/sgraph.hpp"
+
+namespace socpower::cfsm {
+namespace {
+
+/// Minimal harness: a Cfsm gives us an arena + graph + state in one place.
+struct Fixture {
+  Network net;
+  Cfsm& c;
+  EventId in_e;
+  EventId out_e;
+
+  Fixture()
+      : c(net.add_cfsm("t")), in_e(net.declare_event("IN")),
+        out_e(net.declare_event("OUT")) {
+    c.add_input(in_e);
+    c.add_output(out_e);
+  }
+};
+
+TEST(SGraph, ValidateRejectsMissingRoot) {
+  ExprArena a;
+  SGraph g(&a);
+  EXPECT_NE(g.validate(), "");
+}
+
+TEST(SGraph, ValidateRejectsUndefinedReservedNode) {
+  ExprArena a;
+  SGraph g(&a);
+  const NodeId r = g.reserve();
+  g.set_root(r);
+  EXPECT_NE(g.validate(), "");
+  g.define_end(r);
+  EXPECT_EQ(g.validate(), "");
+}
+
+TEST(SGraph, ValidateDetectsCycle) {
+  ExprArena a;
+  SGraph g(&a);
+  const NodeId n1 = g.reserve();
+  const NodeId n2 = g.reserve();
+  g.define_assign(n1, 0, a.constant(1), n2);
+  g.define_assign(n2, 0, a.constant(2), n1);  // back edge
+  g.set_root(n1);
+  EXPECT_NE(g.validate().find("cycle"), std::string::npos);
+}
+
+TEST(SGraph, SequentialAssignmentVisibility) {
+  // v0 := 5; v0 := v0 + 1; the second read must see 5.
+  Fixture f;
+  auto& g = f.c.graph();
+  auto& a = f.c.arena();
+  const VarId v = f.c.add_var("v");
+  const NodeId end = g.add_end();
+  const NodeId n2 = g.add_assign(
+      v, a.binary(ExprOp::kAdd, a.variable(v), a.constant(1)), end);
+  const NodeId n1 = g.add_assign(v, a.constant(5), n2);
+  g.set_root(n1);
+  ASSERT_EQ(g.validate(), "");
+
+  CfsmState st = f.c.make_state();
+  ReactionInputs in;
+  in.set(f.in_e, 0);
+  const Reaction r = f.c.react(in, st);
+  EXPECT_EQ(st.vars[0], 6);
+  EXPECT_EQ(r.trace.size(), 3u);
+}
+
+TEST(SGraph, TestBranchDirections) {
+  Fixture f;
+  auto& g = f.c.graph();
+  auto& a = f.c.arena();
+  const VarId v = f.c.add_var("v");
+  const NodeId end = g.add_end();
+  const NodeId then_n = g.add_assign(v, a.constant(1), end);
+  const NodeId else_n = g.add_assign(v, a.constant(2), end);
+  g.set_root(g.add_test(a.event_value(f.in_e), then_n, else_n));
+  ASSERT_EQ(g.validate(), "");
+
+  CfsmState st = f.c.make_state();
+  ReactionInputs in;
+  in.set(f.in_e, 7);  // nonzero -> then
+  f.c.react(in, st);
+  EXPECT_EQ(st.vars[0], 1);
+  in.clear();
+  in.set(f.in_e, 0);  // zero -> else
+  f.c.react(in, st);
+  EXPECT_EQ(st.vars[0], 2);
+}
+
+TEST(SGraph, EmissionCarriesEvaluatedValue) {
+  Fixture f;
+  auto& g = f.c.graph();
+  auto& a = f.c.arena();
+  const NodeId end = g.add_end();
+  g.set_root(g.add_emit(
+      f.out_e, a.binary(ExprOp::kMul, a.event_value(f.in_e), a.constant(3)),
+      end));
+  CfsmState st = f.c.make_state();
+  ReactionInputs in;
+  in.set(f.in_e, 14);
+  const Reaction r = f.c.react(in, st);
+  ASSERT_EQ(r.emissions.size(), 1u);
+  EXPECT_EQ(r.emissions[0].event, f.out_e);
+  EXPECT_EQ(r.emissions[0].value, 42);
+}
+
+TEST(SGraph, EmitWithoutValueYieldsZero) {
+  Fixture f;
+  auto& g = f.c.graph();
+  g.set_root(g.add_emit(f.out_e, kNoExpr, g.add_end()));
+  CfsmState st = f.c.make_state();
+  ReactionInputs in;
+  in.set(f.in_e, 1);
+  const Reaction r = f.c.react(in, st);
+  ASSERT_EQ(r.emissions.size(), 1u);
+  EXPECT_EQ(r.emissions[0].value, 0);
+}
+
+TEST(SGraph, EnumeratePathsCountsBranchCombinations) {
+  Fixture f;
+  auto& g = f.c.graph();
+  auto& a = f.c.arena();
+  const VarId v = f.c.add_var("v");
+  // Two independent tests in sequence -> 4 paths.
+  const NodeId end = g.add_end();
+  const NodeId t2a = g.add_assign(v, a.constant(1), end);
+  const NodeId t2b = g.add_assign(v, a.constant(2), end);
+  const NodeId t2 = g.add_test(a.variable(v), t2a, t2b);
+  const NodeId t1a = g.add_assign(v, a.constant(3), t2);
+  const NodeId t1b = g.add_assign(v, a.constant(4), t2);
+  g.set_root(g.add_test(a.event_value(f.in_e), t1a, t1b));
+  ASSERT_EQ(g.validate(), "");
+  EXPECT_EQ(g.enumerate_paths().size(), 4u);
+}
+
+TEST(SGraph, EnumeratePathsRespectsCap) {
+  Fixture f;
+  auto& g = f.c.graph();
+  auto& a = f.c.arena();
+  const VarId v = f.c.add_var("v");
+  // Chain of 8 tests -> 256 paths; cap at 10.
+  NodeId next = g.add_end();
+  for (int i = 0; i < 8; ++i) {
+    const NodeId t = g.add_assign(v, a.constant(i), next);
+    const NodeId e = g.add_assign(v, a.constant(-i), next);
+    next = g.add_test(a.variable(v), t, e);
+  }
+  g.set_root(next);
+  EXPECT_EQ(g.enumerate_paths(10).size(), 10u);
+}
+
+TEST(SGraph, DagSharingExecutesSharedTailOnce) {
+  Fixture f;
+  auto& g = f.c.graph();
+  auto& a = f.c.arena();
+  const VarId v = f.c.add_var("v");
+  const NodeId end = g.add_end();
+  const NodeId shared = g.add_assign(
+      v, a.binary(ExprOp::kAdd, a.variable(v), a.constant(100)), end);
+  const NodeId t = g.add_assign(v, a.constant(1), shared);
+  const NodeId e = g.add_assign(v, a.constant(2), shared);
+  g.set_root(g.add_test(a.event_value(f.in_e), t, e));
+  CfsmState st = f.c.make_state();
+  ReactionInputs in;
+  in.set(f.in_e, 1);
+  f.c.react(in, st);
+  EXPECT_EQ(st.vars[0], 101);
+}
+
+TEST(PathTable, InternsDistinctTracesDistinctly) {
+  PathTable pt;
+  EXPECT_EQ(pt.intern({0, 1, 2}), 0);
+  EXPECT_EQ(pt.intern({0, 1, 3}), 1);
+  EXPECT_EQ(pt.intern({0, 1, 2}), 0);  // same trace, same id
+  EXPECT_EQ(pt.size(), 2u);
+  EXPECT_EQ(pt.path(1), (std::vector<NodeId>{0, 1, 3}));
+}
+
+TEST(PathTable, PrefixIsNotConfusedWithLonger) {
+  PathTable pt;
+  const PathId a = pt.intern({1, 2});
+  const PathId b = pt.intern({1, 2, 3});
+  EXPECT_NE(a, b);
+}
+
+TEST(Cfsm, ResetReinitializesVariablesAndSkipsGraph) {
+  Network net;
+  const EventId trig = net.declare_event("T");
+  const EventId rst = net.declare_event("RST");
+  Cfsm& c = net.add_cfsm("p");
+  c.add_input(trig);
+  c.set_reset_event(rst);
+  const VarId v = c.add_var("v", 11);
+  auto& g = c.graph();
+  g.set_root(g.add_assign(v, c.arena().constant(99), g.add_end()));
+
+  CfsmState st = c.make_state();
+  EXPECT_EQ(st.vars[0], 11);
+  ReactionInputs in;
+  in.set(trig, 0);
+  c.react(in, st);
+  EXPECT_EQ(st.vars[0], 99);
+  in.clear();
+  in.set(rst, 0);
+  const Reaction r = c.react(in, st);
+  EXPECT_EQ(st.vars[0], 11);      // back to init
+  EXPECT_TRUE(r.trace.empty());   // reset consumes the instant
+  EXPECT_TRUE(r.emissions.empty());
+}
+
+TEST(Network, ReceiversAndSamplers) {
+  Network net;
+  const EventId e1 = net.declare_event("E1");
+  const EventId e2 = net.declare_event("E2");
+  Cfsm& a = net.add_cfsm("a");
+  a.add_input(e1);
+  Cfsm& b = net.add_cfsm("b");
+  b.add_sampled_input(e1);
+  b.add_input(e2);
+  EXPECT_EQ(net.receivers(e1), std::vector<CfsmId>{a.id()});
+  EXPECT_EQ(net.samplers(e1), std::vector<CfsmId>{b.id()});
+  EXPECT_EQ(net.receivers(e2), std::vector<CfsmId>{b.id()});
+  EXPECT_TRUE(b.listens_to(e1));
+  EXPECT_FALSE(b.triggers_on(e1));
+  EXPECT_TRUE(b.triggers_on(e2));
+}
+
+TEST(Network, EventLookupByName) {
+  Network net;
+  const EventId e = net.declare_event("FOO");
+  EXPECT_EQ(net.event_id("FOO"), e);
+  EXPECT_EQ(net.event_id("BAR"), -1);
+  EXPECT_EQ(net.event_name(e), "FOO");
+}
+
+TEST(ReactionInputs, LatestValueWinsWithinInstant) {
+  ReactionInputs in;
+  in.set(5, 10);
+  in.set(5, 20);
+  EXPECT_EQ(in.value(5), 20);
+  EXPECT_EQ(in.all().size(), 1u);
+}
+
+}  // namespace
+}  // namespace socpower::cfsm

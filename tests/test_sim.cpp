@@ -1,0 +1,132 @@
+// Discrete-event machinery tests: event queue ordering/instant semantics and
+// the power trace book-keeper (waveforms, peaks).
+#include <gtest/gtest.h>
+
+#include "sim/event_queue.hpp"
+#include "sim/power_trace.hpp"
+
+namespace socpower::sim {
+namespace {
+
+TEST(EventQueue, PopsInTimeOrder) {
+  EventQueue q;
+  q.post(30, 0, 0);
+  q.post(10, 1, 0);
+  q.post(20, 2, 0);
+  EXPECT_EQ(q.next_time(), 10u);
+  EXPECT_EQ(q.pop_instant()[0].event, 1);
+  EXPECT_EQ(q.pop_instant()[0].event, 2);
+  EXPECT_EQ(q.pop_instant()[0].event, 0);
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueue, InstantGroupsSimultaneousEvents) {
+  EventQueue q;
+  q.post(5, 0, 0);
+  q.post(5, 1, 0);
+  q.post(6, 2, 0);
+  const auto instant = q.pop_instant();
+  EXPECT_EQ(instant.size(), 2u);
+  EXPECT_EQ(instant[0].time, 5u);
+  EXPECT_EQ(q.size(), 1u);
+}
+
+TEST(EventQueue, PostingOrderPreservedWithinInstant) {
+  EventQueue q;
+  for (int i = 0; i < 10; ++i) q.post(7, i, i * 10);
+  const auto instant = q.pop_instant();
+  ASSERT_EQ(instant.size(), 10u);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(instant[static_cast<std::size_t>(i)].event, i);
+    EXPECT_EQ(instant[static_cast<std::size_t>(i)].value, i * 10);
+  }
+}
+
+TEST(EventQueue, SourceTracked) {
+  EventQueue q;
+  q.post(1, 0, 0, /*source=*/3);
+  EXPECT_EQ(q.pop_instant()[0].source, 3);
+}
+
+TEST(EventQueue, ClearResets) {
+  EventQueue q;
+  q.post(1, 0, 0);
+  q.clear();
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(Stimulus, LoadAndHorizon) {
+  Stimulus s;
+  s.add(10, 0);
+  s.add(50, 1, 7);
+  s.add(30, 2);
+  EXPECT_EQ(s.horizon(), 50u);
+  EventQueue q;
+  s.load_into(q);
+  EXPECT_EQ(q.size(), 3u);
+  EXPECT_EQ(q.next_time(), 10u);
+}
+
+TEST(PowerTrace, TotalsPerComponent) {
+  PowerTrace t;
+  const auto cpu = t.add_component("cpu");
+  const auto bus = t.add_component("bus");
+  t.record(cpu, 0, 1e-9);
+  t.record(cpu, 5, 2e-9);
+  t.record(bus, 3, 10e-9);
+  EXPECT_DOUBLE_EQ(t.total(cpu), 3e-9);
+  EXPECT_DOUBLE_EQ(t.total(bus), 10e-9);
+  EXPECT_DOUBLE_EQ(t.grand_total(), 13e-9);
+  EXPECT_EQ(t.end_time(), 5u);
+  EXPECT_EQ(t.component_id("bus"), bus);
+  EXPECT_EQ(t.component_id("nope"), -1);
+}
+
+TEST(PowerTrace, WaveformBucketsEnergy) {
+  PowerTrace t(ElectricalParams{.vdd_volts = 3.3, .clock_hz = 1e6});
+  const auto c = t.add_component("c");
+  t.record(c, 0, 1e-9);
+  t.record(c, 9, 1e-9);
+  t.record(c, 10, 4e-9);
+  const auto wf = t.waveform(c, 10);
+  ASSERT_EQ(wf.size(), 2u);
+  EXPECT_DOUBLE_EQ(wf[0].energy, 2e-9);
+  EXPECT_DOUBLE_EQ(wf[1].energy, 4e-9);
+  // 10 cycles at 1 MHz = 10 us; P = E / t.
+  EXPECT_NEAR(wf[1].watts, 4e-9 / 10e-6, 1e-15);
+}
+
+TEST(PowerTrace, PeakWindowsDescending) {
+  PowerTrace t;
+  const auto c = t.add_component("c");
+  t.record(c, 5, 1e-9);
+  t.record(c, 15, 9e-9);
+  t.record(c, 25, 4e-9);
+  const auto wf = t.waveform(c, 10);
+  const auto peaks = PowerTrace::peak_windows(wf, 2);
+  ASSERT_EQ(peaks.size(), 2u);
+  EXPECT_EQ(peaks[0], 1u);
+  EXPECT_EQ(peaks[1], 2u);
+}
+
+TEST(PowerTrace, KeepSamplesOffStillTotals) {
+  PowerTrace t;
+  const auto c = t.add_component("c");
+  t.set_keep_samples(false);
+  t.record(c, 3, 7e-9);
+  EXPECT_DOUBLE_EQ(t.total(c), 7e-9);
+  const auto wf = t.waveform(c, 10);  // no samples -> empty energy
+  EXPECT_DOUBLE_EQ(wf[0].energy, 0.0);
+}
+
+TEST(PowerTrace, ResetClearsTotalsKeepsComponents) {
+  PowerTrace t;
+  const auto c = t.add_component("c");
+  t.record(c, 1, 1e-9);
+  t.reset();
+  EXPECT_DOUBLE_EQ(t.total(c), 0.0);
+  EXPECT_EQ(t.component_count(), 1u);
+}
+
+}  // namespace
+}  // namespace socpower::sim

@@ -1,0 +1,77 @@
+// End-to-end smoke tests: the three benchmark systems run to completion
+// under every acceleration mode and produce self-consistent results.
+#include <gtest/gtest.h>
+
+#include "core/coestimator.hpp"
+#include "systems/dashboard.hpp"
+#include "systems/prodcons.hpp"
+#include "systems/tcpip.hpp"
+
+namespace socpower {
+namespace {
+
+TEST(Smoke, ProdConsRunsAndConsumesEnergy) {
+  systems::ProdConsSystem sys({.num_packets = 4, .bytes_per_packet = 8});
+  core::CoEstimatorConfig cfg;
+  cfg.verify_lowlevel = true;
+  core::CoEstimator est(&sys.network(), cfg);
+  sys.configure(est);
+  est.prepare();
+  const auto res = est.run(sys.stimulus(/*horizon=*/20000));
+  EXPECT_FALSE(res.truncated);
+  EXPECT_GT(res.total_energy, 0.0);
+  EXPECT_GT(res.process_energy[static_cast<std::size_t>(sys.producer())], 0.0);
+  EXPECT_GT(res.process_energy[static_cast<std::size_t>(sys.consumer())], 0.0);
+  EXPECT_GT(res.sw_reactions, 0u);
+  EXPECT_GT(res.hw_reactions, 0u);
+}
+
+TEST(Smoke, TcpIpChecksumsAllPacketsCorrectly) {
+  systems::TcpIpSystem sys({.num_packets = 3, .packet_bytes = 32});
+  core::CoEstimatorConfig cfg;
+  cfg.verify_lowlevel = true;
+  core::CoEstimator est(&sys.network(), cfg);
+  sys.configure(est);
+  est.prepare();
+  const auto res = est.run(sys.stimulus());
+  EXPECT_FALSE(res.truncated);
+  EXPECT_EQ(sys.packets_ok(est), 3);
+  EXPECT_EQ(sys.packets_bad(est), 0);
+  EXPECT_GT(res.bus_energy, 0.0);
+  EXPECT_GT(res.cpu_energy, 0.0);
+  EXPECT_GT(res.hw_energy, 0.0);
+}
+
+TEST(Smoke, DashboardRuns) {
+  systems::DashboardSystem sys({.frames = 12});
+  core::CoEstimatorConfig cfg;
+  cfg.verify_lowlevel = true;
+  core::CoEstimator est(&sys.network(), cfg);
+  sys.configure(est);
+  est.prepare();
+  const auto res = est.run(sys.stimulus());
+  EXPECT_FALSE(res.truncated);
+  EXPECT_GT(res.total_energy, 0.0);
+  EXPECT_GT(res.sw_reactions, 0u);
+  EXPECT_GT(res.hw_reactions, 0u);
+}
+
+TEST(Smoke, AllAccelerationModesComplete) {
+  for (const auto accel :
+       {core::Acceleration::kNone, core::Acceleration::kCaching,
+        core::Acceleration::kMacroModel, core::Acceleration::kSampling}) {
+    systems::TcpIpSystem sys({.num_packets = 2, .packet_bytes = 16});
+    core::CoEstimatorConfig cfg;
+    cfg.accel = accel;
+    core::CoEstimator est(&sys.network(), cfg);
+    sys.configure(est);
+    est.prepare();
+    const auto res = est.run(sys.stimulus());
+    EXPECT_FALSE(res.truncated) << core::acceleration_name(accel);
+    EXPECT_GT(res.total_energy, 0.0) << core::acceleration_name(accel);
+    EXPECT_EQ(sys.packets_ok(est), 2) << core::acceleration_name(accel);
+  }
+}
+
+}  // namespace
+}  // namespace socpower

@@ -1,0 +1,106 @@
+// Transition-trace recorder and system-inventory tests.
+#include <gtest/gtest.h>
+
+#include "core/inventory.hpp"
+#include "core/transition_trace.hpp"
+#include "systems/tcpip.hpp"
+
+namespace socpower::core {
+namespace {
+
+TEST(TransitionTrace, CapturesEveryTransitionInOrder) {
+  systems::TcpIpSystem sys({.num_packets = 2, .packet_bytes = 16});
+  CoEstimator est(&sys.network(), {});
+  sys.configure(est);
+  est.prepare();
+  TransitionTrace trace;
+  est.set_transition_hook(trace.hook());
+  const auto r = est.run(sys.stimulus());
+  EXPECT_EQ(trace.records().size(), r.reactions);
+  EXPECT_EQ(trace.dropped(), 0u);
+  // Per-task extraction is time ordered.
+  const auto cp = trace.for_task(sys.create_pack());
+  ASSERT_FALSE(cp.empty());
+  for (std::size_t i = 1; i < cp.size(); ++i)
+    EXPECT_GE(cp[i].time, cp[i - 1].time);
+  for (const auto& rec : cp) EXPECT_EQ(rec.task, sys.create_pack());
+}
+
+TEST(TransitionTrace, CapacityBoundsMemory) {
+  systems::TcpIpSystem sys({.num_packets = 4, .packet_bytes = 64});
+  CoEstimator est(&sys.network(), {});
+  sys.configure(est);
+  est.prepare();
+  TransitionTrace trace(/*capacity=*/10);
+  est.set_transition_hook(trace.hook());
+  est.run(sys.stimulus());
+  EXPECT_EQ(trace.records().size(), 10u);
+  EXPECT_GT(trace.dropped(), 0u);
+  const std::string text = trace.render(sys.network());
+  EXPECT_NE(text.find("records dropped"), std::string::npos);
+}
+
+TEST(TransitionTrace, RenderAndCsvNameProcesses) {
+  systems::TcpIpSystem sys({.num_packets = 1, .packet_bytes = 8});
+  CoEstimator est(&sys.network(), {});
+  sys.configure(est);
+  est.prepare();
+  TransitionTrace trace;
+  est.set_transition_hook(trace.hook());
+  est.run(sys.stimulus());
+  const std::string text = trace.render(sys.network(), 1000);
+  EXPECT_NE(text.find("create_pack"), std::string::npos);
+  EXPECT_NE(text.find("simulated"), std::string::npos);
+  const std::string csv = trace.to_csv(sys.network());
+  EXPECT_EQ(csv.rfind("time,process,path,cycles,energy_nJ,simulated", 0), 0u);
+  // One CSV data row per record.
+  const auto rows = std::count(csv.begin(), csv.end(), '\n');
+  EXPECT_EQ(static_cast<std::size_t>(rows), trace.records().size() + 1);
+}
+
+TEST(TransitionTrace, MarksAcceleratedTransitionsAsEstimated) {
+  systems::TcpIpSystem sys({.num_packets = 6, .packet_bytes = 32});
+  CoEstimatorConfig cfg;
+  cfg.accel = Acceleration::kMacroModel;
+  CoEstimator est(&sys.network(), cfg);
+  sys.configure(est);
+  est.prepare();
+  TransitionTrace trace;
+  est.set_transition_hook(trace.hook());
+  est.run(sys.stimulus());
+  bool any_estimated = false, any_simulated = false;
+  for (const auto& r : trace.records()) {
+    if (r.simulated) any_simulated = true;  // HW still gate-simulated
+    else any_estimated = true;              // SW macro-modeled
+  }
+  EXPECT_TRUE(any_estimated);
+  EXPECT_TRUE(any_simulated);
+}
+
+TEST(Inventory, ReportsBothImplementationStyles) {
+  systems::TcpIpSystem sys({.num_packets = 1});
+  CoEstimator est(&sys.network(), {});
+  sys.configure(est);
+  est.prepare();
+  const SystemInventory inv = take_inventory(sys.network(), est);
+  ASSERT_EQ(inv.processes.size(), sys.network().cfsm_count());
+  for (const auto& p : inv.processes) {
+    EXPECT_GT(p.sgraph_nodes, 0u);
+    if (p.is_sw) {
+      EXPECT_GT(p.code_bytes, 0u);
+      EXPECT_GT(p.static_paths, 0u);
+      EXPECT_EQ(p.gates, 0u);
+    } else {
+      EXPECT_GT(p.gates, 0u);
+      EXPECT_GT(p.nets, p.gates);  // nets include PIs and DFF outputs
+      EXPECT_EQ(p.code_bytes, 0u);
+    }
+  }
+  const std::string text = inv.render();
+  EXPECT_NE(text.find("create_pack"), std::string::npos);
+  EXPECT_NE(text.find("checksum"), std::string::npos);
+  EXPECT_NE(text.find("system inventory"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace socpower::core

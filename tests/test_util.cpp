@@ -1,0 +1,238 @@
+// Unit tests for the utility layer: units, statistics, histograms, RNG,
+// table rendering.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "util/histogram.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+#include "util/units.hpp"
+
+namespace socpower {
+namespace {
+
+TEST(Units, SwitchEnergyQuadraticInVdd) {
+  ElectricalParams p33{.vdd_volts = 3.3};
+  ElectricalParams p16{.vdd_volts = 1.65};
+  const double c = 10e-12;
+  EXPECT_DOUBLE_EQ(p33.switch_energy(c) / p16.switch_energy(c), 4.0);
+}
+
+TEST(Units, SwitchEnergyFormula) {
+  ElectricalParams p{.vdd_volts = 2.0};
+  EXPECT_DOUBLE_EQ(p.switch_energy(1e-12), 0.5 * 1e-12 * 4.0);
+}
+
+TEST(Units, SecondsAtClock) {
+  ElectricalParams p{.vdd_volts = 3.3, .clock_hz = 100e6};
+  EXPECT_DOUBLE_EQ(p.seconds(100), 1e-6);
+}
+
+TEST(Units, AveragePower) {
+  ElectricalParams p{.vdd_volts = 3.3, .clock_hz = 1e6};
+  // 1 J over 1e6 cycles at 1 MHz = 1 second -> 1 W.
+  EXPECT_DOUBLE_EQ(p.average_power_watts(1.0, 1'000'000), 1.0);
+  EXPECT_DOUBLE_EQ(p.average_power_watts(1.0, 0), 0.0);
+}
+
+TEST(Units, Conversions) {
+  EXPECT_DOUBLE_EQ(to_nanojoules(1e-9), 1.0);
+  EXPECT_DOUBLE_EQ(to_microjoules(1e-6), 1.0);
+  EXPECT_DOUBLE_EQ(to_millijoules(1e-3), 1.0);
+  EXPECT_DOUBLE_EQ(from_nanojoules(2.5), 2.5e-9);
+}
+
+TEST(Units, FormatEnergyPicksUnit) {
+  EXPECT_NE(format_energy(1.0).find(" J"), std::string::npos);
+  EXPECT_NE(format_energy(2e-3).find("mJ"), std::string::npos);
+  EXPECT_NE(format_energy(3e-6).find("uJ"), std::string::npos);
+  EXPECT_NE(format_energy(4e-9).find("nJ"), std::string::npos);
+}
+
+TEST(RunningStats, Empty) {
+  RunningStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+}
+
+TEST(RunningStats, SingleValue) {
+  RunningStats s;
+  s.add(5.0);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.min(), 5.0);
+  EXPECT_DOUBLE_EQ(s.max(), 5.0);
+}
+
+TEST(RunningStats, MatchesTwoPassComputation) {
+  const std::vector<double> xs = {1.5, 2.25, -3.0, 4.75, 0.0, 10.5, -7.25};
+  RunningStats s;
+  double sum = 0;
+  for (double x : xs) {
+    s.add(x);
+    sum += x;
+  }
+  const double mean = sum / static_cast<double>(xs.size());
+  double m2 = 0;
+  for (double x : xs) m2 += (x - mean) * (x - mean);
+  EXPECT_NEAR(s.mean(), mean, 1e-12);
+  EXPECT_NEAR(s.variance(), m2 / static_cast<double>(xs.size()), 1e-12);
+  EXPECT_NEAR(s.sample_variance(),
+              m2 / static_cast<double>(xs.size() - 1), 1e-12);
+  EXPECT_NEAR(s.sum(), sum, 1e-12);
+}
+
+TEST(RunningStats, ConstantSeriesHasZeroVarianceAndCv) {
+  RunningStats s;
+  for (int i = 0; i < 100; ++i) s.add(42.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.cv(), 0.0);
+}
+
+TEST(RunningStats, NumericallyStableAroundLargeOffset) {
+  RunningStats s;
+  // Values around 1e9 with unit variance would break a naive sum-of-squares.
+  for (int i = 0; i < 1000; ++i) s.add(1e9 + (i % 2 == 0 ? 1.0 : -1.0));
+  EXPECT_NEAR(s.variance(), 1.0, 1e-6);
+}
+
+TEST(Stats, PercentError) {
+  EXPECT_DOUBLE_EQ(percent_error(110, 100), 10.0);
+  EXPECT_DOUBLE_EQ(percent_error(90, 100), 10.0);
+  EXPECT_DOUBLE_EQ(percent_error(0, 0), 0.0);
+  EXPECT_DOUBLE_EQ(percent_error(1, 0), 100.0);
+}
+
+TEST(Stats, PearsonPerfectCorrelation) {
+  const double x[] = {1, 2, 3, 4, 5};
+  const double y[] = {2, 4, 6, 8, 10};
+  EXPECT_NEAR(pearson_correlation(x, y, 5), 1.0, 1e-12);
+  const double yn[] = {10, 8, 6, 4, 2};
+  EXPECT_NEAR(pearson_correlation(x, yn, 5), -1.0, 1e-12);
+}
+
+TEST(Stats, PearsonDegenerate) {
+  const double x[] = {1, 1, 1};
+  const double y[] = {2, 3, 4};
+  EXPECT_DOUBLE_EQ(pearson_correlation(x, y, 3), 0.0);
+  EXPECT_DOUBLE_EQ(pearson_correlation(x, y, 1), 0.0);
+}
+
+TEST(Stats, SameRanking) {
+  const double x[] = {3.0, 1.0, 2.0};
+  const double y[] = {30.0, 10.0, 20.0};
+  EXPECT_TRUE(same_ranking(x, y, 3));
+  const double z[] = {10.0, 30.0, 20.0};
+  EXPECT_FALSE(same_ranking(x, z, 3));
+}
+
+TEST(Histogram, BinningAndClamping) {
+  Histogram h(0.0, 10.0, 10);
+  h.add(0.5);    // bin 0
+  h.add(9.99);   // bin 9
+  h.add(-5.0);   // clamped to bin 0
+  h.add(100.0);  // clamped to bin 9
+  EXPECT_EQ(h.count(0), 2u);
+  EXPECT_EQ(h.count(9), 2u);
+  EXPECT_EQ(h.total(), 4u);
+}
+
+TEST(Histogram, ModeAndConcentration) {
+  Histogram h(0.0, 10.0, 10);
+  for (int i = 0; i < 50; ++i) h.add(5.5);
+  h.add(1.0);
+  h.add(9.0);
+  EXPECT_EQ(h.mode_bin(), 5u);
+  EXPECT_NEAR(h.concentration(0), 50.0 / 52.0, 1e-12);
+  EXPECT_DOUBLE_EQ(h.concentration(10), 1.0);
+}
+
+TEST(Histogram, BinEdges) {
+  Histogram h(10.0, 20.0, 5);
+  EXPECT_DOUBLE_EQ(h.bin_low(0), 10.0);
+  EXPECT_DOUBLE_EQ(h.bin_high(0), 12.0);
+  EXPECT_DOUBLE_EQ(h.bin_high(4), 20.0);
+}
+
+TEST(Histogram, RenderContainsCounts) {
+  Histogram h(0.0, 1.0, 2);
+  h.add(0.25);
+  h.add(0.75);
+  h.add(0.8);
+  const std::string out = h.render(10);
+  EXPECT_NE(out.find("1"), std::string::npos);
+  EXPECT_NE(out.find("2"), std::string::npos);
+}
+
+TEST(Rng, DeterministicAcrossInstances) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i)
+    if (a.next() == b.next()) ++same;
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, BelowBound) {
+  Rng r(99);
+  for (int i = 0; i < 1000; ++i) EXPECT_LT(r.below(17), 17u);
+}
+
+TEST(Rng, RangeInclusive) {
+  Rng r(7);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    const auto v = r.range(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    saw_lo |= v == -3;
+    saw_hi |= v == 3;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng r(5);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    const double u = r.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(TextTable, RendersAlignedColumns) {
+  TextTable t({"name", "value"});
+  t.add_row({"alpha", "1"});
+  t.add_row({"b", "22222"});
+  const std::string out = t.render();
+  EXPECT_NE(out.find("| alpha"), std::string::npos);
+  EXPECT_NE(out.find("| 22222"), std::string::npos);
+  // All lines the same width.
+  std::size_t first_len = out.find('\n');
+  for (std::size_t pos = 0; pos < out.size();) {
+    const auto nl = out.find('\n', pos);
+    EXPECT_EQ(nl - pos, first_len);
+    pos = nl + 1;
+  }
+}
+
+TEST(TextTable, ShortRowsArePadded) {
+  TextTable t({"a", "b", "c"});
+  t.add_row({"x"});
+  EXPECT_NO_THROW({ const auto s = t.render(); (void)s; });
+}
+
+}  // namespace
+}  // namespace socpower
