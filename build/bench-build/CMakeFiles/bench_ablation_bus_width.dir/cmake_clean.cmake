@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_bus_width"
+  "../bench/bench_ablation_bus_width.pdb"
+  "CMakeFiles/bench_ablation_bus_width.dir/bench_ablation_bus_width.cpp.o"
+  "CMakeFiles/bench_ablation_bus_width.dir/bench_ablation_bus_width.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_bus_width.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

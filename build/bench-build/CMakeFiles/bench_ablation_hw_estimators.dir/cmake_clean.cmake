@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_hw_estimators"
+  "../bench/bench_ablation_hw_estimators.pdb"
+  "CMakeFiles/bench_ablation_hw_estimators.dir/bench_ablation_hw_estimators.cpp.o"
+  "CMakeFiles/bench_ablation_hw_estimators.dir/bench_ablation_hw_estimators.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_hw_estimators.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig1_separate_vs_coest"
+  "../bench/bench_fig1_separate_vs_coest.pdb"
+  "CMakeFiles/bench_fig1_separate_vs_coest.dir/bench_fig1_separate_vs_coest.cpp.o"
+  "CMakeFiles/bench_fig1_separate_vs_coest.dir/bench_fig1_separate_vs_coest.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig1_separate_vs_coest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

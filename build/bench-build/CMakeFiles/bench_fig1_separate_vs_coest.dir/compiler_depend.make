@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_fig1_separate_vs_coest.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig4_path_histograms"
+  "../bench/bench_fig4_path_histograms.pdb"
+  "CMakeFiles/bench_fig4_path_histograms.dir/bench_fig4_path_histograms.cpp.o"
+  "CMakeFiles/bench_fig4_path_histograms.dir/bench_fig4_path_histograms.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_path_histograms.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_sampling_compaction"
+  "../bench/bench_sampling_compaction.pdb"
+  "CMakeFiles/bench_sampling_compaction.dir/bench_sampling_compaction.cpp.o"
+  "CMakeFiles/bench_sampling_compaction.dir/bench_sampling_compaction.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sampling_compaction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table2_macromodel"
+  "../bench/bench_table2_macromodel.pdb"
+  "CMakeFiles/bench_table2_macromodel.dir/bench_table2_macromodel.cpp.o"
+  "CMakeFiles/bench_table2_macromodel.dir/bench_table2_macromodel.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_macromodel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

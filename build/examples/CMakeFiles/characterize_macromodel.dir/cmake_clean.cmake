@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/characterize_macromodel.dir/characterize_macromodel.cpp.o"
+  "CMakeFiles/characterize_macromodel.dir/characterize_macromodel.cpp.o.d"
+  "characterize_macromodel"
+  "characterize_macromodel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/characterize_macromodel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dashboard_power.dir/dashboard_power.cpp.o"
+  "CMakeFiles/dashboard_power.dir/dashboard_power.cpp.o.d"
+  "dashboard_power"
+  "dashboard_power.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dashboard_power.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

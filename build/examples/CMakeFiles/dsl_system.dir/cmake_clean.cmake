@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dsl_system.dir/dsl_system.cpp.o"
+  "CMakeFiles/dsl_system.dir/dsl_system.cpp.o.d"
+  "dsl_system"
+  "dsl_system.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dsl_system.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/explore_tcpip.dir/explore_tcpip.cpp.o"
+  "CMakeFiles/explore_tcpip.dir/explore_tcpip.cpp.o.d"
+  "explore_tcpip"
+  "explore_tcpip.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/explore_tcpip.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/socpower_cosim.cpp" "examples/CMakeFiles/socpower_cosim.dir/socpower_cosim.cpp.o" "gcc" "examples/CMakeFiles/socpower_cosim.dir/socpower_cosim.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/systems/CMakeFiles/socpower_systems.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/socpower_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/socpower_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/swsyn/CMakeFiles/socpower_swsyn.dir/DependInfo.cmake"
+  "/root/repo/build/src/iss/CMakeFiles/socpower_iss.dir/DependInfo.cmake"
+  "/root/repo/build/src/hwsyn/CMakeFiles/socpower_hwsyn.dir/DependInfo.cmake"
+  "/root/repo/build/src/cfsm/CMakeFiles/socpower_cfsm.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/socpower_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/cache/CMakeFiles/socpower_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/bus/CMakeFiles/socpower_bus.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/socpower_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

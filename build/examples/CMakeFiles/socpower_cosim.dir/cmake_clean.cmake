@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/socpower_cosim.dir/socpower_cosim.cpp.o"
+  "CMakeFiles/socpower_cosim.dir/socpower_cosim.cpp.o.d"
+  "socpower_cosim"
+  "socpower_cosim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/socpower_cosim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/socpower_bus.dir/bus_model.cpp.o"
+  "CMakeFiles/socpower_bus.dir/bus_model.cpp.o.d"
+  "libsocpower_bus.a"
+  "libsocpower_bus.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/socpower_bus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

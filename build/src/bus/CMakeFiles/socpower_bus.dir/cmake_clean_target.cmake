@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libsocpower_bus.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/socpower_cache.dir/cache_sim.cpp.o"
+  "CMakeFiles/socpower_cache.dir/cache_sim.cpp.o.d"
+  "libsocpower_cache.a"
+  "libsocpower_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/socpower_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

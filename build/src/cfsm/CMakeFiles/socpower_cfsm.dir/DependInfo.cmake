@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cfsm/cfsm.cpp" "src/cfsm/CMakeFiles/socpower_cfsm.dir/cfsm.cpp.o" "gcc" "src/cfsm/CMakeFiles/socpower_cfsm.dir/cfsm.cpp.o.d"
+  "/root/repo/src/cfsm/dsl.cpp" "src/cfsm/CMakeFiles/socpower_cfsm.dir/dsl.cpp.o" "gcc" "src/cfsm/CMakeFiles/socpower_cfsm.dir/dsl.cpp.o.d"
+  "/root/repo/src/cfsm/expr.cpp" "src/cfsm/CMakeFiles/socpower_cfsm.dir/expr.cpp.o" "gcc" "src/cfsm/CMakeFiles/socpower_cfsm.dir/expr.cpp.o.d"
+  "/root/repo/src/cfsm/sgraph.cpp" "src/cfsm/CMakeFiles/socpower_cfsm.dir/sgraph.cpp.o" "gcc" "src/cfsm/CMakeFiles/socpower_cfsm.dir/sgraph.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/socpower_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

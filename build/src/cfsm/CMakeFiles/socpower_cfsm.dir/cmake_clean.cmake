@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/socpower_cfsm.dir/cfsm.cpp.o"
+  "CMakeFiles/socpower_cfsm.dir/cfsm.cpp.o.d"
+  "CMakeFiles/socpower_cfsm.dir/dsl.cpp.o"
+  "CMakeFiles/socpower_cfsm.dir/dsl.cpp.o.d"
+  "CMakeFiles/socpower_cfsm.dir/expr.cpp.o"
+  "CMakeFiles/socpower_cfsm.dir/expr.cpp.o.d"
+  "CMakeFiles/socpower_cfsm.dir/sgraph.cpp.o"
+  "CMakeFiles/socpower_cfsm.dir/sgraph.cpp.o.d"
+  "libsocpower_cfsm.a"
+  "libsocpower_cfsm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/socpower_cfsm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/coestimator.cpp" "src/core/CMakeFiles/socpower_core.dir/coestimator.cpp.o" "gcc" "src/core/CMakeFiles/socpower_core.dir/coestimator.cpp.o.d"
+  "/root/repo/src/core/compactor.cpp" "src/core/CMakeFiles/socpower_core.dir/compactor.cpp.o" "gcc" "src/core/CMakeFiles/socpower_core.dir/compactor.cpp.o.d"
+  "/root/repo/src/core/energy_cache.cpp" "src/core/CMakeFiles/socpower_core.dir/energy_cache.cpp.o" "gcc" "src/core/CMakeFiles/socpower_core.dir/energy_cache.cpp.o.d"
+  "/root/repo/src/core/explorer.cpp" "src/core/CMakeFiles/socpower_core.dir/explorer.cpp.o" "gcc" "src/core/CMakeFiles/socpower_core.dir/explorer.cpp.o.d"
+  "/root/repo/src/core/inventory.cpp" "src/core/CMakeFiles/socpower_core.dir/inventory.cpp.o" "gcc" "src/core/CMakeFiles/socpower_core.dir/inventory.cpp.o.d"
+  "/root/repo/src/core/macromodel.cpp" "src/core/CMakeFiles/socpower_core.dir/macromodel.cpp.o" "gcc" "src/core/CMakeFiles/socpower_core.dir/macromodel.cpp.o.d"
+  "/root/repo/src/core/report.cpp" "src/core/CMakeFiles/socpower_core.dir/report.cpp.o" "gcc" "src/core/CMakeFiles/socpower_core.dir/report.cpp.o.d"
+  "/root/repo/src/core/transition_trace.cpp" "src/core/CMakeFiles/socpower_core.dir/transition_trace.cpp.o" "gcc" "src/core/CMakeFiles/socpower_core.dir/transition_trace.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cfsm/CMakeFiles/socpower_cfsm.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/socpower_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/iss/CMakeFiles/socpower_iss.dir/DependInfo.cmake"
+  "/root/repo/build/src/swsyn/CMakeFiles/socpower_swsyn.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/socpower_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/hwsyn/CMakeFiles/socpower_hwsyn.dir/DependInfo.cmake"
+  "/root/repo/build/src/cache/CMakeFiles/socpower_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/bus/CMakeFiles/socpower_bus.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/socpower_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/socpower_core.dir/coestimator.cpp.o"
+  "CMakeFiles/socpower_core.dir/coestimator.cpp.o.d"
+  "CMakeFiles/socpower_core.dir/compactor.cpp.o"
+  "CMakeFiles/socpower_core.dir/compactor.cpp.o.d"
+  "CMakeFiles/socpower_core.dir/energy_cache.cpp.o"
+  "CMakeFiles/socpower_core.dir/energy_cache.cpp.o.d"
+  "CMakeFiles/socpower_core.dir/explorer.cpp.o"
+  "CMakeFiles/socpower_core.dir/explorer.cpp.o.d"
+  "CMakeFiles/socpower_core.dir/inventory.cpp.o"
+  "CMakeFiles/socpower_core.dir/inventory.cpp.o.d"
+  "CMakeFiles/socpower_core.dir/macromodel.cpp.o"
+  "CMakeFiles/socpower_core.dir/macromodel.cpp.o.d"
+  "CMakeFiles/socpower_core.dir/report.cpp.o"
+  "CMakeFiles/socpower_core.dir/report.cpp.o.d"
+  "CMakeFiles/socpower_core.dir/transition_trace.cpp.o"
+  "CMakeFiles/socpower_core.dir/transition_trace.cpp.o.d"
+  "libsocpower_core.a"
+  "libsocpower_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/socpower_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hw/gatesim.cpp" "src/hw/CMakeFiles/socpower_hw.dir/gatesim.cpp.o" "gcc" "src/hw/CMakeFiles/socpower_hw.dir/gatesim.cpp.o.d"
+  "/root/repo/src/hw/netlist.cpp" "src/hw/CMakeFiles/socpower_hw.dir/netlist.cpp.o" "gcc" "src/hw/CMakeFiles/socpower_hw.dir/netlist.cpp.o.d"
+  "/root/repo/src/hw/vcd.cpp" "src/hw/CMakeFiles/socpower_hw.dir/vcd.cpp.o" "gcc" "src/hw/CMakeFiles/socpower_hw.dir/vcd.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/socpower_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

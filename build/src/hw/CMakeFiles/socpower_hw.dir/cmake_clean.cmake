@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/socpower_hw.dir/gatesim.cpp.o"
+  "CMakeFiles/socpower_hw.dir/gatesim.cpp.o.d"
+  "CMakeFiles/socpower_hw.dir/netlist.cpp.o"
+  "CMakeFiles/socpower_hw.dir/netlist.cpp.o.d"
+  "CMakeFiles/socpower_hw.dir/vcd.cpp.o"
+  "CMakeFiles/socpower_hw.dir/vcd.cpp.o.d"
+  "libsocpower_hw.a"
+  "libsocpower_hw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/socpower_hw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hwsyn/rtl.cpp" "src/hwsyn/CMakeFiles/socpower_hwsyn.dir/rtl.cpp.o" "gcc" "src/hwsyn/CMakeFiles/socpower_hwsyn.dir/rtl.cpp.o.d"
+  "/root/repo/src/hwsyn/rtl_power.cpp" "src/hwsyn/CMakeFiles/socpower_hwsyn.dir/rtl_power.cpp.o" "gcc" "src/hwsyn/CMakeFiles/socpower_hwsyn.dir/rtl_power.cpp.o.d"
+  "/root/repo/src/hwsyn/synth.cpp" "src/hwsyn/CMakeFiles/socpower_hwsyn.dir/synth.cpp.o" "gcc" "src/hwsyn/CMakeFiles/socpower_hwsyn.dir/synth.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cfsm/CMakeFiles/socpower_cfsm.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/socpower_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/socpower_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

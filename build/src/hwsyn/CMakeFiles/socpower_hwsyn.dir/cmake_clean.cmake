@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/socpower_hwsyn.dir/rtl.cpp.o"
+  "CMakeFiles/socpower_hwsyn.dir/rtl.cpp.o.d"
+  "CMakeFiles/socpower_hwsyn.dir/rtl_power.cpp.o"
+  "CMakeFiles/socpower_hwsyn.dir/rtl_power.cpp.o.d"
+  "CMakeFiles/socpower_hwsyn.dir/synth.cpp.o"
+  "CMakeFiles/socpower_hwsyn.dir/synth.cpp.o.d"
+  "libsocpower_hwsyn.a"
+  "libsocpower_hwsyn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/socpower_hwsyn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

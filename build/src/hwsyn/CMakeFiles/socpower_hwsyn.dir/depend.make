@@ -1,0 +1,2 @@
+# Empty dependencies file for socpower_hwsyn.
+# This may be replaced when dependencies are built.

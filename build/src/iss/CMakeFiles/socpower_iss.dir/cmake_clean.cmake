@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/socpower_iss.dir/assembler.cpp.o"
+  "CMakeFiles/socpower_iss.dir/assembler.cpp.o.d"
+  "CMakeFiles/socpower_iss.dir/isa.cpp.o"
+  "CMakeFiles/socpower_iss.dir/isa.cpp.o.d"
+  "CMakeFiles/socpower_iss.dir/iss.cpp.o"
+  "CMakeFiles/socpower_iss.dir/iss.cpp.o.d"
+  "CMakeFiles/socpower_iss.dir/power_model.cpp.o"
+  "CMakeFiles/socpower_iss.dir/power_model.cpp.o.d"
+  "libsocpower_iss.a"
+  "libsocpower_iss.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/socpower_iss.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/event_queue.cpp" "src/sim/CMakeFiles/socpower_sim.dir/event_queue.cpp.o" "gcc" "src/sim/CMakeFiles/socpower_sim.dir/event_queue.cpp.o.d"
+  "/root/repo/src/sim/power_trace.cpp" "src/sim/CMakeFiles/socpower_sim.dir/power_trace.cpp.o" "gcc" "src/sim/CMakeFiles/socpower_sim.dir/power_trace.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cfsm/CMakeFiles/socpower_cfsm.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/socpower_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/socpower_sim.dir/event_queue.cpp.o"
+  "CMakeFiles/socpower_sim.dir/event_queue.cpp.o.d"
+  "CMakeFiles/socpower_sim.dir/power_trace.cpp.o"
+  "CMakeFiles/socpower_sim.dir/power_trace.cpp.o.d"
+  "libsocpower_sim.a"
+  "libsocpower_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/socpower_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/swsyn/codegen.cpp" "src/swsyn/CMakeFiles/socpower_swsyn.dir/codegen.cpp.o" "gcc" "src/swsyn/CMakeFiles/socpower_swsyn.dir/codegen.cpp.o.d"
+  "/root/repo/src/swsyn/macro_op.cpp" "src/swsyn/CMakeFiles/socpower_swsyn.dir/macro_op.cpp.o" "gcc" "src/swsyn/CMakeFiles/socpower_swsyn.dir/macro_op.cpp.o.d"
+  "/root/repo/src/swsyn/rtos.cpp" "src/swsyn/CMakeFiles/socpower_swsyn.dir/rtos.cpp.o" "gcc" "src/swsyn/CMakeFiles/socpower_swsyn.dir/rtos.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cfsm/CMakeFiles/socpower_cfsm.dir/DependInfo.cmake"
+  "/root/repo/build/src/iss/CMakeFiles/socpower_iss.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/socpower_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/socpower_swsyn.dir/codegen.cpp.o"
+  "CMakeFiles/socpower_swsyn.dir/codegen.cpp.o.d"
+  "CMakeFiles/socpower_swsyn.dir/macro_op.cpp.o"
+  "CMakeFiles/socpower_swsyn.dir/macro_op.cpp.o.d"
+  "CMakeFiles/socpower_swsyn.dir/rtos.cpp.o"
+  "CMakeFiles/socpower_swsyn.dir/rtos.cpp.o.d"
+  "libsocpower_swsyn.a"
+  "libsocpower_swsyn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/socpower_swsyn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/socpower_systems.dir/dashboard.cpp.o"
+  "CMakeFiles/socpower_systems.dir/dashboard.cpp.o.d"
+  "CMakeFiles/socpower_systems.dir/prodcons.cpp.o"
+  "CMakeFiles/socpower_systems.dir/prodcons.cpp.o.d"
+  "CMakeFiles/socpower_systems.dir/tcpip.cpp.o"
+  "CMakeFiles/socpower_systems.dir/tcpip.cpp.o.d"
+  "libsocpower_systems.a"
+  "libsocpower_systems.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/socpower_systems.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/socpower_util.dir/histogram.cpp.o"
+  "CMakeFiles/socpower_util.dir/histogram.cpp.o.d"
+  "CMakeFiles/socpower_util.dir/rng.cpp.o"
+  "CMakeFiles/socpower_util.dir/rng.cpp.o.d"
+  "CMakeFiles/socpower_util.dir/stats.cpp.o"
+  "CMakeFiles/socpower_util.dir/stats.cpp.o.d"
+  "CMakeFiles/socpower_util.dir/table.cpp.o"
+  "CMakeFiles/socpower_util.dir/table.cpp.o.d"
+  "CMakeFiles/socpower_util.dir/units.cpp.o"
+  "CMakeFiles/socpower_util.dir/units.cpp.o.d"
+  "libsocpower_util.a"
+  "libsocpower_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/socpower_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

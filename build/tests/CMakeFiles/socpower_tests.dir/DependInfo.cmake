@@ -1,0 +1,61 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_accel.cpp" "tests/CMakeFiles/socpower_tests.dir/test_accel.cpp.o" "gcc" "tests/CMakeFiles/socpower_tests.dir/test_accel.cpp.o.d"
+  "/root/repo/tests/test_bus_property.cpp" "tests/CMakeFiles/socpower_tests.dir/test_bus_property.cpp.o" "gcc" "tests/CMakeFiles/socpower_tests.dir/test_bus_property.cpp.o.d"
+  "/root/repo/tests/test_bus_scheduler.cpp" "tests/CMakeFiles/socpower_tests.dir/test_bus_scheduler.cpp.o" "gcc" "tests/CMakeFiles/socpower_tests.dir/test_bus_scheduler.cpp.o.d"
+  "/root/repo/tests/test_bus_width.cpp" "tests/CMakeFiles/socpower_tests.dir/test_bus_width.cpp.o" "gcc" "tests/CMakeFiles/socpower_tests.dir/test_bus_width.cpp.o.d"
+  "/root/repo/tests/test_cache_bus.cpp" "tests/CMakeFiles/socpower_tests.dir/test_cache_bus.cpp.o" "gcc" "tests/CMakeFiles/socpower_tests.dir/test_cache_bus.cpp.o.d"
+  "/root/repo/tests/test_codegen_more.cpp" "tests/CMakeFiles/socpower_tests.dir/test_codegen_more.cpp.o" "gcc" "tests/CMakeFiles/socpower_tests.dir/test_codegen_more.cpp.o.d"
+  "/root/repo/tests/test_coestimator.cpp" "tests/CMakeFiles/socpower_tests.dir/test_coestimator.cpp.o" "gcc" "tests/CMakeFiles/socpower_tests.dir/test_coestimator.cpp.o.d"
+  "/root/repo/tests/test_compactor_param.cpp" "tests/CMakeFiles/socpower_tests.dir/test_compactor_param.cpp.o" "gcc" "tests/CMakeFiles/socpower_tests.dir/test_compactor_param.cpp.o.d"
+  "/root/repo/tests/test_config_matrix.cpp" "tests/CMakeFiles/socpower_tests.dir/test_config_matrix.cpp.o" "gcc" "tests/CMakeFiles/socpower_tests.dir/test_config_matrix.cpp.o.d"
+  "/root/repo/tests/test_dsl.cpp" "tests/CMakeFiles/socpower_tests.dir/test_dsl.cpp.o" "gcc" "tests/CMakeFiles/socpower_tests.dir/test_dsl.cpp.o.d"
+  "/root/repo/tests/test_explorer.cpp" "tests/CMakeFiles/socpower_tests.dir/test_explorer.cpp.o" "gcc" "tests/CMakeFiles/socpower_tests.dir/test_explorer.cpp.o.d"
+  "/root/repo/tests/test_expr.cpp" "tests/CMakeFiles/socpower_tests.dir/test_expr.cpp.o" "gcc" "tests/CMakeFiles/socpower_tests.dir/test_expr.cpp.o.d"
+  "/root/repo/tests/test_failure_injection.cpp" "tests/CMakeFiles/socpower_tests.dir/test_failure_injection.cpp.o" "gcc" "tests/CMakeFiles/socpower_tests.dir/test_failure_injection.cpp.o.d"
+  "/root/repo/tests/test_hw.cpp" "tests/CMakeFiles/socpower_tests.dir/test_hw.cpp.o" "gcc" "tests/CMakeFiles/socpower_tests.dir/test_hw.cpp.o.d"
+  "/root/repo/tests/test_hwsyn.cpp" "tests/CMakeFiles/socpower_tests.dir/test_hwsyn.cpp.o" "gcc" "tests/CMakeFiles/socpower_tests.dir/test_hwsyn.cpp.o.d"
+  "/root/repo/tests/test_hwsyn_edge.cpp" "tests/CMakeFiles/socpower_tests.dir/test_hwsyn_edge.cpp.o" "gcc" "tests/CMakeFiles/socpower_tests.dir/test_hwsyn_edge.cpp.o.d"
+  "/root/repo/tests/test_integration_extra.cpp" "tests/CMakeFiles/socpower_tests.dir/test_integration_extra.cpp.o" "gcc" "tests/CMakeFiles/socpower_tests.dir/test_integration_extra.cpp.o.d"
+  "/root/repo/tests/test_iss.cpp" "tests/CMakeFiles/socpower_tests.dir/test_iss.cpp.o" "gcc" "tests/CMakeFiles/socpower_tests.dir/test_iss.cpp.o.d"
+  "/root/repo/tests/test_iss_more.cpp" "tests/CMakeFiles/socpower_tests.dir/test_iss_more.cpp.o" "gcc" "tests/CMakeFiles/socpower_tests.dir/test_iss_more.cpp.o.d"
+  "/root/repo/tests/test_misc_coverage.cpp" "tests/CMakeFiles/socpower_tests.dir/test_misc_coverage.cpp.o" "gcc" "tests/CMakeFiles/socpower_tests.dir/test_misc_coverage.cpp.o.d"
+  "/root/repo/tests/test_models.cpp" "tests/CMakeFiles/socpower_tests.dir/test_models.cpp.o" "gcc" "tests/CMakeFiles/socpower_tests.dir/test_models.cpp.o.d"
+  "/root/repo/tests/test_report.cpp" "tests/CMakeFiles/socpower_tests.dir/test_report.cpp.o" "gcc" "tests/CMakeFiles/socpower_tests.dir/test_report.cpp.o.d"
+  "/root/repo/tests/test_robustness.cpp" "tests/CMakeFiles/socpower_tests.dir/test_robustness.cpp.o" "gcc" "tests/CMakeFiles/socpower_tests.dir/test_robustness.cpp.o.d"
+  "/root/repo/tests/test_rtl_power.cpp" "tests/CMakeFiles/socpower_tests.dir/test_rtl_power.cpp.o" "gcc" "tests/CMakeFiles/socpower_tests.dir/test_rtl_power.cpp.o.d"
+  "/root/repo/tests/test_sgraph.cpp" "tests/CMakeFiles/socpower_tests.dir/test_sgraph.cpp.o" "gcc" "tests/CMakeFiles/socpower_tests.dir/test_sgraph.cpp.o.d"
+  "/root/repo/tests/test_sim.cpp" "tests/CMakeFiles/socpower_tests.dir/test_sim.cpp.o" "gcc" "tests/CMakeFiles/socpower_tests.dir/test_sim.cpp.o.d"
+  "/root/repo/tests/test_smoke.cpp" "tests/CMakeFiles/socpower_tests.dir/test_smoke.cpp.o" "gcc" "tests/CMakeFiles/socpower_tests.dir/test_smoke.cpp.o.d"
+  "/root/repo/tests/test_swsyn.cpp" "tests/CMakeFiles/socpower_tests.dir/test_swsyn.cpp.o" "gcc" "tests/CMakeFiles/socpower_tests.dir/test_swsyn.cpp.o.d"
+  "/root/repo/tests/test_systems.cpp" "tests/CMakeFiles/socpower_tests.dir/test_systems.cpp.o" "gcc" "tests/CMakeFiles/socpower_tests.dir/test_systems.cpp.o.d"
+  "/root/repo/tests/test_trace_inventory.cpp" "tests/CMakeFiles/socpower_tests.dir/test_trace_inventory.cpp.o" "gcc" "tests/CMakeFiles/socpower_tests.dir/test_trace_inventory.cpp.o.d"
+  "/root/repo/tests/test_util.cpp" "tests/CMakeFiles/socpower_tests.dir/test_util.cpp.o" "gcc" "tests/CMakeFiles/socpower_tests.dir/test_util.cpp.o.d"
+  "/root/repo/tests/test_vcd.cpp" "tests/CMakeFiles/socpower_tests.dir/test_vcd.cpp.o" "gcc" "tests/CMakeFiles/socpower_tests.dir/test_vcd.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/systems/CMakeFiles/socpower_systems.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/socpower_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/socpower_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/swsyn/CMakeFiles/socpower_swsyn.dir/DependInfo.cmake"
+  "/root/repo/build/src/iss/CMakeFiles/socpower_iss.dir/DependInfo.cmake"
+  "/root/repo/build/src/hwsyn/CMakeFiles/socpower_hwsyn.dir/DependInfo.cmake"
+  "/root/repo/build/src/cfsm/CMakeFiles/socpower_cfsm.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/socpower_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/cache/CMakeFiles/socpower_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/bus/CMakeFiles/socpower_bus.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/socpower_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
