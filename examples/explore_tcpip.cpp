@@ -4,7 +4,9 @@
 // recommends the minimum-energy configuration. The bus parameters change
 // between runs without recompiling the system description.
 //
-// Usage: explore_tcpip [num_packets] [packet_bytes]
+// Usage: explore_tcpip [num_packets] [packet_bytes] [threads]
+// (threads defaults to $SOCPOWER_THREADS, then 1; 0 = one per hardware
+// thread. Results are bit-identical for any thread count.)
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
@@ -14,15 +16,28 @@
 #include "core/explorer.hpp"
 #include "systems/tcpip.hpp"
 #include "util/table.hpp"
+#include "util/thread_pool.hpp"
 
 using namespace socpower;
 
 int main(int argc, char** argv) {
   const int packets = argc > 1 ? std::atoi(argv[1]) : 4;
   const int bytes = argc > 2 ? std::atoi(argv[2]) : 256;
+  // Negative or absurd counts would otherwise wrap through unsigned and ask
+  // the pool for billions of threads; clamp to a sane range (0 = auto).
+  const auto parse_threads = [](const char* s) -> unsigned {
+    const long v = std::strtol(s, nullptr, 10);
+    return static_cast<unsigned>(std::clamp(v, 0l, 1024l));
+  };
+  unsigned threads = 1;
+  if (argc > 3) threads = parse_threads(argv[3]);
+  else if (const char* env = std::getenv("SOCPOWER_THREADS"))
+    threads = parse_threads(env);
+  threads = resolve_thread_count(threads);
 
   std::printf("exploring the TCP/IP subsystem integration architecture\n");
-  std::printf("workload: %d packets x %d bytes\n\n", packets, bytes);
+  std::printf("workload: %d packets x %d bytes, %u worker thread(s)\n\n",
+              packets, bytes, threads);
 
   struct Point {
     unsigned dma;
@@ -34,33 +49,48 @@ int main(int argc, char** argv) {
 
   const int perms[6][3] = {{3, 2, 1}, {3, 1, 2}, {2, 3, 1},
                            {1, 3, 2}, {2, 1, 3}, {1, 2, 3}};
-  for (const unsigned dma : {4u, 16u, 64u, 128u}) {
-    for (const auto& pr : perms) {
-      systems::TcpIpParams p;
-      p.num_packets = packets;
-      p.packet_bytes = bytes;
-      p.packet_gap = 30;
-      p.dma_block_size = dma;
-      p.prio_create = pr[0];
-      p.prio_ipcheck = pr[1];
-      p.prio_checksum = pr[2];
-      p.ip_check_in_hw = true;  // SPARC + ASIC1 + ASIC2 architecture
-      systems::TcpIpSystem sys(p);
-      core::CoEstimatorConfig cfg;
-      cfg.bus.line_cap_f = 10e-9;
-      cfg.accel = core::Acceleration::kCaching;  // exploration-speed mode
-      core::CoEstimator est(&sys.network(), cfg);
-      sys.configure(est);
-      est.prepare();
-      const auto r = est.run(sys.stimulus());
-      if (sys.packets_ok(est) != packets) {
-        std::fprintf(stderr, "functional check failed at dma=%u!\n", dma);
-        return 1;
-      }
-      points.push_back({dma, pr[0], pr[1], pr[2],
-                        to_microjoules(r.total_energy),
-                        to_microjoules(r.cpu_energy),
-                        to_microjoules(r.bus_energy), r.end_time});
+  const unsigned dmas[] = {4u, 16u, 64u, 128u};
+  // Every (dma, priority) point is an independent co-estimation; run them on
+  // the worker pool and collect results by index.
+  struct Sweep {
+    unsigned dma;
+    const int* pr;
+  };
+  std::vector<Sweep> sweep;
+  for (const unsigned dma : dmas)
+    for (const auto& pr : perms) sweep.push_back({dma, pr});
+  points.resize(sweep.size());
+  std::vector<int> functional_ok(sweep.size(), 1);
+  ThreadPool pool(threads);
+  pool.parallel_for(sweep.size(), [&](std::size_t i) {
+    const auto [dma, pr] = sweep[i];
+    systems::TcpIpParams p;
+    p.num_packets = packets;
+    p.packet_bytes = bytes;
+    p.packet_gap = 30;
+    p.dma_block_size = dma;
+    p.prio_create = pr[0];
+    p.prio_ipcheck = pr[1];
+    p.prio_checksum = pr[2];
+    p.ip_check_in_hw = true;  // SPARC + ASIC1 + ASIC2 architecture
+    systems::TcpIpSystem sys(p);
+    core::CoEstimatorConfig cfg;
+    cfg.bus.line_cap_f = 10e-9;
+    cfg.accel = core::Acceleration::kCaching;  // exploration-speed mode
+    core::CoEstimator est(&sys.network(), cfg);
+    sys.configure(est);
+    est.prepare();
+    const auto r = est.run(sys.stimulus());
+    functional_ok[i] = sys.packets_ok(est) == packets;
+    points[i] = {dma, pr[0], pr[1], pr[2], to_microjoules(r.total_energy),
+                 to_microjoules(r.cpu_energy), to_microjoules(r.bus_energy),
+                 r.end_time};
+  });
+  for (std::size_t i = 0; i < sweep.size(); ++i) {
+    if (!functional_ok[i]) {
+      std::fprintf(stderr, "functional check failed at dma=%u!\n",
+                   sweep[i].dma);
+      return 1;
     }
   }
 
@@ -124,7 +154,8 @@ int main(int argc, char** argv) {
                           make_run(core::Acceleration::kMacroModel),
                           make_run(core::Acceleration::kNone)});
   }
-  const auto outcome = core::explore(dma_points, /*verify_top=*/2);
+  const auto outcome =
+      core::explore(dma_points, /*verify_top=*/2, {.threads = threads});
   std::printf("%s", outcome.render().c_str());
   return 0;
 }

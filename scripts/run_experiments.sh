@@ -1,8 +1,15 @@
 #!/usr/bin/env sh
 # Rebuild everything, run the full test suite and every paper-reproduction
 # benchmark, and capture the outputs at the repository root.
+#
+# SOCPOWER_THREADS sets the worker-thread count for the parallel
+# exploration paths (default: one per hardware thread). Energies are
+# bit-identical for any value; only wall-clock changes.
 set -e
 cd "$(dirname "$0")/.."
+
+SOCPOWER_THREADS="${SOCPOWER_THREADS:-$(nproc 2>/dev/null || echo 1)}"
+export SOCPOWER_THREADS
 
 cmake -B build -G Ninja
 cmake --build build
@@ -10,6 +17,9 @@ cmake --build build
 ctest --test-dir build 2>&1 | tee test_output.txt
 
 for b in build/bench/*; do "$b"; done 2>&1 | tee bench_output.txt
+
+./build/examples/explore_tcpip 2 64 "$SOCPOWER_THREADS" 2>&1 \
+  | tee explore_output.txt
 
 echo
 echo "shape checks:"

@@ -7,6 +7,8 @@
 #include <cstdio>
 #include <limits>
 
+#include "util/thread_pool.hpp"
+
 namespace socpower::core {
 
 namespace {
@@ -20,28 +22,26 @@ void sync_overhead(unsigned spins) {
   for (unsigned i = 0; i < spins; ++i) sink = sink + 1;
 }
 
-/// Effective per-event final values of an emission list (same-instant
-/// duplicates collapse at the receiver, so this is the observable behavior).
+}  // namespace
+
 std::vector<cfsm::EmittedEvent> effective_emissions(
     std::vector<cfsm::EmittedEvent> ems) {
-  std::vector<cfsm::EmittedEvent> out;
-  for (const auto& e : ems) {
-    bool found = false;
-    for (auto& o : out) {
-      if (o.event == e.event) {
-        o.value = e.value;  // later emission wins
-        found = true;
-        break;
-      }
-    }
-    if (!found) out.push_back(e);
+  // Stable sort groups duplicates while preserving emission order within
+  // each event, so the last element of a group is the latest emission — the
+  // one the receiver observes.
+  std::stable_sort(ems.begin(), ems.end(),
+                   [](const auto& a, const auto& b) { return a.event < b.event; });
+  std::size_t w = 0;
+  for (std::size_t i = 0; i < ems.size();) {
+    std::size_t last = i;
+    while (last + 1 < ems.size() && ems[last + 1].event == ems[i].event)
+      ++last;
+    ems[w++] = ems[last];
+    i = last + 1;
   }
-  std::sort(out.begin(), out.end(),
-            [](const auto& a, const auto& b) { return a.event < b.event; });
-  return out;
+  ems.resize(w);
+  return ems;
 }
-
-}  // namespace
 
 const char* acceleration_name(Acceleration a) {
   switch (a) {
@@ -635,10 +635,33 @@ RunResults CoEstimator::run(const sim::Stimulus& stimulus) {
 }
 
 void CoEstimator::flush_hw_batches(RunResults& res) {
-  for (std::size_t c = 0; c < hw_units_.size(); ++c) {
-    if (!hw_units_[c]) continue;
+  // Each HwUnit owns its gate simulator and batch vector, so the per-unit
+  // replay is embarrassingly parallel. The shared pieces — gate_cycles_, the
+  // PowerTrace, RunResults accumulation and the transition hook — are
+  // accumulated per worker below and merged in component order afterwards,
+  // so the reported energies (floating-point addition order included) are
+  // identical for any thread count.
+  struct FlushedEntry {
+    sim::SimTime time = 0;
+    cfsm::PathId path = cfsm::kNoPath;
+    Joules energy = 0.0;
+  };
+  struct UnitFlush {
+    std::vector<FlushedEntry> entries;
+    std::uint64_t gate_cycles = 0;
+  };
+
+  std::vector<std::size_t> active;
+  for (std::size_t c = 0; c < hw_units_.size(); ++c)
+    if (hw_units_[c] && !hw_units_[c]->batch.empty()) active.push_back(c);
+  if (active.empty()) return;
+
+  std::vector<UnitFlush> flushed(active.size());
+  auto flush_unit = [&](std::size_t ai) {
+    const std::size_t c = active[ai];
     HwUnit& unit = *hw_units_[c];
-    if (unit.batch.empty()) continue;
+    UnitFlush& out = flushed[ai];
+    out.entries.reserve(unit.batch.size());
     sync_overhead(config_.sync_spin);  // one batch hand-off per component
     unit.sim->reset();
     const auto task = static_cast<cfsm::CfsmId>(c);
@@ -655,17 +678,35 @@ void CoEstimator::flush_hw_batches(RunResults& res) {
       } else {
         hwsyn::stage_hw_reaction(*unit.sim, unit.image, entry.inputs);
         energy = unit.sim->step().energy;
-        ++gate_cycles_;
+        ++out.gate_cycles;
       }
-      trace_.record(process_component_[c], entry.time, energy);
-      res.process_energy[c] += energy;
-      res.hw_energy += energy;
-      if (transition_hook_)
-        transition_hook_({task, entry.path, entry.time,
-                          static_cast<double>(config_.hw_reaction_cycles),
-                          energy, true});
+      out.entries.push_back({entry.time, entry.path, energy});
     }
     unit.batch.clear();
+  };
+
+  const auto threads = static_cast<unsigned>(std::min<std::size_t>(
+      resolve_thread_count(config_.hw_flush_threads), active.size()));
+  if (threads > 1) {
+    ThreadPool pool(threads);
+    pool.parallel_for(active.size(), flush_unit);
+  } else {
+    for (std::size_t ai = 0; ai < active.size(); ++ai) flush_unit(ai);
+  }
+
+  for (std::size_t ai = 0; ai < active.size(); ++ai) {
+    const std::size_t c = active[ai];
+    const auto task = static_cast<cfsm::CfsmId>(c);
+    for (const FlushedEntry& e : flushed[ai].entries) {
+      trace_.record(process_component_[c], e.time, e.energy);
+      res.process_energy[c] += e.energy;
+      res.hw_energy += e.energy;
+      if (transition_hook_)
+        transition_hook_({task, e.path, e.time,
+                          static_cast<double>(config_.hw_reaction_cycles),
+                          e.energy, true});
+    }
+    gate_cycles_ += flushed[ai].gate_cycles;
   }
 }
 

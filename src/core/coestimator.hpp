@@ -57,6 +57,13 @@ enum class Acceleration { kNone, kCaching, kMacroModel, kSampling };
 
 [[nodiscard]] const char* acceleration_name(Acceleration a);
 
+/// Effective per-event final values of an emission list: same-instant
+/// duplicates collapse at the receiver with the later emission winning, and
+/// the result is sorted by event id. Used by the verify_lowlevel
+/// cross-checks; exposed for unit testing.
+[[nodiscard]] std::vector<cfsm::EmittedEvent> effective_emissions(
+    std::vector<cfsm::EmittedEvent> ems);
+
 /// Hardware power estimator choice per ASIC (paper Section 3: "the hardware
 /// netlist may be represented at the RT-level or the gate-level, depending
 /// on the accuracy/efficiency requirements").
@@ -109,6 +116,12 @@ struct CoEstimatorConfig {
   /// hardware power analysis in batch-mode on long traces" (Section 5.1).
   /// Forced off when verify_lowlevel or accelerate_hw is set.
   bool hw_batch = true;
+  /// Worker threads for the offline hardware batch flush. Each HwUnit owns
+  /// its gate simulator and batch vector, so units evaluate concurrently;
+  /// per-unit energies/trace records/hook calls are accumulated by the
+  /// worker and merged in component order, so reported results are
+  /// bit-identical for any value. 1 = serial, 0 = one per hardware thread.
+  unsigned hw_flush_threads = 1;
 
   /// Retain per-sample power waveforms (needed for waveform()/peak reports;
   /// disable for long batch sweeps).

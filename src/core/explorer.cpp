@@ -7,19 +7,51 @@
 
 #include "util/stats.hpp"
 #include "util/table.hpp"
+#include "util/thread_pool.hpp"
 
 namespace socpower::core {
 
+namespace {
+
+/// Runs fn(0..n-1) either inline or on a transient pool. Results must be
+/// stored by index by the caller; the reduction happens afterwards in index
+/// order either way, which is what makes the threaded outcome bit-identical
+/// to the serial one.
+void for_each_index(std::size_t n, unsigned threads,
+                    const std::function<void(std::size_t)>& fn) {
+  const unsigned workers =
+      static_cast<unsigned>(std::min<std::size_t>(resolve_thread_count(threads), n));
+  if (workers <= 1) {
+    for (std::size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  ThreadPool pool(workers);
+  pool.parallel_for(n, fn);
+}
+
+}  // namespace
+
 ExplorationOutcome explore(const std::vector<ExplorationPoint>& points,
                            std::size_t verify_top) {
+  return explore(points, verify_top, ExploreOptions{});
+}
+
+ExplorationOutcome explore(const std::vector<ExplorationPoint>& points,
+                           std::size_t verify_top,
+                           const ExploreOptions& options) {
   assert(!points.empty());
   ExplorationOutcome out;
   out.ranked.reserve(points.size());
 
-  for (const auto& p : points) {
-    const RunResults r = p.run_coarse();
-    out.coarse_seconds += r.wall_seconds;
-    out.ranked.push_back({p.label, r.total_energy, std::nullopt, 0});
+  // Coarse sweep: evaluate every point (concurrently when asked), then
+  // reduce by point index.
+  std::vector<RunResults> coarse(points.size());
+  for_each_index(points.size(), options.threads,
+                 [&](std::size_t i) { coarse[i] = points[i].run_coarse(); });
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    out.coarse_seconds += coarse[i].wall_seconds;
+    out.ranked.push_back(
+        {points[i].label, coarse[i].total_energy, std::nullopt, 0});
   }
   // Coarse ranking.
   std::vector<std::size_t> order(points.size());
@@ -30,17 +62,22 @@ ExplorationOutcome explore(const std::vector<ExplorationPoint>& points,
   for (std::size_t rank = 0; rank < order.size(); ++rank)
     out.ranked[order[rank]].coarse_rank = rank;
 
-  // Exact verification of the shortlist.
-  std::vector<double> coarse_v, exact_v;
+  // Exact verification of the shortlist (same pattern: evaluate
+  // concurrently, reduce in shortlist order).
   const std::size_t k = std::min(verify_top, points.size());
-  for (std::size_t rank = 0; rank < k; ++rank) {
+  std::vector<std::optional<RunResults>> exact(k);
+  for_each_index(k, options.threads, [&](std::size_t rank) {
     const std::size_t idx = order[rank];
-    if (!points[idx].run_exact) continue;
-    const RunResults r = points[idx].run_exact();
-    out.exact_seconds += r.wall_seconds;
-    out.ranked[idx].exact_energy = r.total_energy;
+    if (points[idx].run_exact) exact[rank] = points[idx].run_exact();
+  });
+  std::vector<double> coarse_v, exact_v;
+  for (std::size_t rank = 0; rank < k; ++rank) {
+    if (!exact[rank]) continue;
+    const std::size_t idx = order[rank];
+    out.exact_seconds += exact[rank]->wall_seconds;
+    out.ranked[idx].exact_energy = exact[rank]->total_energy;
     coarse_v.push_back(out.ranked[idx].coarse_energy);
-    exact_v.push_back(r.total_energy);
+    exact_v.push_back(exact[rank]->total_energy);
   }
   if (coarse_v.size() >= 2)
     out.verification_correlation =

@@ -47,9 +47,24 @@ struct ExplorationOutcome {
   [[nodiscard]] std::string render() const;
 };
 
+struct ExploreOptions {
+  /// Worker threads for both phases (coarse sweep and exact verification).
+  /// 1 = serial, 0 = one per hardware thread. Every ExplorationPoint thunk
+  /// constructs its own CoEstimator, so points are independent; results are
+  /// stored by point index and reduced in index order, making the outcome
+  /// bit-identical to the serial path for any thread count. Point thunks
+  /// that use random workloads must follow the Rng seeding contract
+  /// (util/rng.hpp): one Rng per point, seeded from stable identifiers.
+  unsigned threads = 1;
+};
+
 /// Runs the two-phase exploration. `verify_top` exact evaluations are spent
 /// on the best coarse candidates (0 = coarse-only).
 [[nodiscard]] ExplorationOutcome explore(
     const std::vector<ExplorationPoint>& points, std::size_t verify_top);
+/// Same, with explicit options (threaded evaluation of both phases).
+[[nodiscard]] ExplorationOutcome explore(
+    const std::vector<ExplorationPoint>& points, std::size_t verify_top,
+    const ExploreOptions& options);
 
 }  // namespace socpower::core

@@ -13,17 +13,35 @@ GateSim::GateSim(const Netlist* netlist, TechParams tech,
 
   // Topological levels and per-net consumer lists for event-driven
   // evaluation (a la SIS: only gates whose inputs changed are re-evaluated).
+  // Consumers are stored CSR-flattened (offsets + one flat gate-index
+  // array): the step() hot loop walks one contiguous slice per toggled net
+  // instead of chasing per-net vector headers.
   const auto& gates = netlist_->gates();
   gate_level_.assign(gates.size(), 0);
-  consumers_.assign(netlist_->net_count(), {});
   std::vector<int> driver(netlist_->net_count(), -1);
   for (std::size_t gi = 0; gi < gates.size(); ++gi)
     driver[static_cast<std::size_t>(gates[gi].out)] = static_cast<int>(gi);
+  consumer_offsets_.assign(netlist_->net_count() + 1, 0);
+  for (const Gate& g : gates)
+    for (int i = 0; i < gate_arity(g.type); ++i)
+      ++consumer_offsets_[static_cast<std::size_t>(g.in[i]) + 1];
+  for (std::size_t n = 1; n < consumer_offsets_.size(); ++n)
+    consumer_offsets_[n] += consumer_offsets_[n - 1];
+  consumer_gates_.resize(consumer_offsets_.back());
+  {
+    std::vector<std::uint32_t> fill(consumer_offsets_.begin(),
+                                    consumer_offsets_.end() - 1);
+    for (std::size_t gi = 0; gi < gates.size(); ++gi) {
+      const Gate& g = gates[gi];
+      for (int i = 0; i < gate_arity(g.type); ++i)
+        consumer_gates_[fill[static_cast<std::size_t>(g.in[i])]++] =
+            static_cast<std::uint32_t>(gi);
+    }
+  }
   for (const std::size_t gi : topo_) {
     const Gate& g = gates[gi];
     unsigned lvl = 0;
     for (int i = 0; i < gate_arity(g.type); ++i) {
-      consumers_[static_cast<std::size_t>(g.in[i])].push_back(gi);
       const int drv = driver[static_cast<std::size_t>(g.in[i])];
       if (drv >= 0)
         lvl = std::max(lvl, gate_level_[static_cast<std::size_t>(drv)] + 1);
@@ -35,10 +53,15 @@ GateSim::GateSim(const Netlist* netlist, TechParams tech,
   gate_dirty_.assign(gates.size(), 0);
 
   net_cap_.resize(netlist_->net_count());
-  for (std::size_t n = 0; n < netlist_->net_count(); ++n)
+  net_energy_.resize(netlist_->net_count());
+  for (std::size_t n = 0; n < netlist_->net_count(); ++n) {
     net_cap_[n] = netlist_->net_capacitance(static_cast<NetId>(n), tech_);
+    net_energy_[n] = params_.switch_energy(net_cap_[n]);
+  }
   value_.assign(netlist_->net_count(), 0);
   input_next_.assign(netlist_->primary_inputs().size(), 0);
+  toggled_.reserve(netlist_->net_count());
+  latch_next_.assign(netlist_->dffs().size(), 0);
   clock_energy_per_cycle_ =
       params_.switch_energy(tech_.clock_cap_per_dff_f) *
       static_cast<double>(netlist_->dff_count());
@@ -57,7 +80,10 @@ void GateSim::set_input_word(std::size_t first_input_index,
 }
 
 void GateSim::mark_consumers_dirty(NetId net) {
-  for (const std::size_t gi : consumers_[static_cast<std::size_t>(net)]) {
+  const std::uint32_t begin = consumer_offsets_[static_cast<std::size_t>(net)];
+  const std::uint32_t end = consumer_offsets_[static_cast<std::size_t>(net) + 1];
+  for (std::uint32_t ci = begin; ci < end; ++ci) {
+    const std::uint32_t gi = consumer_gates_[ci];
     if (!gate_dirty_[gi]) {
       gate_dirty_[gi] = 1;
       level_dirty_[gate_level_[gi]].push_back(gi);
@@ -66,15 +92,17 @@ void GateSim::mark_consumers_dirty(NetId net) {
 }
 
 CycleResult GateSim::step() {
-  CycleResult r;
+  // Commits only record toggled nets; the switching energy is accumulated in
+  // one pass at the end of the step from the cached per-net switch energies
+  // (same nets, same order, so the reported energy is bit-identical to the
+  // old multiply-per-commit form).
+  toggled_.clear();
   auto commit = [&](NetId net, bool v) {
     auto& cur = value_[static_cast<std::size_t>(net)];
     const std::uint8_t nv = v ? 1 : 0;
     if (cur != nv) {
       cur = nv;
-      ++r.toggles;
-      r.energy +=
-          params_.switch_energy(net_cap_[static_cast<std::size_t>(net)]);
+      toggled_.push_back(net);
       mark_consumers_dirty(net);
     }
   };
@@ -108,13 +136,19 @@ CycleResult GateSim::step() {
   }
 
   // Clock edge: latch DFFs. Q toggles are billed this cycle; the dirty marks
-  // they leave are consumed by the next step's sweep.
-  std::vector<std::pair<NetId, bool>> latched;
-  latched.reserve(netlist_->dffs().size());
-  for (const Dff& ff : netlist_->dffs())
-    latched.emplace_back(ff.q, value_[static_cast<std::size_t>(ff.d)] != 0);
-  for (const auto& [q, v] : latched) commit(q, v);
+  // they leave are consumed by the next step's sweep. D values are snapshot
+  // into a member buffer first (commits must not observe each other within
+  // the same edge).
+  const auto& dffs = netlist_->dffs();
+  for (std::size_t i = 0; i < dffs.size(); ++i)
+    latch_next_[i] = value_[static_cast<std::size_t>(dffs[i].d)];
+  for (std::size_t i = 0; i < dffs.size(); ++i)
+    commit(dffs[i].q, latch_next_[i] != 0);
 
+  CycleResult r;
+  r.toggles = toggled_.size();
+  for (const NetId net : toggled_)
+    r.energy += net_energy_[static_cast<std::size_t>(net)];
   r.energy += clock_energy_per_cycle_;
   ++cycles_;
   total_energy_ += r.energy;

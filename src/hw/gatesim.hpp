@@ -69,13 +69,19 @@ class GateSim {
   ElectricalParams params_;
   std::vector<std::size_t> topo_;        // gate evaluation order
   std::vector<unsigned> gate_level_;     // topological level per gate
-  std::vector<std::vector<std::size_t>> consumers_;  // net -> gate indices
+  // net -> consuming gate indices, CSR-flattened: the gates consuming net n
+  // are consumer_gates_[consumer_offsets_[n] .. consumer_offsets_[n+1]).
+  std::vector<std::uint32_t> consumer_offsets_;
+  std::vector<std::uint32_t> consumer_gates_;
   std::vector<std::vector<std::size_t>> level_dirty_;  // work lists per level
   std::vector<std::uint8_t> gate_dirty_;
   unsigned num_levels_ = 0;
   std::vector<double> net_cap_;          // cached Ceff per net
+  std::vector<double> net_energy_;       // cached switch energy per net
   std::vector<std::uint8_t> value_;      // current net values
   std::vector<std::uint8_t> input_next_; // pending PI values
+  std::vector<NetId> toggled_;           // nets toggled this step, in order
+  std::vector<std::uint8_t> latch_next_; // DFF D values at the clock edge
   Joules clock_energy_per_cycle_ = 0.0;
   std::uint64_t cycles_ = 0;
   Joules total_energy_ = 0.0;

@@ -52,4 +52,13 @@ double Rng::uniform() {
 
 bool Rng::chance(double p) { return uniform() < p; }
 
+std::uint64_t Rng::for_stream(std::uint64_t base_seed,
+                              std::uint64_t stream_id) {
+  // Two splitmix rounds over a golden-ratio-spread combination: adjacent
+  // stream ids land in unrelated regions of the seed space.
+  std::uint64_t x = base_seed ^ (0x9e3779b97f4a7c15ull * (stream_id + 1));
+  std::uint64_t s = splitmix64(x);
+  return splitmix64(x) ^ s;
+}
+
 }  // namespace socpower

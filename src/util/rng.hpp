@@ -2,6 +2,20 @@
 // payloads, environment event jitter). A fixed algorithm (splitmix64 +
 // xoshiro256**) keeps traces reproducible across platforms and standard
 // library versions, which std::mt19937 distributions do not guarantee.
+//
+// Seeding contract for parallel execution (the "DeterministicRng" rules the
+// threaded explore()/flush paths rely on):
+//   * Rng is NOT thread-safe and must never be shared across threads or
+//     across concurrently-evaluated exploration points.
+//   * Each unit of parallel work (one ExplorationPoint thunk, one system
+//     instance) owns its own Rng, seeded ONLY from stable identifiers — a
+//     base seed plus the point/stream index — never from wall clock, thread
+//     ids, or iteration order. Use for_stream() to derive decorrelated
+//     per-unit streams from (base_seed, stream_id).
+//   * Draw order within one unit must be a function of that unit's inputs
+//     alone. Under these rules a parallel run consumes exactly the same
+//     random sequences as the serial run, which is what makes parallel
+//     co-estimation bit-identical to serial (tested).
 #pragma once
 
 #include <cstdint>
@@ -22,6 +36,14 @@ class Rng {
   double uniform();
   /// Bernoulli(p).
   bool chance(double p);
+
+  /// Derives the seed of stream `stream_id` of a `base_seed` family: equal
+  /// inputs give the same stream on every platform, distinct stream ids give
+  /// decorrelated streams. The per-point Rng of a parallel exploration is
+  /// `Rng(Rng::for_stream(base_seed, point_index))`'s moral equivalent:
+  /// construct it with this seed.
+  static std::uint64_t for_stream(std::uint64_t base_seed,
+                                  std::uint64_t stream_id);
 
  private:
   std::uint64_t s_[4];

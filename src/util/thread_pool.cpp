@@ -1,0 +1,130 @@
+#include "util/thread_pool.hpp"
+
+#include <atomic>
+#include <condition_variable>
+#include <deque>
+#include <exception>
+#include <limits>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace socpower {
+
+namespace {
+thread_local bool t_on_worker = false;
+}  // namespace
+
+unsigned resolve_thread_count(unsigned requested) {
+  if (requested != 0) return requested;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw != 0 ? hw : 1;
+}
+
+struct ThreadPool::Impl {
+  /// State of one parallel_for invocation, shared by all participants.
+  struct Loop {
+    std::size_t n = 0;
+    const std::function<void(std::size_t)>* fn = nullptr;
+    std::atomic<std::size_t> next{0};      // next unclaimed index
+    std::atomic<std::size_t> finished{0};  // indices fully executed
+    std::mutex mu;
+    std::condition_variable done_cv;
+    std::size_t error_index = std::numeric_limits<std::size_t>::max();
+    std::exception_ptr error;
+  };
+
+  std::vector<std::thread> workers;
+  std::deque<std::function<void()>> queue;
+  std::mutex queue_mu;
+  std::condition_variable queue_cv;
+  bool stopping = false;
+
+  void worker_main() {
+    t_on_worker = true;
+    for (;;) {
+      std::function<void()> job;
+      {
+        std::unique_lock<std::mutex> lk(queue_mu);
+        queue_cv.wait(lk, [&] { return stopping || !queue.empty(); });
+        if (stopping && queue.empty()) return;
+        job = std::move(queue.front());
+        queue.pop_front();
+      }
+      job();
+    }
+  }
+
+  static void drain(const std::shared_ptr<Loop>& loop) {
+    for (;;) {
+      const std::size_t i = loop->next.fetch_add(1);
+      if (i >= loop->n) return;
+      try {
+        (*loop->fn)(i);
+      } catch (...) {
+        std::lock_guard<std::mutex> lk(loop->mu);
+        if (i < loop->error_index) {
+          loop->error_index = i;
+          loop->error = std::current_exception();
+        }
+      }
+      if (loop->finished.fetch_add(1) + 1 == loop->n) {
+        // Take the lock so the notification cannot slip between the
+        // waiter's predicate check and its wait.
+        std::lock_guard<std::mutex> lk(loop->mu);
+        loop->done_cv.notify_all();
+      }
+    }
+  }
+};
+
+ThreadPool::ThreadPool(unsigned threads) : impl_(std::make_unique<Impl>()) {
+  const unsigned count = resolve_thread_count(threads);
+  impl_->workers.reserve(count);
+  for (unsigned t = 0; t < count; ++t)
+    impl_->workers.emplace_back([this] { impl_->worker_main(); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lk(impl_->queue_mu);
+    impl_->stopping = true;
+  }
+  impl_->queue_cv.notify_all();
+  for (auto& w : impl_->workers) w.join();
+}
+
+unsigned ThreadPool::size() const {
+  return static_cast<unsigned>(impl_->workers.size());
+}
+
+bool ThreadPool::on_worker_thread() { return t_on_worker; }
+
+void ThreadPool::parallel_for(std::size_t n,
+                              const std::function<void(std::size_t)>& fn) {
+  if (n == 0) return;
+  if (on_worker_thread() || impl_->workers.empty()) {
+    // Nested (or degenerate) invocation: run inline. Serial semantics —
+    // the first exception aborts the remaining iterations.
+    for (std::size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+
+  auto loop = std::make_shared<Impl::Loop>();
+  loop->n = n;
+  loop->fn = &fn;
+
+  const std::size_t participants = std::min<std::size_t>(impl_->workers.size(), n);
+  {
+    std::lock_guard<std::mutex> lk(impl_->queue_mu);
+    for (std::size_t p = 0; p < participants; ++p)
+      impl_->queue.emplace_back([loop] { Impl::drain(loop); });
+  }
+  impl_->queue_cv.notify_all();
+
+  std::unique_lock<std::mutex> lk(loop->mu);
+  loop->done_cv.wait(lk, [&] { return loop->finished.load() == n; });
+  if (loop->error) std::rethrow_exception(loop->error);
+}
+
+}  // namespace socpower

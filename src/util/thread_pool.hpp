@@ -1,0 +1,57 @@
+// Fixed-size worker pool for the parallel co-estimation paths.
+//
+// Design-space exploration re-runs the whole co-estimation per design point
+// (paper Section 6 / Figure 7), and the offline hardware batch flush replays
+// one gate-level trace per ASIC — both are lists of fully independent,
+// coarse-grained jobs. ThreadPool covers exactly that shape: a handful of
+// long-lived workers and a blocking `parallel_for` whose callers store
+// results by index and reduce deterministically afterwards. No futures, no
+// work stealing, no task graph — determinism of the *merged* result is the
+// contract, so the pool only needs to guarantee every index runs exactly
+// once.
+//
+// Nested use: a `parallel_for` issued from inside a pool task runs its loop
+// inline on the calling worker (no new tasks are queued), so composed
+// parallel code cannot deadlock on pool capacity.
+//
+// Exceptions: if any iteration throws, the loop still visits every index,
+// then rethrows the exception of the *lowest* failing index on the calling
+// thread — deterministic regardless of scheduling.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <memory>
+
+namespace socpower {
+
+/// Maps a user-facing thread-count knob to an actual worker count:
+/// 0 = one per hardware thread (at least 1), otherwise the value itself.
+[[nodiscard]] unsigned resolve_thread_count(unsigned requested);
+
+class ThreadPool {
+ public:
+  /// Spawns `threads` workers (0 = one per hardware thread).
+  explicit ThreadPool(unsigned threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  [[nodiscard]] unsigned size() const;
+
+  /// Runs fn(0) .. fn(n-1), each exactly once, and blocks until all have
+  /// finished. Iterations execute on the workers (the calling thread only
+  /// waits); call-order across indices is unspecified. Safe to call from
+  /// inside a pool task (runs inline) and with n == 0 (no-op).
+  void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn);
+
+  /// True when the current thread is one of this process's pool workers.
+  [[nodiscard]] static bool on_worker_thread();
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace socpower

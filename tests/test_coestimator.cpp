@@ -12,6 +12,29 @@
 namespace socpower::core {
 namespace {
 
+TEST(EffectiveEmissions, LaterEmissionWinsAndResultIsSortedByEvent) {
+  using cfsm::EmittedEvent;
+  // Duplicates of event 5 and event 2 interleaved: for each event the
+  // receiver observes only the latest value; output is sorted by event id.
+  std::vector<EmittedEvent> ems = {
+      {5, 10}, {2, 1}, {5, 20}, {7, 3}, {2, 4}, {5, 30},
+  };
+  const auto eff = effective_emissions(ems);
+  ASSERT_EQ(eff.size(), 3u);
+  EXPECT_EQ(eff[0].event, 2);
+  EXPECT_EQ(eff[0].value, 4);   // later {2,4} wins over {2,1}
+  EXPECT_EQ(eff[1].event, 5);
+  EXPECT_EQ(eff[1].value, 30);  // last of the three emissions of event 5
+  EXPECT_EQ(eff[2].event, 7);
+  EXPECT_EQ(eff[2].value, 3);
+
+  EXPECT_TRUE(effective_emissions({}).empty());
+  const auto single = effective_emissions({{4, 9}});
+  ASSERT_EQ(single.size(), 1u);
+  EXPECT_EQ(single[0].event, 4);
+  EXPECT_EQ(single[0].value, 9);
+}
+
 systems::TcpIpParams small_tcpip() {
   systems::TcpIpParams p;
   p.num_packets = 4;

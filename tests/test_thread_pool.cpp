@@ -1,0 +1,114 @@
+// Worker-pool contract tests: every index runs exactly once, exceptions
+// propagate deterministically, and nested parallel_for cannot deadlock.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include "util/thread_pool.hpp"
+
+namespace socpower {
+namespace {
+
+TEST(ThreadPool, RunsEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.size(), 4u);
+  constexpr std::size_t kN = 10'000;
+  std::vector<std::atomic<int>> hits(kN);
+  pool.parallel_for(kN, [&](std::size_t i) { hits[i].fetch_add(1); });
+  for (std::size_t i = 0; i < kN; ++i) EXPECT_EQ(hits[i].load(), 1);
+}
+
+TEST(ThreadPool, ResultsByIndexMatchSerial) {
+  ThreadPool pool(3);
+  constexpr std::size_t kN = 257;
+  std::vector<std::uint64_t> parallel(kN, 0), serial(kN, 0);
+  auto work = [](std::size_t i) {
+    std::uint64_t acc = i;
+    for (int k = 0; k < 1000; ++k) acc = acc * 6364136223846793005ull + i;
+    return acc;
+  };
+  pool.parallel_for(kN, [&](std::size_t i) { parallel[i] = work(i); });
+  for (std::size_t i = 0; i < kN; ++i) serial[i] = work(i);
+  EXPECT_EQ(parallel, serial);
+}
+
+TEST(ThreadPool, ReusableAcrossCalls) {
+  ThreadPool pool(2);
+  for (int round = 0; round < 20; ++round) {
+    std::atomic<int> sum{0};
+    pool.parallel_for(64, [&](std::size_t i) {
+      sum.fetch_add(static_cast<int>(i));
+    });
+    EXPECT_EQ(sum.load(), 64 * 63 / 2);
+  }
+}
+
+TEST(ThreadPool, ZeroIterationsIsNoOp) {
+  ThreadPool pool(2);
+  pool.parallel_for(0, [](std::size_t) { FAIL() << "must not be called"; });
+}
+
+TEST(ThreadPool, ZeroThreadsMeansHardwareConcurrency) {
+  EXPECT_GE(resolve_thread_count(0), 1u);
+  EXPECT_EQ(resolve_thread_count(3), 3u);
+  ThreadPool pool(0);
+  EXPECT_GE(pool.size(), 1u);
+  std::atomic<int> count{0};
+  pool.parallel_for(10, [&](std::size_t) { count.fetch_add(1); });
+  EXPECT_EQ(count.load(), 10);
+}
+
+TEST(ThreadPool, PropagatesLowestIndexException) {
+  ThreadPool pool(4);
+  std::atomic<int> completed{0};
+  try {
+    pool.parallel_for(100, [&](std::size_t i) {
+      if (i == 17 || i == 63) throw std::runtime_error("bad " + std::to_string(i));
+      completed.fetch_add(1);
+    });
+    FAIL() << "expected an exception";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "bad 17");
+  }
+  // Every non-throwing index still ran (the loop completes before the
+  // rethrow, so the pool is reusable afterwards).
+  EXPECT_EQ(completed.load(), 98);
+  std::atomic<int> after{0};
+  pool.parallel_for(8, [&](std::size_t) { after.fetch_add(1); });
+  EXPECT_EQ(after.load(), 8);
+}
+
+TEST(ThreadPool, NestedParallelForRunsInline) {
+  ThreadPool pool(2);
+  constexpr std::size_t kOuter = 8, kInner = 16;
+  std::vector<std::atomic<int>> hits(kOuter * kInner);
+  pool.parallel_for(kOuter, [&](std::size_t o) {
+    EXPECT_TRUE(ThreadPool::on_worker_thread());
+    // A nested call on the same (or any) pool must not deadlock on pool
+    // capacity; it runs inline on this worker.
+    pool.parallel_for(kInner, [&](std::size_t i) {
+      hits[o * kInner + i].fetch_add(1);
+    });
+  });
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+  EXPECT_FALSE(ThreadPool::on_worker_thread());
+}
+
+TEST(ThreadPool, NestedExceptionPropagatesThroughOuterLoop) {
+  ThreadPool pool(2);
+  EXPECT_THROW(
+      pool.parallel_for(4,
+                        [&](std::size_t o) {
+                          pool.parallel_for(4, [&](std::size_t i) {
+                            if (o == 1 && i == 2)
+                              throw std::logic_error("inner");
+                          });
+                        }),
+      std::logic_error);
+}
+
+}  // namespace
+}  // namespace socpower
