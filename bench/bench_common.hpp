@@ -48,12 +48,21 @@ struct ModeResult {
 };
 
 /// Runs one acceleration mode on a fresh system instance (fresh workload
-/// state, same seed => identical traffic).
+/// state, same seed => identical traffic). Wall clock is best-of-`reps`:
+/// runs are deterministic, so every rep produces identical energies and the
+/// only varying field is `wall_seconds` — taking the minimum sheds the
+/// one-sided scheduler-noise spikes that otherwise break the wall-clock
+/// ratio comparisons on busy single-CPU CI containers.
 inline core::RunResults run_mode(systems::TcpIpSystem& sys,
                                  core::CoEstimator& est,
-                                 core::Acceleration accel) {
+                                 core::Acceleration accel, int reps = 2) {
   est.config().accel = accel;
-  return est.run(sys.stimulus());
+  core::RunResults best = est.run(sys.stimulus());
+  for (int i = 1; i < reps; ++i) {
+    core::RunResults r = est.run(sys.stimulus());
+    if (r.wall_seconds < best.wall_seconds) best = r;
+  }
+  return best;
 }
 
 inline void print_header(const char* title, const char* paper_ref) {

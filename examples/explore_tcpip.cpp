@@ -7,6 +7,9 @@
 // Usage: explore_tcpip [num_packets] [packet_bytes] [threads]
 // (threads defaults to $SOCPOWER_THREADS, then 1; 0 = one per hardware
 // thread. Results are bit-identical for any thread count.)
+// Set SOCPOWER_BLOCK_CACHE=0 to run the reference ISS interpreter instead
+// of the block-cache fast path — results are bit-identical either way; the
+// knob exists to measure the speedup end to end.
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
@@ -34,6 +37,10 @@ int main(int argc, char** argv) {
   else if (const char* env = std::getenv("SOCPOWER_THREADS"))
     threads = parse_threads(env);
   threads = resolve_thread_count(threads);
+
+  bool block_cache = true;
+  if (const char* env = std::getenv("SOCPOWER_BLOCK_CACHE"))
+    block_cache = std::atoi(env) != 0;
 
   std::printf("exploring the TCP/IP subsystem integration architecture\n");
   std::printf("workload: %d packets x %d bytes, %u worker thread(s)\n\n",
@@ -77,6 +84,7 @@ int main(int argc, char** argv) {
     core::CoEstimatorConfig cfg;
     cfg.bus.line_cap_f = 10e-9;
     cfg.accel = core::Acceleration::kCaching;  // exploration-speed mode
+    cfg.iss.block_cache = block_cache;
     core::CoEstimator est(&sys.network(), cfg);
     sys.configure(est);
     est.prepare();
@@ -144,6 +152,7 @@ int main(int argc, char** argv) {
         core::CoEstimatorConfig cfg;
         cfg.bus.line_cap_f = 10e-9;
         cfg.accel = accel;
+        cfg.iss.block_cache = block_cache;
         core::CoEstimator est(&sys.network(), cfg);
         sys.configure(est);
         est.prepare();

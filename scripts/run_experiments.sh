@@ -5,6 +5,9 @@
 # SOCPOWER_THREADS sets the worker-thread count for the parallel
 # exploration paths (default: one per hardware thread). Energies are
 # bit-identical for any value; only wall-clock changes.
+#
+# SOCPOWER_ISS_RUNS sets the invocations per kernel for the ISS throughput
+# benchmark (bench_iss_throughput); results are bit-identical for any value.
 set -e
 cd "$(dirname "$0")/.."
 

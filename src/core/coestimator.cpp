@@ -374,6 +374,7 @@ RunResults CoEstimator::run(const sim::Stimulus& stimulus) {
   };
 
   sim::SimTime now = 0;
+  std::vector<sim::EventOccurrence> occs;  // instant buffer, reused per pop
   while (true) {
     if (res.reactions >= config_.max_reactions) {
       res.truncated = true;
@@ -449,7 +450,7 @@ RunResults CoEstimator::run(const sim::Stimulus& stimulus) {
 
     if (t_queue <= t_cpu) {
       // ---- process one event instant --------------------------------------
-      const auto occs = queue_.pop_instant();
+      queue_.pop_instant(occs);
       now = occs.front().time;
       for (const auto& o : occs) {
         latch_occurrence(o);
@@ -720,12 +721,13 @@ RunResults CoEstimator::run_separate(const sim::Stimulus& stimulus) {
   std::vector<std::vector<cfsm::ReactionInputs>> traces(net_->cfsm_count());
   std::uint64_t reactions = 0;
   bool truncated = false;
+  std::vector<sim::EventOccurrence> occs;  // instant buffer, reused per pop
   while (!queue_.empty()) {
     if (reactions >= config_.max_reactions) {
       truncated = true;
       break;
     }
-    const auto occs = queue_.pop_instant();
+    queue_.pop_instant(occs);
     const sim::SimTime t = occs.front().time;
     for (const auto& o : occs) {
       latch_occurrence(o);

@@ -109,6 +109,35 @@ bool writes_rd(Opcode op) {
   }
 }
 
+std::uint32_t reg_read_mask(const Instruction& ins) {
+  auto bit = [](std::uint8_t r) -> std::uint32_t {
+    return r < kNumRegisters ? 1u << r : 0u;
+  };
+  switch (ins.op) {
+    case Opcode::kNop:
+    case Opcode::kHalt:
+    case Opcode::kMovI:
+    case Opcode::kMovHi:
+    case Opcode::kJ:
+    case Opcode::kJal:
+      return 0;
+    case Opcode::kJr:
+      return bit(ins.rs1) & ~1u;
+    default:
+      break;
+  }
+  std::uint32_t mask = bit(ins.rs1);
+  // rs2 is read by R-type ALU, branches and stores.
+  const bool has_rs2 = is_branch(ins.op) || is_store(ins.op) ||
+                       (!is_load(ins.op) && ins.op != Opcode::kAddI &&
+                        ins.op != Opcode::kSubI && ins.op != Opcode::kAndI &&
+                        ins.op != Opcode::kOrI && ins.op != Opcode::kXorI &&
+                        ins.op != Opcode::kSllI && ins.op != Opcode::kSrlI &&
+                        ins.op != Opcode::kSraI && ins.op != Opcode::kSltI);
+  if (has_rs2) mask |= bit(ins.rs2);
+  return mask & ~1u;  // r0 never interlocks
+}
+
 namespace {
 
 enum class Format { kR, kI, kBranch, kJ, kNone };

@@ -80,6 +80,12 @@ using Program = std::vector<Instruction>;
 /// True when the opcode writes `rd`.
 [[nodiscard]] bool writes_rd(Opcode op);
 
+/// Bit i set => the instruction reads general register i under the load-use
+/// interlock rules (r0 never interlocks; out-of-range register fields are
+/// ignored). Shared by the interpreter's stall check and the basic-block
+/// decoder, so both paths agree on when a bubble is inserted.
+[[nodiscard]] std::uint32_t reg_read_mask(const Instruction& ins);
+
 /// Binary encoding (4 bytes per instruction, fixed width). Three formats:
 ///   R-type: [31:26] op  [25:21] rd  [20:16] rs1  [15:11] rs2  [10:0] 0
 ///   I-type: [31:26] op  [25:21] rd  [20:16] rs1  [15:0]  imm16

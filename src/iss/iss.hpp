@@ -15,6 +15,7 @@
 #include <span>
 #include <vector>
 
+#include "iss/block_cache.hpp"
 #include "iss/isa.hpp"
 #include "iss/power_model.hpp"
 #include "util/units.hpp"
@@ -26,7 +27,15 @@ struct RunResult {
   Joules energy = 0.0;
   std::uint64_t instructions = 0;
   std::uint64_t stall_cycles = 0;
-  bool halted = false;  // false => instruction budget exhausted
+  bool halted = false;  // false => instruction budget exhausted or fault
+  /// True when execution trapped: an instruction fetch, load or store fell
+  /// outside memory, or an undecodable opcode was fetched. The faulting
+  /// instruction is not accounted (a fetch fault is not even an executed
+  /// instruction); the PC is left pointing at it and `fault_addr` holds the
+  /// offending byte address. Replaces the silent out-of-bounds access the
+  /// former assert-only checks permitted in release builds.
+  bool fault = false;
+  std::uint32_t fault_addr = 0;
 };
 
 struct IssConfig {
@@ -38,6 +47,13 @@ struct IssConfig {
   /// SPARClite: the delay slot hides the redirect).
   unsigned taken_branch_penalty = 0;
   std::uint64_t default_max_instructions = 10'000'000;
+  /// Pre-decoded basic-block cache (the ISS fast path). Results are
+  /// bit-identical with the cache on or off; turn it off only to benchmark
+  /// the reference interpreter or to bisect a suspected cache bug.
+  bool block_cache = true;
+  std::uint32_t block_cache_max_blocks = 2048;
+  /// Straight-line runs longer than this decode into multiple blocks.
+  std::uint32_t block_cache_max_ops = 64;
 };
 
 class Iss {
@@ -51,6 +67,9 @@ class Iss {
   void set_pc(std::uint32_t word_addr) { pc_ = word_addr; }
   [[nodiscard]] std::uint32_t pc() const { return pc_; }
 
+  /// Out-of-range registers assert in debug and read as 0 / ignore writes in
+  /// release; out-of-range addresses assert and read as 0 / drop the store.
+  /// (Execution-time accesses trap instead — see RunResult::fault.)
   [[nodiscard]] std::int32_t reg(unsigned r) const;
   void set_reg(unsigned r, std::int32_t v);
 
@@ -77,14 +96,49 @@ class Iss {
     return model_;
   }
   [[nodiscard]] const IssConfig& config() const { return config_; }
+  /// Fast-path counters (hits/decodes/flushes); all zero when the block
+  /// cache is disabled.
+  [[nodiscard]] const BlockCacheStats& block_cache_stats() const {
+    return blocks_.stats();
+  }
 
  private:
-  [[nodiscard]] const Instruction& fetch(std::uint32_t word_addr) const;
+  /// Delay-slot bookkeeping. Deliberately local to each run() call, exactly
+  /// as in the original interpreter: a budget that expires between a taken
+  /// branch and its delay slot drops the pending redirect.
+  struct Flow {
+    bool in_delay_slot = false;
+    std::uint32_t pending_target = 0;
+  };
+  enum class Step : std::uint8_t { kOk, kHalt, kFault };
+  /// Architectural effect of one instruction (register/memory writes happen
+  /// inside operate(); control and trap outcomes are returned).
+  struct ExecOut {
+    bool transfer = false;
+    bool fault = false;
+    std::uint32_t target = 0;
+    std::uint32_t fault_addr = 0;
+  };
+
+  /// Executes `ins` given its operand values: the single definition of SLITE
+  /// architectural semantics, shared by the stepping interpreter and block
+  /// replay so the two paths cannot drift.
+  ExecOut operate(const Instruction& ins, std::int32_t a, std::int32_t b,
+                  std::uint32_t pc_word);
+  /// Reference path: one instruction with full decode-and-lookup accounting.
+  Step step_one(RunResult& r, Flow& flow);
+  /// Fast path: replays a pre-decoded block (plus its fused delay slot when
+  /// the terminator transfers), accounting with the decode-time metadata and
+  /// consuming `budget` for the instructions actually executed.
+  /// Bit-identical to step_one() over the same instructions.
+  Step exec_block(const DecodedBlock& blk, RunResult& r, Flow& flow,
+                  std::uint64_t& budget);
 
   InstructionPowerModel model_;
   IssConfig config_;
   std::vector<Instruction> imem_;      // decoded instruction memory
   std::vector<std::uint8_t> dmem_;     // byte-addressable data memory
+  BlockCache blocks_;                  // invalidated by load_program()
   std::int32_t regs_[kNumRegisters] = {};
   std::uint32_t pc_ = 0;
   EnergyClass last_class_ = EnergyClass::kNop;  // circuit state across calls

@@ -5,7 +5,9 @@
 namespace socpower::iss {
 
 InstructionPowerModel::InstructionPowerModel(ElectricalParams params)
-    : params_(params) {}
+    : params_(params) {
+  rebuild_energy_tables();
+}
 
 InstructionPowerModel InstructionPowerModel::sparclite(
     ElectricalParams params) {
@@ -38,6 +40,7 @@ InstructionPowerModel InstructionPowerModel::sparclite(
   ovh(EnergyClass::kAlu, EnergyClass::kMul, 28.0);
   ovh(EnergyClass::kBranch, EnergyClass::kLoad, 20.0);
   m.set_stall_current_ma(150.0);
+  m.rebuild_energy_tables();  // the direct overhead_ma_ writes above bypass the setters
   return m;
 }
 
@@ -50,6 +53,7 @@ InstructionPowerModel InstructionPowerModel::dsp_like(double nj_per_toggle,
 
 void InstructionPowerModel::set_base_current_ma(EnergyClass c, double ma) {
   base_ma_[static_cast<std::size_t>(c)] = ma;
+  rebuild_energy_tables();
 }
 
 void InstructionPowerModel::set_overhead_current_ma(EnergyClass prev,
@@ -57,6 +61,7 @@ void InstructionPowerModel::set_overhead_current_ma(EnergyClass prev,
                                                     double ma) {
   overhead_ma_[static_cast<std::size_t>(prev)][static_cast<std::size_t>(cur)] =
       ma;
+  rebuild_energy_tables();
 }
 
 double InstructionPowerModel::base_current_ma(EnergyClass c) const {
@@ -76,15 +81,12 @@ Joules InstructionPowerModel::current_to_energy(double ma,
          params_.clock_hz;
 }
 
-Joules InstructionPowerModel::instruction_energy(EnergyClass prev,
-                                                 EnergyClass cur,
-                                                 unsigned cycles) const {
-  const double ma = base_current_ma(cur) + overhead_current_ma(prev, cur);
-  return current_to_energy(ma, cycles);
-}
-
-Joules InstructionPowerModel::stall_energy(unsigned cycles) const {
-  return current_to_energy(stall_ma_, cycles);
+void InstructionPowerModel::rebuild_energy_tables() {
+  for (std::size_t p = 0; p < kNumEnergyClasses; ++p)
+    for (std::size_t c = 0; c < kNumEnergyClasses; ++c)
+      pair_energy_[p * kNumEnergyClasses + c] =
+          current_to_energy(base_ma_[c] + overhead_ma_[p][c], 1);
+  stall_energy_per_cycle_ = current_to_energy(stall_ma_, 1);
 }
 
 Joules InstructionPowerModel::data_energy(unsigned toggles) const {

@@ -38,7 +38,10 @@ class InstructionPowerModel {
 
   void set_base_current_ma(EnergyClass c, double ma);
   void set_overhead_current_ma(EnergyClass prev, EnergyClass cur, double ma);
-  void set_stall_current_ma(double ma) { stall_ma_ = ma; }
+  void set_stall_current_ma(double ma) {
+    stall_ma_ = ma;
+    rebuild_energy_tables();
+  }
   void set_data_toggle_nj(double nj) { nj_per_toggle_ = nj; }
 
   [[nodiscard]] double base_current_ma(EnergyClass c) const;
@@ -46,11 +49,21 @@ class InstructionPowerModel {
                                            EnergyClass cur) const;
 
   /// Energy of one instruction of class `cur`, preceded by `prev`, occupying
-  /// `cycles` cycles (base cycles; stalls are billed separately).
+  /// `cycles` cycles (base cycles; stalls are billed separately). One load
+  /// from the flattened (prev, cur) pair-energy table and one multiply — the
+  /// currents are folded into joules-per-cycle whenever the tables change,
+  /// so neither the interpreter nor the block decoder recomputes them per
+  /// instruction.
   [[nodiscard]] Joules instruction_energy(EnergyClass prev, EnergyClass cur,
-                                          unsigned cycles) const;
+                                          unsigned cycles) const {
+    return pair_energy_[static_cast<std::size_t>(prev) * kNumEnergyClasses +
+                        static_cast<std::size_t>(cur)] *
+           static_cast<double>(cycles);
+  }
   /// Energy of `cycles` pipeline-stall cycles.
-  [[nodiscard]] Joules stall_energy(unsigned cycles) const;
+  [[nodiscard]] Joules stall_energy(unsigned cycles) const {
+    return stall_energy_per_cycle_ * static_cast<double>(cycles);
+  }
   /// Data-dependent term: energy for `toggles` switched operand bits
   /// (zero unless the DSP-style term is enabled).
   [[nodiscard]] Joules data_energy(unsigned toggles) const;
@@ -59,6 +72,9 @@ class InstructionPowerModel {
   explicit InstructionPowerModel(ElectricalParams params);
 
   [[nodiscard]] Joules current_to_energy(double ma, unsigned cycles) const;
+  /// Refolds base/overhead/stall currents into the flat per-cycle energy
+  /// tables. Called by the constructor and every current setter.
+  void rebuild_energy_tables();
 
   ElectricalParams params_;
   std::array<double, kNumEnergyClasses> base_ma_{};
@@ -66,6 +82,10 @@ class InstructionPowerModel {
       overhead_ma_{};
   double stall_ma_ = 0.0;
   double nj_per_toggle_ = 0.0;
+  /// pair_energy_[prev * kNumEnergyClasses + cur] = joules of ONE cycle of
+  /// class `cur` executed after `prev` (base + circuit-state overhead).
+  std::array<double, kNumEnergyClasses * kNumEnergyClasses> pair_energy_{};
+  double stall_energy_per_cycle_ = 0.0;
 };
 
 }  // namespace socpower::iss

@@ -17,13 +17,18 @@ SimTime EventQueue::next_time() const {
 
 std::vector<EventOccurrence> EventQueue::pop_instant() {
   std::vector<EventOccurrence> out;
-  if (heap_.empty()) return out;
+  pop_instant(out);
+  return out;
+}
+
+void EventQueue::pop_instant(std::vector<EventOccurrence>& out) {
+  out.clear();
+  if (heap_.empty()) return;
   const SimTime t = heap_.top().time;
   while (!heap_.empty() && heap_.top().time == t) {
     out.push_back(heap_.top());
     heap_.pop();
   }
-  return out;
 }
 
 void EventQueue::clear() {

@@ -38,6 +38,11 @@ class EventQueue {
   /// their posting order (seq) within the instant.
   std::vector<EventOccurrence> pop_instant();
 
+  /// Caller-buffer overload: clears `out` and fills it with the earliest
+  /// instant. The co-estimator main loop reuses one buffer across instants
+  /// so steady-state simulation performs no per-instant allocation.
+  void pop_instant(std::vector<EventOccurrence>& out);
+
   void clear();
 
  private:

@@ -42,6 +42,24 @@ TEST(EventQueue, PostingOrderPreservedWithinInstant) {
   }
 }
 
+TEST(EventQueue, PopInstantReusesCallerBuffer) {
+  EventQueue q;
+  q.post(5, 0, 0);
+  q.post(5, 1, 1);
+  q.post(9, 2, 2);
+  std::vector<EventOccurrence> buf;
+  buf.push_back({});  // stale content must be cleared, not appended to
+  q.pop_instant(buf);
+  ASSERT_EQ(buf.size(), 2u);
+  EXPECT_EQ(buf[0].event, 0);
+  EXPECT_EQ(buf[1].event, 1);
+  q.pop_instant(buf);
+  ASSERT_EQ(buf.size(), 1u);
+  EXPECT_EQ(buf[0].event, 2);
+  q.pop_instant(buf);  // empty queue leaves an empty buffer
+  EXPECT_TRUE(buf.empty());
+}
+
 TEST(EventQueue, SourceTracked) {
   EventQueue q;
   q.post(1, 0, 0, /*source=*/3);
