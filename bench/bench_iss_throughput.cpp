@@ -16,6 +16,7 @@
 #include "bench_common.hpp"
 #include "iss/assembler.hpp"
 #include "iss/iss.hpp"
+#include "util/env.hpp"
 
 using namespace socpower;
 
@@ -113,10 +114,10 @@ int main(int argc, char** argv) {
       "ISS throughput: stepping interpreter vs basic-block cache",
       "engineering speedup; results must stay bit-identical");
 
-  unsigned runs = 20000;
-  if (argc > 1) runs = static_cast<unsigned>(std::atoi(argv[1]));
-  else if (const char* env = std::getenv("SOCPOWER_ISS_RUNS"))
-    runs = static_cast<unsigned>(std::atoi(env));
+  unsigned runs =
+      argc > 1 ? static_cast<unsigned>(std::atoi(argv[1]))
+               : static_cast<unsigned>(
+                     socpower::util::env_int("SOCPOWER_ISS_RUNS", 20000));
   if (runs < 100) runs = 100;
   std::printf("invocations per kernel: %u (best of 5 reps)\n\n", runs);
 

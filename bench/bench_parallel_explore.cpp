@@ -12,6 +12,7 @@
 
 #include "bench_common.hpp"
 #include "core/explorer.hpp"
+#include "util/env.hpp"
 
 using namespace socpower;
 
@@ -95,10 +96,10 @@ int main(int argc, char** argv) {
       "Parallel co-estimation: threaded exploration and HW batch flush",
       "Section 6 workload (design-space exploration), engineering speedup");
 
-  unsigned max_threads = 4;
-  if (argc > 1) max_threads = static_cast<unsigned>(std::atoi(argv[1]));
-  else if (const char* env = std::getenv("SOCPOWER_THREADS"))
-    max_threads = static_cast<unsigned>(std::atoi(env));
+  unsigned max_threads =
+      argc > 1 ? static_cast<unsigned>(std::atoi(argv[1]))
+               : static_cast<unsigned>(
+                     socpower::util::env_int("SOCPOWER_THREADS", 4));
   if (max_threads < 2) max_threads = 2;
   const unsigned hw = std::thread::hardware_concurrency();
   std::printf("hardware threads: %u, sweeping up to %u pool threads\n\n", hw,

@@ -10,6 +10,9 @@
 // Set SOCPOWER_BLOCK_CACHE=0 to run the reference ISS interpreter instead
 // of the block-cache fast path — results are bit-identical either way; the
 // knob exists to measure the speedup end to end.
+// Set SOCPOWER_TRACE=out.json to collect telemetry and write a Chrome
+// trace-event file (open in chrome://tracing or https://ui.perfetto.dev);
+// SOCPOWER_TELEMETRY=1 enables the counters alone.
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
@@ -18,6 +21,8 @@
 #include "core/coestimator.hpp"
 #include "core/explorer.hpp"
 #include "systems/tcpip.hpp"
+#include "telemetry/telemetry.hpp"
+#include "util/env.hpp"
 #include "util/table.hpp"
 #include "util/thread_pool.hpp"
 
@@ -26,21 +31,18 @@ using namespace socpower;
 int main(int argc, char** argv) {
   const int packets = argc > 1 ? std::atoi(argv[1]) : 4;
   const int bytes = argc > 2 ? std::atoi(argv[2]) : 256;
+  const std::string trace_path = telemetry::configure_from_env();
   // Negative or absurd counts would otherwise wrap through unsigned and ask
   // the pool for billions of threads; clamp to a sane range (0 = auto).
-  const auto parse_threads = [](const char* s) -> unsigned {
-    const long v = std::strtol(s, nullptr, 10);
+  const auto clamp_threads = [](long v) -> unsigned {
     return static_cast<unsigned>(std::clamp(v, 0l, 1024l));
   };
-  unsigned threads = 1;
-  if (argc > 3) threads = parse_threads(argv[3]);
-  else if (const char* env = std::getenv("SOCPOWER_THREADS"))
-    threads = parse_threads(env);
+  unsigned threads =
+      argc > 3 ? clamp_threads(std::strtol(argv[3], nullptr, 10))
+               : clamp_threads(util::env_int("SOCPOWER_THREADS", 1));
   threads = resolve_thread_count(threads);
 
-  bool block_cache = true;
-  if (const char* env = std::getenv("SOCPOWER_BLOCK_CACHE"))
-    block_cache = std::atoi(env) != 0;
+  const bool block_cache = util::env_bool("SOCPOWER_BLOCK_CACHE", true);
 
   std::printf("exploring the TCP/IP subsystem integration architecture\n");
   std::printf("workload: %d packets x %d bytes, %u worker thread(s)\n\n",
@@ -166,5 +168,17 @@ int main(int argc, char** argv) {
   const auto outcome =
       core::explore(dma_points, /*verify_top=*/2, {.threads = threads});
   std::printf("%s", outcome.render().c_str());
+
+  if (telemetry::enabled()) {
+    std::printf("\n--- telemetry counters ---\n%s",
+                telemetry::snapshot().render_table().c_str());
+    if (!trace_path.empty()) {
+      if (!telemetry::write_chrome_trace(trace_path)) return 1;
+      std::printf("wrote Chrome trace to %s (%zu events, %llu dropped)\n",
+                  trace_path.c_str(), telemetry::collector().event_count(),
+                  static_cast<unsigned long long>(
+                      telemetry::collector().dropped()));
+    }
+  }
   return 0;
 }

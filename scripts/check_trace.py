@@ -1,0 +1,120 @@
+#!/usr/bin/env python3
+"""Validate a socpower Chrome trace-event export.
+
+Checks that the file is (1) valid JSON, (2) shaped like the Chrome
+trace-event "JSON Object Format" our telemetry exporter emits, and (3)
+internally consistent (non-negative durations, args where flags promise
+them, a counter snapshot under otherData). CI runs explore_tcpip with
+SOCPOWER_TRACE set and fails the build if the export stops loading in
+chrome://tracing / Perfetto.
+
+Usage: check_trace.py trace.json [--require-events]
+Exit code 0 on a valid trace, 1 with a diagnostic otherwise.
+"""
+
+import json
+import sys
+
+VALID_PHASES = {"X", "i", "M"}
+
+
+def fail(msg):
+    print(f"check_trace: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def check_event(i, ev):
+    if not isinstance(ev, dict):
+        fail(f"traceEvents[{i}] is not an object")
+    for key in ("name", "ph", "pid", "tid"):
+        if key not in ev:
+            fail(f"traceEvents[{i}] missing required key '{key}'")
+    if not isinstance(ev["name"], str) or not ev["name"]:
+        fail(f"traceEvents[{i}] has an empty or non-string name")
+    ph = ev["ph"]
+    if ph not in VALID_PHASES:
+        fail(f"traceEvents[{i}] has unexpected phase {ph!r}")
+    if ph == "M":
+        if ev["name"] != "thread_name" or "args" not in ev:
+            fail(f"traceEvents[{i}]: metadata event is not a thread_name")
+        return
+    if "ts" not in ev:
+        fail(f"traceEvents[{i}] ({ph}) missing timestamp 'ts'")
+    if not isinstance(ev["ts"], (int, float)) or ev["ts"] < 0:
+        fail(f"traceEvents[{i}] has invalid ts {ev['ts']!r}")
+    if ph == "X":
+        dur = ev.get("dur")
+        if not isinstance(dur, (int, float)) or dur < 0:
+            fail(f"traceEvents[{i}] complete event has invalid dur {dur!r}")
+    args = ev.get("args")
+    if args is not None:
+        if not isinstance(args, dict):
+            fail(f"traceEvents[{i}] args is not an object")
+        for k in ("sim_time", "arg"):
+            if k in args and not isinstance(args[k], int):
+                fail(f"traceEvents[{i}] args.{k} is not an integer")
+
+
+def check_snapshot(snap):
+    for section in ("counters", "gauges", "histograms"):
+        if section not in snap:
+            fail(f"otherData.snapshot missing '{section}'")
+        if not isinstance(snap[section], dict):
+            fail(f"otherData.snapshot.{section} is not an object")
+    for name, value in snap["counters"].items():
+        if not isinstance(value, int) or value < 0:
+            fail(f"counter {name!r} has invalid value {value!r}")
+    for name, g in snap["gauges"].items():
+        if not isinstance(g, dict) or "value" not in g or "peak" not in g:
+            fail(f"gauge {name!r} is malformed: {g!r}")
+    for name, h in snap["histograms"].items():
+        if not isinstance(h, dict) or "count" not in h or "mean" not in h:
+            fail(f"histogram {name!r} is malformed: {h!r}")
+
+
+def main(argv):
+    if len(argv) < 2:
+        print(__doc__, file=sys.stderr)
+        return 2
+    path = argv[1]
+    require_events = "--require-events" in argv[2:]
+
+    try:
+        with open(path, encoding="utf-8") as f:
+            trace = json.load(f)
+    except OSError as e:
+        fail(f"cannot read {path}: {e}")
+    except json.JSONDecodeError as e:
+        fail(f"{path} is not valid JSON: {e}")
+
+    if not isinstance(trace, dict):
+        fail("top level is not an object")
+    events = trace.get("traceEvents")
+    if not isinstance(events, list):
+        fail("'traceEvents' missing or not an array")
+
+    n_spans = 0
+    for i, ev in enumerate(events):
+        check_event(i, ev)
+        if ev["ph"] in ("X", "i"):
+            n_spans += 1
+    if require_events and n_spans == 0:
+        fail("trace contains no duration/instant events "
+             "(was tracing actually enabled?)")
+
+    other = trace.get("otherData")
+    if not isinstance(other, dict):
+        fail("'otherData' missing or not an object")
+    dropped = other.get("dropped_events")
+    if not isinstance(dropped, int) or dropped < 0:
+        fail(f"otherData.dropped_events invalid: {dropped!r}")
+    if "snapshot" in other:
+        check_snapshot(other["snapshot"])
+
+    print(f"check_trace: OK: {len(events)} events ({n_spans} spans/instants, "
+          f"{dropped} dropped) in {path}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

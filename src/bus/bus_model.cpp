@@ -1,11 +1,38 @@
 #include "bus/bus_model.hpp"
 
 #include <algorithm>
+#include <array>
 #include <bit>
 #include <cassert>
+#include <cstdio>
 #include <numeric>
 
+#include "telemetry/registry.hpp"
+
 namespace socpower::bus {
+
+namespace {
+
+/// Per-master grant counter; masters above the table size share the last
+/// slot (real designs here have a handful of masters).
+telemetry::Counter& master_grant_counter(int master) {
+  static const std::array<telemetry::Counter*, 8> counters = [] {
+    std::array<telemetry::Counter*, 8> a{};
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      char name[32];
+      std::snprintf(name, sizeof name, "bus.master%zu.grants", i);
+      a[i] = &telemetry::registry().counter(name);
+    }
+    return a;
+  }();
+  const auto idx = master >= 0 && static_cast<std::size_t>(master) <
+                                      counters.size()
+                       ? static_cast<std::size_t>(master)
+                       : counters.size() - 1;
+  return *counters[idx];
+}
+
+}  // namespace
 
 BusModel::BusModel(BusParams params) : params_(params) {
   assert(params_.dma_block_size > 0);
@@ -175,6 +202,9 @@ void BusScheduler::start_grant(std::size_t job_index, std::uint64_t start) {
   if (keep_grant_times_) grant_times_.push_back(start);
   ++j.grants;
   ++totals_.grants;
+  telemetry::registry().counter("bus.grants").add();
+  master_grant_counter(j.request.master).add();
+  const std::size_t grant_byte0 = j.next_byte;
 
   const std::uint32_t addr_mask =
       params_.addr_bits >= 32 ? 0xffffffffu : ((1u << params_.addr_bits) - 1);
@@ -213,6 +243,7 @@ void BusScheduler::start_grant(std::size_t job_index, std::uint64_t start) {
   }
   j.energy += e;
   totals_.energy += e;
+  telemetry::registry().counter("bus.bytes").add(j.next_byte - grant_byte0);
   busy_ = true;
   active_index_ = job_index;
   grant_end_ = start + cycles;
@@ -240,6 +271,12 @@ std::vector<BusScheduler::Completion> BusScheduler::advance(std::uint64_t t) {
         done.push_back(c);
         totals_.wait_cycles += c.result.wait_cycles;
         ++totals_.transfers;
+        static telemetry::Counter& transfers =
+            telemetry::registry().counter("bus.transfers");
+        static telemetry::Counter& wait_cycles =
+            telemetry::registry().counter("bus.wait_cycles");
+        transfers.add();
+        wait_cycles.add(c.result.wait_cycles);
         pending_.erase(pending_.begin() +
                        static_cast<std::ptrdiff_t>(active_index_));
       }

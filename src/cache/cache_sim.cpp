@@ -2,6 +2,8 @@
 
 #include <cassert>
 
+#include "telemetry/registry.hpp"
+
 namespace socpower::cache {
 
 AccessStats& AccessStats::operator+=(const AccessStats& o) {
@@ -62,6 +64,12 @@ AccessStats CacheSim::access_stream(
   delta.misses = totals_.misses - before.misses;
   delta.penalty_cycles = totals_.penalty_cycles - before.penalty_cycles;
   delta.energy = totals_.energy - before.energy;
+  static telemetry::Counter& accesses =
+      telemetry::registry().counter("icache.accesses");
+  static telemetry::Counter& misses =
+      telemetry::registry().counter("icache.misses");
+  accesses.add(delta.accesses);
+  misses.add(delta.misses);
   return delta;
 }
 

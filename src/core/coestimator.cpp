@@ -7,6 +7,7 @@
 #include <cstdio>
 #include <limits>
 
+#include "telemetry/trace.hpp"
 #include "util/thread_pool.hpp"
 
 namespace socpower::core {
@@ -264,6 +265,11 @@ CoEstimator::TransitionCost CoEstimator::sw_transition_cost(
     // The macro-model annotates the behavioral model: the first execution of
     // a path prices its macro-op stream from the parameter library; later
     // executions are O(1) lookups. The ISS is never invoked.
+    static telemetry::Counter& skipped =
+        telemetry::registry().counter("macromodel.skipped_iss_calls");
+    static telemetry::Counter& annotations =
+        telemetry::registry().counter("macromodel.path_annotations");
+    skipped.add();
     auto& memo = mm_memo_[static_cast<std::size_t>(task)];
     if (static_cast<std::size_t>(path) >= memo.size())
       memo.resize(static_cast<std::size_t>(path) + 1);
@@ -272,6 +278,7 @@ CoEstimator::TransitionCost CoEstimator::sw_transition_cost(
       const auto stream =
           swsyn::macro_stream_for_trace(net_->cfsm(task), reaction.trace);
       slot = macromodel_.estimate(stream);
+      annotations.add();
     }
     return {slot->cycles, slot->energy, false};
   }
@@ -354,6 +361,8 @@ CoEstimator::TransitionCost CoEstimator::hw_transition_cost(
 
 RunResults CoEstimator::run(const sim::Stimulus& stimulus) {
   assert(prepared_);
+  telemetry::registry().counter("coest.runs").add();
+  SOCPOWER_TRACE_SPAN("coest.run");
   const auto wall0 = std::chrono::steady_clock::now();
   reset_runtime_state();
   iss_invocations_ = 0;
@@ -510,9 +519,21 @@ RunResults CoEstimator::run(const sim::Stimulus& stimulus) {
           const cfsm::PathId path =
               path_tables_[static_cast<std::size_t>(task)].intern(
                   reaction.trace);
-          const TransitionCost cost =
-              hw_transition_cost(task, inputs, reaction, path);
-          if (!cost.simulated) ++res.cache_hits_served;
+          static telemetry::Counter& hw_transitions =
+              telemetry::registry().counter("coest.transitions.hw");
+          static telemetry::Counter& accel_served =
+              telemetry::registry().counter("coest.accel_served");
+          hw_transitions.add();
+          TransitionCost cost;
+          {
+            SOCPOWER_TRACE_SPAN("coest.hw_transition", now,
+                                static_cast<std::uint64_t>(task));
+            cost = hw_transition_cost(task, inputs, reaction, path);
+          }
+          if (!cost.simulated) {
+            ++res.cache_hits_served;
+            accel_served.add();
+          }
           charge_process(task, now, cost.energy);
           if (transition_hook_)
             transition_hook_({task, path, now, cost.cycles, cost.energy,
@@ -574,9 +595,21 @@ RunResults CoEstimator::run(const sim::Stimulus& stimulus) {
     if (!reaction.trace.empty()) {
       const cfsm::PathId path =
           path_tables_[static_cast<std::size_t>(task)].intern(reaction.trace);
-      const TransitionCost cost =
-          sw_transition_cost(task, inputs, pre_state, reaction, path);
-      if (!cost.simulated) ++res.cache_hits_served;
+      static telemetry::Counter& sw_transitions =
+          telemetry::registry().counter("coest.transitions.sw");
+      static telemetry::Counter& accel_served =
+          telemetry::registry().counter("coest.accel_served");
+      sw_transitions.add();
+      TransitionCost cost;
+      {
+        SOCPOWER_TRACE_SPAN("coest.sw_transition", now,
+                            static_cast<std::uint64_t>(task));
+        cost = sw_transition_cost(task, inputs, pre_state, reaction, path);
+      }
+      if (!cost.simulated) {
+        ++res.cache_hits_served;
+        accel_served.add();
+      }
       cycles += cost.cycles;
       energy += cost.energy;
       if (transition_hook_)
@@ -657,11 +690,22 @@ void CoEstimator::flush_hw_batches(RunResults& res) {
     if (hw_units_[c] && !hw_units_[c]->batch.empty()) active.push_back(c);
   if (active.empty()) return;
 
+  SOCPOWER_TRACE_SPAN("coest.hw_flush");
   std::vector<UnitFlush> flushed(active.size());
   auto flush_unit = [&](std::size_t ai) {
+    static telemetry::HistogramStat& batch_size =
+        telemetry::registry().histogram("coest.hw_batch_size", 0.0, 1e6, 32);
+    static telemetry::HistogramStat& flush_ms =
+        telemetry::registry().histogram("coest.hw_flush_ms", 0.0, 1e4, 32);
     const std::size_t c = active[ai];
     HwUnit& unit = *hw_units_[c];
     UnitFlush& out = flushed[ai];
+    const bool telem = telemetry::enabled();
+    const auto flush0 = telem ? std::chrono::steady_clock::now()
+                              : std::chrono::steady_clock::time_point{};
+    SOCPOWER_TRACE_SPAN("coest.hw_flush_unit", 0,
+                        static_cast<std::uint64_t>(c));
+    batch_size.observe(static_cast<double>(unit.batch.size()));
     out.entries.reserve(unit.batch.size());
     sync_overhead(config_.sync_spin);  // one batch hand-off per component
     unit.sim->reset();
@@ -684,6 +728,10 @@ void CoEstimator::flush_hw_batches(RunResults& res) {
       out.entries.push_back({entry.time, entry.path, energy});
     }
     unit.batch.clear();
+    if (telem)
+      flush_ms.observe(std::chrono::duration<double, std::milli>(
+                           std::chrono::steady_clock::now() - flush0)
+                           .count());
   };
 
   const auto threads = static_cast<unsigned>(std::min<std::size_t>(

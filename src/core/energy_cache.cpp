@@ -1,5 +1,7 @@
 #include "core/energy_cache.hpp"
 
+#include "telemetry/registry.hpp"
+
 namespace socpower::core {
 
 EnergyCache::EnergyCache(EnergyCacheConfig config) : config_(config) {}
@@ -12,9 +14,17 @@ bool EnergyCache::eligible(const Entry& e) const {
 
 std::optional<CachedCost> EnergyCache::lookup(cfsm::CfsmId task,
                                               cfsm::PathId path) const {
+  static telemetry::Counter& hits =
+      telemetry::registry().counter("ecache.hits");
+  static telemetry::Counter& misses =
+      telemetry::registry().counter("ecache.misses");
   const auto it = table_.find({task, path});
-  if (it == table_.end() || !eligible(it->second)) return std::nullopt;
+  if (it == table_.end() || !eligible(it->second)) {
+    misses.add();
+    return std::nullopt;
+  }
   ++hits_;
+  hits.add();
   return CachedCost{it->second.cycles.mean(), it->second.energy.mean()};
 }
 
@@ -28,6 +38,9 @@ std::optional<CachedCost> EnergyCache::mean(cfsm::CfsmId task,
 
 void EnergyCache::record(cfsm::CfsmId task, cfsm::PathId path, Cycles cycles,
                          Joules energy) {
+  static telemetry::Counter& records =
+      telemetry::registry().counter("ecache.records");
+  records.add();
   Entry& e = table_[{task, path}];
   e.cycles.add(static_cast<double>(cycles));
   e.energy.add(energy);

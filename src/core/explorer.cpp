@@ -5,6 +5,7 @@
 #include <cstdio>
 #include <numeric>
 
+#include "telemetry/trace.hpp"
 #include "util/stats.hpp"
 #include "util/table.hpp"
 #include "util/thread_pool.hpp"
@@ -43,11 +44,18 @@ ExplorationOutcome explore(const std::vector<ExplorationPoint>& points,
   ExplorationOutcome out;
   out.ranked.reserve(points.size());
 
+  telemetry::registry().counter("explore.points").add(points.size());
+
   // Coarse sweep: evaluate every point (concurrently when asked), then
   // reduce by point index.
   std::vector<RunResults> coarse(points.size());
-  for_each_index(points.size(), options.threads,
-                 [&](std::size_t i) { coarse[i] = points[i].run_coarse(); });
+  {
+    SOCPOWER_TRACE_SPAN("explore.coarse");
+    for_each_index(points.size(), options.threads, [&](std::size_t i) {
+      SOCPOWER_TRACE_SPAN("explore.point", 0, i);
+      coarse[i] = points[i].run_coarse();
+    });
+  }
   for (std::size_t i = 0; i < points.size(); ++i) {
     out.coarse_seconds += coarse[i].wall_seconds;
     out.ranked.push_back(
@@ -65,11 +73,16 @@ ExplorationOutcome explore(const std::vector<ExplorationPoint>& points,
   // Exact verification of the shortlist (same pattern: evaluate
   // concurrently, reduce in shortlist order).
   const std::size_t k = std::min(verify_top, points.size());
+  telemetry::registry().counter("explore.verified").add(k);
   std::vector<std::optional<RunResults>> exact(k);
-  for_each_index(k, options.threads, [&](std::size_t rank) {
-    const std::size_t idx = order[rank];
-    if (points[idx].run_exact) exact[rank] = points[idx].run_exact();
-  });
+  {
+    SOCPOWER_TRACE_SPAN("explore.verify");
+    for_each_index(k, options.threads, [&](std::size_t rank) {
+      const std::size_t idx = order[rank];
+      SOCPOWER_TRACE_SPAN("explore.point", 0, idx);
+      if (points[idx].run_exact) exact[rank] = points[idx].run_exact();
+    });
+  }
   std::vector<double> coarse_v, exact_v;
   for (std::size_t rank = 0; rank < k; ++rank) {
     if (!exact[rank]) continue;

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstdio>
 
+#include "telemetry/telemetry.hpp"
 #include "util/table.hpp"
 
 namespace socpower::core {
@@ -58,6 +59,14 @@ std::string render_report(const cfsm::Network& network,
                               1),
              ""});
   out += t.render();
+
+  if (telemetry::enabled()) {
+    const telemetry::Snapshot snap = telemetry::snapshot();
+    if (!snap.empty()) {
+      out += "\n--- telemetry counters ---\n";
+      out += snap.render_table();
+    }
+  }
 
   if (!options.include_waveforms) return out;
   const auto& trace = estimator.power_trace();

@@ -2,6 +2,8 @@
 
 #include <cassert>
 
+#include "telemetry/registry.hpp"
+
 namespace socpower::hw {
 
 GateSim::GateSim(const Netlist* netlist, TechParams tech,
@@ -152,6 +154,12 @@ CycleResult GateSim::step() {
   r.energy += clock_energy_per_cycle_;
   ++cycles_;
   total_energy_ += r.energy;
+  static telemetry::Counter& steps =
+      telemetry::registry().counter("gatesim.steps");
+  static telemetry::Counter& toggles =
+      telemetry::registry().counter("gatesim.toggles");
+  steps.add();
+  toggles.add(r.toggles);
   return r;
 }
 

@@ -5,6 +5,8 @@
 #include <cstring>
 #include <limits>
 
+#include "telemetry/registry.hpp"
+
 namespace socpower::iss {
 
 namespace {
@@ -58,6 +60,7 @@ void Iss::load_program(std::span<const Instruction> prog,
   std::copy(prog.begin(), prog.begin() + n, imem_.begin() + base_word);
   // Decoded blocks alias the old instruction memory contents.
   blocks_.invalidate();
+  telemetry::registry().counter("iss.block_cache.invalidations").add();
 }
 
 std::int32_t Iss::reg(unsigned r) const {
@@ -488,6 +491,12 @@ Iss::Step Iss::exec_block(const DecodedBlock& blk, RunResult& r, Flow& flow,
 }
 
 RunResult Iss::run(std::uint64_t max_instructions) {
+  // Telemetry is per-invocation deltas only — nothing per instruction. The
+  // cumulative block-cache stats are diffed across the call so the global
+  // counters aggregate correctly over many Iss instances.
+  const bool telem = telemetry::enabled();
+  const BlockCacheStats cache_before = telem ? blocks_.stats()
+                                             : BlockCacheStats{};
   RunResult r;
   // Per-invocation pipeline fill: the master resumes the CPU at a
   // breakpoint; refill cycles draw roughly the stall current.
@@ -521,6 +530,24 @@ RunResult Iss::run(std::uint64_t max_instructions) {
     }
     --budget;
     if (step_one(r, flow) != Step::kOk) break;
+  }
+  if (telem) {
+    static telemetry::Counter& invocations =
+        telemetry::registry().counter("iss.invocations");
+    static telemetry::Counter& instructions =
+        telemetry::registry().counter("iss.instructions");
+    static telemetry::Counter& bc_hits =
+        telemetry::registry().counter("iss.block_cache.hits");
+    static telemetry::Counter& bc_decodes =
+        telemetry::registry().counter("iss.block_cache.decodes");
+    static telemetry::Counter& bc_flushes =
+        telemetry::registry().counter("iss.block_cache.capacity_flushes");
+    const BlockCacheStats& after = blocks_.stats();
+    invocations.add();
+    instructions.add(r.instructions);
+    bc_hits.add(after.hits - cache_before.hits);
+    bc_decodes.add(after.decodes - cache_before.decodes);
+    bc_flushes.add(after.capacity_flushes - cache_before.capacity_flushes);
   }
   return r;
 }

@@ -17,6 +17,8 @@ ComponentId PowerTrace::add_component(std::string name) {
 
 const std::string& PowerTrace::component_name(ComponentId c) const {
   assert(c >= 0 && static_cast<std::size_t>(c) < names_.size());
+  static const std::string kUnknown = "(unknown)";
+  if (c < 0 || static_cast<std::size_t>(c) >= names_.size()) return kUnknown;
   return names_[static_cast<std::size_t>(c)];
 }
 
@@ -27,7 +29,13 @@ ComponentId PowerTrace::component_id(const std::string& name) const {
 }
 
 void PowerTrace::record(ComponentId c, SimTime t, Joules energy) {
-  assert(c >= 0 && static_cast<std::size_t>(c) < names_.size());
+  // Always checked, in release builds too: energy attribution errors must
+  // not become out-of-bounds writes. Invalid ids are dropped and counted so
+  // callers (and tests) can detect the book-keeping bug.
+  if (c < 0 || static_cast<std::size_t>(c) >= names_.size()) {
+    ++dropped_records_;
+    return;
+  }
   totals_[static_cast<std::size_t>(c)] += energy;
   if (keep_samples_) samples_[static_cast<std::size_t>(c)].push_back({t, energy});
   end_time_ = std::max(end_time_, t);
@@ -35,6 +43,7 @@ void PowerTrace::record(ComponentId c, SimTime t, Joules energy) {
 
 Joules PowerTrace::total(ComponentId c) const {
   assert(c >= 0 && static_cast<std::size_t>(c) < totals_.size());
+  if (c < 0 || static_cast<std::size_t>(c) >= totals_.size()) return 0.0;
   return totals_[static_cast<std::size_t>(c)];
 }
 
@@ -46,6 +55,8 @@ std::vector<PowerWindow> PowerTrace::waveform(ComponentId c,
                                               SimTime width) const {
   assert(width > 0);
   assert(c >= 0 && static_cast<std::size_t>(c) < samples_.size());
+  if (width == 0 || c < 0 || static_cast<std::size_t>(c) >= samples_.size())
+    return {};
   const auto& ss = samples_[static_cast<std::size_t>(c)];
   const std::size_t n_windows =
       static_cast<std::size_t>(end_time_ / width) + 1;
@@ -79,6 +90,7 @@ void PowerTrace::reset() {
   for (auto& t : totals_) t = 0.0;
   for (auto& s : samples_) s.clear();
   end_time_ = 0;
+  dropped_records_ = 0;
 }
 
 }  // namespace socpower::sim

@@ -41,8 +41,15 @@ class PowerTrace {
   [[nodiscard]] const std::string& component_name(ComponentId c) const;
   [[nodiscard]] ComponentId component_id(const std::string& name) const;
 
-  /// Attribute `energy` consumed at time `t` to component `c`.
+  /// Attribute `energy` consumed at time `t` to component `c`. Out-of-range
+  /// ids are always checked (in every build type, like the ISS execution
+  /// paths): the sample is discarded and counted in dropped_records() — never
+  /// unchecked indexing.
   void record(ComponentId c, SimTime t, Joules energy);
+  /// Samples discarded by record() because the component id was invalid.
+  [[nodiscard]] std::uint64_t dropped_records() const {
+    return dropped_records_;
+  }
   /// Enable/disable retention of individual samples (totals are always
   /// kept). Waveforms need samples; long batch runs can turn them off.
   void set_keep_samples(bool keep) { keep_samples_ = keep; }
@@ -68,6 +75,7 @@ class PowerTrace {
   std::vector<Joules> totals_;
   std::vector<std::vector<PowerSample>> samples_;
   SimTime end_time_ = 0;
+  std::uint64_t dropped_records_ = 0;
 };
 
 }  // namespace socpower::sim

@@ -1,0 +1,79 @@
+#include "telemetry/telemetry.hpp"
+
+#include <cstdio>
+#include <mutex>
+
+#include "util/env.hpp"
+
+namespace socpower::telemetry {
+
+namespace detail {
+std::atomic<bool> g_enabled{false};
+std::atomic<bool> g_trace{false};
+}  // namespace detail
+
+namespace {
+std::mutex g_config_mu;
+TelemetryConfig g_config;
+}  // namespace
+
+void configure(const TelemetryConfig& cfg) {
+  std::lock_guard<std::mutex> lk(g_config_mu);
+  g_config = cfg;
+  if (!g_config.enabled) g_config.trace = false;
+  if (g_config.ring_capacity == 0)
+    g_config.ring_capacity = TraceCollector::kDefaultRingCapacity;
+  collector().set_ring_capacity(g_config.ring_capacity);
+  detail::g_enabled.store(g_config.enabled, std::memory_order_relaxed);
+  detail::g_trace.store(g_config.trace, std::memory_order_relaxed);
+}
+
+TelemetryConfig config() {
+  std::lock_guard<std::mutex> lk(g_config_mu);
+  return g_config;
+}
+
+void set_enabled(bool counters, bool trace) {
+  TelemetryConfig cfg = config();
+  cfg.enabled = counters;
+  cfg.trace = trace;
+  configure(cfg);
+}
+
+std::string configure_from_env() {
+  TelemetryConfig cfg = config();
+  const std::string trace_path = util::env_str("SOCPOWER_TRACE", "");
+  cfg.enabled = util::env_bool("SOCPOWER_TELEMETRY", !trace_path.empty());
+  cfg.trace = !trace_path.empty();
+  const long ring = util::env_int(
+      "SOCPOWER_TRACE_RING", static_cast<long>(cfg.ring_capacity));
+  if (ring > 0) cfg.ring_capacity = static_cast<std::size_t>(ring);
+  configure(cfg);
+  return trace_enabled() ? trace_path : std::string();
+}
+
+Snapshot snapshot() { return registry().snapshot(); }
+
+bool write_chrome_trace(const std::string& path) {
+  const Snapshot snap = snapshot();
+  const std::string json = collector().chrome_trace_json(&snap);
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (!f) {
+    std::fprintf(stderr, "socpower: cannot open trace output %s\n",
+                 path.c_str());
+    return false;
+  }
+  const std::size_t wrote = std::fwrite(json.data(), 1, json.size(), f);
+  const bool ok = (std::fclose(f) == 0) && wrote == json.size();
+  if (!ok)
+    std::fprintf(stderr, "socpower: short write on trace output %s\n",
+                 path.c_str());
+  return ok;
+}
+
+void reset() {
+  registry().reset();
+  collector().clear();
+}
+
+}  // namespace socpower::telemetry

@@ -1,0 +1,58 @@
+// Telemetry subsystem facade: configuration, global registry/collector
+// access, and export.
+//
+// Typical use (examples/explore_tcpip.cpp):
+//
+//   telemetry::configure_from_env();          // SOCPOWER_TELEMETRY / _TRACE
+//   ... run co-estimation ...
+//   if (telemetry::enabled())
+//     std::cout << telemetry::snapshot().render_table();
+//   telemetry::write_chrome_trace("out.json");  // when tracing
+//
+// Telemetry is OFF by default; a build that never calls configure() pays
+// only the disabled-path cost (one relaxed load + branch per site, gated
+// ≤2% by bench_telemetry_overhead). Enabling telemetry never changes
+// simulation results — instrumentation observes, it does not steer.
+#pragma once
+
+#include <string>
+
+#include "telemetry/registry.hpp"
+#include "telemetry/trace.hpp"
+
+namespace socpower::telemetry {
+
+struct TelemetryConfig {
+  bool enabled = false;  ///< master switch: counters, gauges, histograms
+  bool trace = false;    ///< span/instant collection (requires enabled)
+  std::size_t ring_capacity = TraceCollector::kDefaultRingCapacity;
+};
+
+/// Applies `cfg` to the global switches and collector. `trace` without
+/// `enabled` is normalized to off (trace_enabled() implies enabled()).
+void configure(const TelemetryConfig& cfg);
+
+/// Currently applied configuration.
+[[nodiscard]] TelemetryConfig config();
+
+/// Shorthand for configure() toggling both switches together.
+void set_enabled(bool counters, bool trace);
+
+/// Reads SOCPOWER_TELEMETRY (bool), SOCPOWER_TRACE (output path; presence
+/// also enables counters + tracing) and SOCPOWER_TRACE_RING (event capacity
+/// per thread) and applies them. Returns the trace output path ("" when
+/// tracing is off).
+std::string configure_from_env();
+
+/// Snapshot of the global registry.
+[[nodiscard]] Snapshot snapshot();
+
+/// Writes the global collector's Chrome trace JSON (with the current counter
+/// snapshot embedded under otherData) to `path`. Returns false on I/O error.
+bool write_chrome_trace(const std::string& path);
+
+/// Zeroes all counters and drops all trace events; registrations and cached
+/// handles survive. For benches and tests that measure phases in-process.
+void reset();
+
+}  // namespace socpower::telemetry

@@ -1,0 +1,278 @@
+#include "telemetry/trace.hpp"
+
+#include <chrono>
+#include <cstdio>
+#include <mutex>
+#include <thread>
+
+namespace socpower::telemetry {
+
+namespace {
+
+std::int64_t steady_now_ns() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// Collector instances get process-unique ids so the thread-local ring cache
+/// can tell "my collector" from a destroyed one whose address was reused.
+std::atomic<std::uint64_t> g_next_collector_id{1};
+
+}  // namespace
+
+struct TraceCollector::Ring {
+  mutable std::mutex mu;
+  std::uint32_t tid = 0;
+  std::thread::id owner;
+  std::size_t capacity = 0;
+  std::uint64_t dropped = 0;
+  std::vector<TraceEvent> events;
+};
+
+struct TraceCollector::Impl {
+  std::uint64_t id = 0;
+  std::int64_t epoch_ns = 0;
+  mutable std::mutex mu;  // guards rings (the vector, not each ring's events)
+  std::size_t ring_capacity = kDefaultRingCapacity;
+  std::vector<std::unique_ptr<Ring>> rings;
+};
+
+namespace {
+struct RingCache {
+  std::uint64_t collector_id = 0;
+  TraceCollector::Ring* ring = nullptr;
+};
+thread_local RingCache t_ring_cache;
+}  // namespace
+
+TraceCollector::TraceCollector(std::size_t ring_capacity)
+    : impl_(std::make_unique<Impl>()) {
+  impl_->id = g_next_collector_id.fetch_add(1, std::memory_order_relaxed);
+  impl_->epoch_ns = steady_now_ns();
+  impl_->ring_capacity = ring_capacity ? ring_capacity : 1;
+}
+
+TraceCollector::~TraceCollector() = default;
+
+std::int64_t TraceCollector::now_ns() const {
+  return steady_now_ns() - impl_->epoch_ns;
+}
+
+TraceCollector::Ring& TraceCollector::local_ring() {
+  RingCache& cache = t_ring_cache;
+  if (cache.collector_id == impl_->id) return *cache.ring;
+  // The thread-local cache remembers one collector only; when a thread
+  // alternates between collectors (tests own private instances), re-find the
+  // thread's existing ring instead of registering a duplicate.
+  std::lock_guard<std::mutex> lk(impl_->mu);
+  const std::thread::id self = std::this_thread::get_id();
+  for (const auto& r : impl_->rings) {
+    if (r->owner == self) {
+      cache = {impl_->id, r.get()};
+      return *cache.ring;
+    }
+  }
+  auto ring = std::make_unique<Ring>();
+  ring->tid = static_cast<std::uint32_t>(impl_->rings.size());
+  ring->owner = self;
+  ring->capacity = impl_->ring_capacity;
+  // Reserve the full bound up front: recording never reallocates, so the
+  // parallel engine stays allocation-quiet while tracing.
+  ring->events.reserve(ring->capacity);
+  impl_->rings.push_back(std::move(ring));
+  cache = {impl_->id, impl_->rings.back().get()};
+  return *cache.ring;
+}
+
+void TraceCollector::record(const TraceEvent& ev) {
+  Ring& r = local_ring();
+  std::lock_guard<std::mutex> lk(r.mu);
+  if (r.events.size() >= r.capacity) {
+    ++r.dropped;
+    return;
+  }
+  r.events.push_back(ev);
+}
+
+void TraceCollector::set_ring_capacity(std::size_t capacity) {
+  std::lock_guard<std::mutex> lk(impl_->mu);
+  impl_->ring_capacity = capacity ? capacity : 1;
+}
+
+void TraceCollector::clear() {
+  std::lock_guard<std::mutex> lk(impl_->mu);
+  for (const auto& ring : impl_->rings) {
+    std::lock_guard<std::mutex> rlk(ring->mu);
+    ring->events.clear();
+    ring->dropped = 0;
+    ring->capacity = impl_->ring_capacity;
+    ring->events.reserve(ring->capacity);
+  }
+  impl_->epoch_ns = steady_now_ns();
+}
+
+std::vector<TraceCollector::ThreadEvents> TraceCollector::events() const {
+  std::vector<ThreadEvents> out;
+  std::lock_guard<std::mutex> lk(impl_->mu);
+  out.reserve(impl_->rings.size());
+  for (const auto& ring : impl_->rings) {
+    std::lock_guard<std::mutex> rlk(ring->mu);
+    out.push_back({ring->tid, ring->dropped, ring->events});
+  }
+  return out;
+}
+
+std::size_t TraceCollector::event_count() const {
+  std::size_t n = 0;
+  std::lock_guard<std::mutex> lk(impl_->mu);
+  for (const auto& ring : impl_->rings) {
+    std::lock_guard<std::mutex> rlk(ring->mu);
+    n += ring->events.size();
+  }
+  return n;
+}
+
+std::uint64_t TraceCollector::dropped() const {
+  std::uint64_t n = 0;
+  std::lock_guard<std::mutex> lk(impl_->mu);
+  for (const auto& ring : impl_->rings) {
+    std::lock_guard<std::mutex> rlk(ring->mu);
+    n += ring->dropped;
+  }
+  return n;
+}
+
+namespace {
+
+std::string json_escape(const char* s) {
+  std::string out;
+  for (; *s; ++s) {
+    const char c = *s;
+    if (c == '"' || c == '\\') {
+      out += '\\';
+      out += c;
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof buf, "\\u%04x", c);
+      out += buf;
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
+void append_ts_us(std::string& out, std::int64_t ns) {
+  char buf[48];
+  // Chrome expects microseconds; keep nanosecond resolution as a fraction.
+  std::snprintf(buf, sizeof buf, "%lld.%03lld",
+                static_cast<long long>(ns / 1000),
+                static_cast<long long>(ns % 1000));
+  out += buf;
+}
+
+}  // namespace
+
+std::string TraceCollector::chrome_trace_json(const Snapshot* snapshot) const {
+  const auto threads = events();
+  std::string out = "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool first = true;
+  auto comma = [&] {
+    if (!first) out += ',';
+    first = false;
+  };
+  for (const ThreadEvents& t : threads) {
+    char name[48];
+    std::snprintf(name, sizeof name, "%s",
+                  t.tid == 0 ? "main" : "worker");
+    comma();
+    out += "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":" +
+           std::to_string(t.tid) + ",\"args\":{\"name\":\"" + name + ' ' +
+           std::to_string(t.tid) + "\"}}";
+    for (const TraceEvent& ev : t.events) {
+      comma();
+      out += "{\"name\":\"" + json_escape(ev.name) +
+             "\",\"cat\":\"socpower\",\"pid\":1,\"tid\":" +
+             std::to_string(t.tid) + ",\"ts\":";
+      append_ts_us(out, ev.start_ns);
+      if (ev.dur_ns >= 0) {
+        out += ",\"ph\":\"X\",\"dur\":";
+        append_ts_us(out, ev.dur_ns);
+      } else {
+        out += ",\"ph\":\"i\",\"s\":\"t\"";
+      }
+      if (ev.flags & (TraceEvent::kHasSimTime | TraceEvent::kHasArg)) {
+        out += ",\"args\":{";
+        bool afirst = true;
+        if (ev.flags & TraceEvent::kHasSimTime) {
+          out += "\"sim_time\":" + std::to_string(ev.sim_time);
+          afirst = false;
+        }
+        if (ev.flags & TraceEvent::kHasArg) {
+          if (!afirst) out += ',';
+          out += "\"arg\":" + std::to_string(ev.arg);
+        }
+        out += '}';
+      }
+      out += '}';
+    }
+  }
+  out += "],\"otherData\":{\"tool\":\"socpower\",\"dropped_events\":" +
+         std::to_string(dropped());
+  if (snapshot) out += ",\"snapshot\":" + snapshot->to_json();
+  out += "}}";
+  return out;
+}
+
+TraceCollector& collector() {
+  static TraceCollector c;
+  return c;
+}
+
+void ScopedSpan::begin(const char* name, std::uint64_t sim_time,
+                       std::uint64_t arg, std::uint8_t flags) {
+  name_ = name;
+  sim_time_ = sim_time;
+  arg_ = arg;
+  flags_ = flags;
+  t0_ = collector().now_ns();
+  active_ = true;
+}
+
+void ScopedSpan::end() {
+  // Tracing may have been switched off mid-span; still record, so every
+  // begin has its end and the JSON stays self-consistent.
+  TraceCollector& c = collector();
+  TraceEvent ev;
+  ev.name = name_;
+  ev.start_ns = t0_;
+  ev.dur_ns = c.now_ns() - t0_;
+  if (ev.dur_ns < 0) ev.dur_ns = 0;
+  ev.sim_time = sim_time_;
+  ev.arg = arg_;
+  ev.flags = flags_;
+  c.record(ev);
+}
+
+void instant(const char* name) {
+  if (!trace_enabled()) return;
+  TraceCollector& c = collector();
+  TraceEvent ev;
+  ev.name = name;
+  ev.start_ns = c.now_ns();
+  c.record(ev);
+}
+
+void instant(const char* name, std::uint64_t sim_time) {
+  if (!trace_enabled()) return;
+  TraceCollector& c = collector();
+  TraceEvent ev;
+  ev.name = name;
+  ev.start_ns = c.now_ns();
+  ev.sim_time = sim_time;
+  ev.flags = TraceEvent::kHasSimTime;
+  c.record(ev);
+}
+
+}  // namespace socpower::telemetry

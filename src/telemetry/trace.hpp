@@ -1,0 +1,144 @@
+// Low-overhead duration/instant tracing with Chrome trace-event export.
+//
+// Spans mark where co-estimation wall time goes (ISS invocations, gate-sim
+// batch flushes, bus arbitration, exploration points); each event carries a
+// wall-clock timestamp AND, where the call site has one, the simulated time
+// — the dual stamps are what let a power peak in the PowerTrace waveform be
+// lined up with the co-estimator phase that produced it. The exported JSON
+// loads directly into chrome://tracing or Perfetto.
+//
+// Collection model: one bounded ring per recording thread, registered with
+// the collector on that thread's first event. A full ring drops new events
+// and counts the drops (never blocks, never reallocates past its bound), so
+// the parallel engine stays allocation-quiet under tracing. Event names must
+// be static-lifetime strings (string literals at every call site) — events
+// store the pointer, not a copy.
+//
+// Cost contract: a SOCPOWER_TRACE_SPAN behind disabled telemetry is one
+// relaxed atomic load, one branch and a handful of dead stores the optimizer
+// removes; nothing is resolved or allocated.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "telemetry/registry.hpp"  // enabled()/trace_enabled()
+
+namespace socpower::telemetry {
+
+struct TraceEvent {
+  static constexpr std::uint8_t kHasSimTime = 1;
+  static constexpr std::uint8_t kHasArg = 2;
+
+  const char* name = nullptr;   // static-lifetime string
+  std::int64_t start_ns = 0;    // wall clock, relative to the collector epoch
+  std::int64_t dur_ns = -1;     // duration; < 0 encodes an instant event
+  std::uint64_t sim_time = 0;   // simulated-time stamp (kHasSimTime)
+  std::uint64_t arg = 0;        // free-form id, e.g. design-point index
+  std::uint8_t flags = 0;
+};
+
+/// Bounded per-thread event store. One global instance (telemetry.cpp) backs
+/// the macros; tests construct their own to exercise capacity policy.
+class TraceCollector {
+ public:
+  static constexpr std::size_t kDefaultRingCapacity = 1u << 16;
+
+  explicit TraceCollector(std::size_t ring_capacity = kDefaultRingCapacity);
+  ~TraceCollector();
+  TraceCollector(const TraceCollector&) = delete;
+  TraceCollector& operator=(const TraceCollector&) = delete;
+
+  /// Appends to the calling thread's ring (registering it on first use);
+  /// drop-counts when the ring is at capacity.
+  void record(const TraceEvent& ev);
+  /// Nanoseconds since the collector epoch (steady clock).
+  [[nodiscard]] std::int64_t now_ns() const;
+
+  /// Capacity for rings registered after this call; clear() re-applies it to
+  /// existing rings too.
+  void set_ring_capacity(std::size_t capacity);
+  /// Drops all recorded events and drop counts; keeps thread registrations.
+  void clear();
+
+  struct ThreadEvents {
+    std::uint32_t tid = 0;              // dense per-collector thread index
+    std::uint64_t dropped = 0;
+    std::vector<TraceEvent> events;    // in recording order
+  };
+  /// Copy of every thread's events (ordered by tid). Safe while recording.
+  [[nodiscard]] std::vector<ThreadEvents> events() const;
+  [[nodiscard]] std::size_t event_count() const;
+  [[nodiscard]] std::uint64_t dropped() const;
+
+  /// Chrome trace-event JSON ("X" duration + "i" instant events, thread-name
+  /// metadata, drop counts and the counter `snapshot` under otherData).
+  [[nodiscard]] std::string chrome_trace_json(const Snapshot* snapshot =
+                                                  nullptr) const;
+
+  struct Ring;  // opaque; public only so the thread-local cache can name it
+
+ private:
+  Ring& local_ring();
+
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+/// The process-wide collector the macros record into.
+[[nodiscard]] TraceCollector& collector();
+
+/// RAII duration span against the global collector. Constructors gate on
+/// trace_enabled(); a disabled span never touches the collector.
+class ScopedSpan {
+ public:
+  explicit ScopedSpan(const char* name) {
+    if (trace_enabled()) begin(name, 0, 0, 0);
+  }
+  ScopedSpan(const char* name, std::uint64_t sim_time) {
+    if (trace_enabled()) begin(name, sim_time, 0, TraceEvent::kHasSimTime);
+  }
+  ScopedSpan(const char* name, std::uint64_t sim_time, std::uint64_t arg) {
+    if (trace_enabled())
+      begin(name, sim_time, arg,
+            TraceEvent::kHasSimTime | TraceEvent::kHasArg);
+  }
+  ~ScopedSpan() {
+    if (active_) end();
+  }
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+ private:
+  void begin(const char* name, std::uint64_t sim_time, std::uint64_t arg,
+             std::uint8_t flags);
+  void end();
+
+  const char* name_ = nullptr;
+  std::int64_t t0_ = 0;
+  std::uint64_t sim_time_ = 0;
+  std::uint64_t arg_ = 0;
+  std::uint8_t flags_ = 0;
+  bool active_ = false;
+};
+
+/// Instant event (a point marker, e.g. "cache generation flushed").
+void instant(const char* name);
+void instant(const char* name, std::uint64_t sim_time);
+
+}  // namespace socpower::telemetry
+
+// Span macros: `SOCPOWER_TRACE_SPAN("iss.run")` or
+// `SOCPOWER_TRACE_SPAN("coest.sw_transition", sim_now[, arg])`. The span
+// closes at end of scope. Name must be a string literal (or otherwise
+// static-lifetime).
+#define SOCPOWER_TELEMETRY_CAT_(a, b) a##b
+#define SOCPOWER_TELEMETRY_CAT(a, b) SOCPOWER_TELEMETRY_CAT_(a, b)
+#define SOCPOWER_TRACE_SPAN(...)                         \
+  ::socpower::telemetry::ScopedSpan SOCPOWER_TELEMETRY_CAT( \
+      socpower_trace_span_, __LINE__) {                  \
+    __VA_ARGS__                                          \
+  }
+#define SOCPOWER_TRACE_INSTANT(...) ::socpower::telemetry::instant(__VA_ARGS__)

@@ -1,0 +1,58 @@
+#include "util/env.hpp"
+
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+
+namespace socpower::util {
+
+namespace {
+
+void warn_malformed(const char* name, const char* value, const char* want) {
+  std::fprintf(stderr, "socpower: ignoring %s=\"%s\" (expected %s)\n", name,
+               value, want);
+}
+
+std::string lower(const std::string& s) {
+  std::string out = s;
+  for (char& c : out)
+    c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  return out;
+}
+
+}  // namespace
+
+std::optional<std::string> env_opt(const char* name) {
+  const char* v = std::getenv(name);
+  if (!v || !*v) return std::nullopt;
+  return std::string(v);
+}
+
+long env_int(const char* name, long fallback) {
+  const auto v = env_opt(name);
+  if (!v) return fallback;
+  char* end = nullptr;
+  const long parsed = std::strtol(v->c_str(), &end, 10);
+  if (end == v->c_str() || *end != '\0') {
+    warn_malformed(name, v->c_str(), "an integer");
+    return fallback;
+  }
+  return parsed;
+}
+
+bool env_bool(const char* name, bool fallback) {
+  const auto v = env_opt(name);
+  if (!v) return fallback;
+  const std::string s = lower(*v);
+  if (s == "1" || s == "true" || s == "yes" || s == "on") return true;
+  if (s == "0" || s == "false" || s == "no" || s == "off") return false;
+  warn_malformed(name, v->c_str(), "a boolean (1/0/true/false/yes/no/on/off)");
+  return fallback;
+}
+
+std::string env_str(const char* name, const std::string& fallback) {
+  const auto v = env_opt(name);
+  return v ? *v : fallback;
+}
+
+}  // namespace socpower::util

@@ -1,0 +1,31 @@
+// Shared SOCPOWER_* environment-variable parsing.
+//
+// Every example and bench used to hand-roll getenv + strtol with slightly
+// different error behaviour; these helpers give one policy: unset variables
+// yield the fallback silently, malformed values yield the fallback with a
+// one-line diagnostic on stderr (never a crash — env knobs are operator
+// conveniences, not program inputs).
+#pragma once
+
+#include <optional>
+#include <string>
+
+namespace socpower::util {
+
+/// Integer knob (e.g. SOCPOWER_THREADS=4). Accepts decimal with optional
+/// sign; trailing garbage is malformed.
+[[nodiscard]] long env_int(const char* name, long fallback);
+
+/// Boolean knob. 1/true/yes/on => true, 0/false/no/off => false
+/// (case-insensitive); anything else is malformed.
+[[nodiscard]] bool env_bool(const char* name, bool fallback);
+
+/// String knob; set-but-empty counts as unset.
+[[nodiscard]] std::string env_str(const char* name, const std::string& fallback);
+
+/// Raw accessor: nullopt when unset or empty. The typed helpers above are
+/// preferred; this exists for "presence means enabled" knobs like
+/// SOCPOWER_TRACE=<path>.
+[[nodiscard]] std::optional<std::string> env_opt(const char* name);
+
+}  // namespace socpower::util

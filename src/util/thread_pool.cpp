@@ -1,6 +1,7 @@
 #include "util/thread_pool.hpp"
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <deque>
 #include <exception>
@@ -8,6 +9,8 @@
 #include <mutex>
 #include <thread>
 #include <vector>
+
+#include "telemetry/registry.hpp"
 
 namespace socpower {
 
@@ -56,9 +59,16 @@ struct ThreadPool::Impl {
   }
 
   static void drain(const std::shared_ptr<Loop>& loop) {
+    static telemetry::Counter& tasks =
+        telemetry::registry().counter("pool.tasks");
+    static telemetry::HistogramStat& task_us =
+        telemetry::registry().histogram("pool.task_us", 0.0, 1e6, 32);
     for (;;) {
       const std::size_t i = loop->next.fetch_add(1);
       if (i >= loop->n) return;
+      const bool telem = telemetry::enabled();
+      const auto t0 = telem ? std::chrono::steady_clock::now()
+                            : std::chrono::steady_clock::time_point{};
       try {
         (*loop->fn)(i);
       } catch (...) {
@@ -67,6 +77,12 @@ struct ThreadPool::Impl {
           loop->error_index = i;
           loop->error = std::current_exception();
         }
+      }
+      if (telem) {
+        tasks.add();
+        task_us.observe(std::chrono::duration<double, std::micro>(
+                            std::chrono::steady_clock::now() - t0)
+                            .count());
       }
       if (loop->finished.fetch_add(1) + 1 == loop->n) {
         // Take the lock so the notification cannot slip between the
@@ -116,9 +132,12 @@ void ThreadPool::parallel_for(std::size_t n,
 
   const std::size_t participants = std::min<std::size_t>(impl_->workers.size(), n);
   {
+    static telemetry::Gauge& depth =
+        telemetry::registry().gauge("pool.queue_depth");
     std::lock_guard<std::mutex> lk(impl_->queue_mu);
     for (std::size_t p = 0; p < participants; ++p)
       impl_->queue.emplace_back([loop] { Impl::drain(loop); });
+    depth.set(static_cast<std::int64_t>(impl_->queue.size()));
   }
   impl_->queue_cv.notify_all();
 

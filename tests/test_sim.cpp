@@ -127,6 +127,22 @@ TEST(PowerTrace, PeakWindowsDescending) {
   EXPECT_EQ(peaks[1], 2u);
 }
 
+TEST(PowerTrace, OutOfRangeRecordIsDroppedAndCounted) {
+  // Regression: record() with an invalid component id used to be assert-only
+  // (unchecked indexing under NDEBUG). It must be checked in every build
+  // type: the sample is discarded and counted, existing books untouched.
+  PowerTrace t;
+  const auto c = t.add_component("cpu");
+  t.record(c, 1, 1e-9);
+  t.record(static_cast<ComponentId>(99), 2, 5e-9);
+  t.record(static_cast<ComponentId>(-1), 3, 5e-9);
+  EXPECT_EQ(t.dropped_records(), 2u);
+  EXPECT_DOUBLE_EQ(t.grand_total(), 1e-9);
+  EXPECT_EQ(t.end_time(), 1u);  // dropped samples don't advance time
+  t.reset();
+  EXPECT_EQ(t.dropped_records(), 0u);
+}
+
 TEST(PowerTrace, KeepSamplesOffStillTotals) {
   PowerTrace t;
   const auto c = t.add_component("c");
