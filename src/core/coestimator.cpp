@@ -1,882 +1,88 @@
 #include "core/coestimator.hpp"
 
-#include <algorithm>
-#include <cassert>
-#include <chrono>
-#include <cmath>
-#include <cstdio>
-#include <limits>
-
-#include "telemetry/trace.hpp"
-#include "util/thread_pool.hpp"
-
 namespace socpower::core {
 
-namespace {
-
-constexpr sim::SimTime kInfTime = std::numeric_limits<sim::SimTime>::max();
-
-/// Deterministic busy-work standing in for the IPC round-trip the paper's
-/// multi-process setup pays per lower-level simulator invocation.
-void sync_overhead(unsigned spins) {
-  volatile unsigned sink = 0;
-  for (unsigned i = 0; i < spins; ++i) sink = sink + 1;
-}
-
-}  // namespace
-
-std::vector<cfsm::EmittedEvent> effective_emissions(
-    std::vector<cfsm::EmittedEvent> ems) {
-  // Stable sort groups duplicates while preserving emission order within
-  // each event, so the last element of a group is the latest emission — the
-  // one the receiver observes.
-  std::stable_sort(ems.begin(), ems.end(),
-                   [](const auto& a, const auto& b) { return a.event < b.event; });
-  std::size_t w = 0;
-  for (std::size_t i = 0; i < ems.size();) {
-    std::size_t last = i;
-    while (last + 1 < ems.size() && ems[last + 1].event == ems[i].event)
-      ++last;
-    ems[w++] = ems[last];
-    i = last + 1;
-  }
-  ems.resize(w);
-  return ems;
-}
-
-const char* acceleration_name(Acceleration a) {
-  switch (a) {
-    case Acceleration::kNone: return "none";
-    case Acceleration::kCaching: return "caching";
-    case Acceleration::kMacroModel: return "macromodel";
-    case Acceleration::kSampling: return "sampling";
-  }
-  return "?";
-}
-
-std::string RunResults::summary() const {
-  char buf[512];
-  std::snprintf(
-      buf, sizeof buf,
-      "total=%s cpu=%s hw=%s bus=%s cache=%s  end=%llu cycles  "
-      "reactions=%llu (sw=%llu hw=%llu) iss_calls=%llu wall=%.3fs%s",
-      format_energy(total_energy).c_str(), format_energy(cpu_energy).c_str(),
-      format_energy(hw_energy).c_str(), format_energy(bus_energy).c_str(),
-      format_energy(cache_energy).c_str(),
-      static_cast<unsigned long long>(end_time),
-      static_cast<unsigned long long>(reactions),
-      static_cast<unsigned long long>(sw_reactions),
-      static_cast<unsigned long long>(hw_reactions),
-      static_cast<unsigned long long>(iss_invocations), wall_seconds,
-      truncated ? " [TRUNCATED]" : "");
-  return buf;
-}
-
-CoEstimator::CoEstimator(const cfsm::Network* network,
-                         CoEstimatorConfig config)
-    : net_(network), config_(config),
-      rtos_(config.rtos, config.electrical),
-      ecache_(config.energy_cache) {
-  impl_is_sw_.resize(net_->cfsm_count());
-}
+CoEstimator::CoEstimator(const cfsm::Network* network, CoEstimatorConfig config)
+    : master_(network, std::move(config)) {}
 
 CoEstimator::~CoEstimator() = default;
 
 void CoEstimator::map_sw(cfsm::CfsmId task, int rtos_priority) {
-  assert(!prepared_);
-  impl_is_sw_.at(static_cast<std::size_t>(task)) = true;
-  rtos_.set_priority(task, rtos_priority);
+  master_.map_sw(task, rtos_priority);
 }
 
 void CoEstimator::map_hw(cfsm::CfsmId task, HwEstimatorKind kind) {
-  assert(!prepared_);
-  impl_is_sw_.at(static_cast<std::size_t>(task)) = false;
-  if (hw_kind_.size() < net_->cfsm_count())
-    hw_kind_.assign(net_->cfsm_count(), HwEstimatorKind::kGateLevel);
-  hw_kind_[static_cast<std::size_t>(task)] = kind;
+  master_.map_hw(task, kind);
 }
 
-bool CoEstimator::is_sw(cfsm::CfsmId task) const {
-  const auto& m = impl_is_sw_.at(static_cast<std::size_t>(task));
-  assert(m.has_value() && "process not mapped to HW or SW");
-  return *m;
+bool CoEstimator::is_sw(cfsm::CfsmId task) const { return master_.is_sw(task); }
+
+void CoEstimator::set_traffic_hook(TrafficHook hook) {
+  master_.set_traffic_hook(std::move(hook));
 }
 
-void CoEstimator::prepare() {
-  assert(!prepared_);
-  assert(net_->validate().empty() && "invalid CFSM network");
-
-  const iss::InstructionPowerModel model =
-      config_.data_nj_per_toggle > 0.0
-          ? iss::InstructionPowerModel::dsp_like(config_.data_nj_per_toggle,
-                                                 config_.electrical)
-          : iss::InstructionPowerModel::sparclite(config_.electrical);
-  iss_ = std::make_unique<iss::Iss>(model, config_.iss);
-  macromodel_ = MacroModelLibrary::characterize(model, config_.iss);
-
-  sw_images_.resize(net_->cfsm_count());
-  hw_units_.resize(net_->cfsm_count());
-  path_tables_.resize(net_->cfsm_count());
-  std::uint32_t next_code_word = 16;
-  std::uint32_t next_data_base = 0x4000;
-  for (std::size_t c = 0; c < net_->cfsm_count(); ++c) {
-    const auto task = static_cast<cfsm::CfsmId>(c);
-    if (is_sw(task)) {
-      auto img = std::make_unique<swsyn::SwImage>(
-          swsyn::compile_cfsm(net_->cfsm(task), next_code_word,
-                              next_data_base));
-      next_code_word +=
-          static_cast<std::uint32_t>(img->code.size()) + 16;
-      next_data_base += (img->data_bytes + 15u) & ~15u;
-      assert((next_code_word + 1) * iss::kInstrBytes <
-             config_.iss.memory_bytes);
-      assert(next_data_base < config_.iss.memory_bytes);
-      iss_->load_program(img->code, img->code_base_word);
-      sw_images_[c] = std::move(img);
-    } else {
-      auto unit = std::make_unique<HwUnit>();
-      unit->image = hwsyn::synthesize_cfsm(net_->cfsm(task));
-      unit->sim = std::make_unique<hw::GateSim>(
-          unit->image.netlist.get(), hw::TechParams::generic_250nm(),
-          config_.electrical);
-      unit->kind = c < hw_kind_.size() ? hw_kind_[c]
-                                       : HwEstimatorKind::kGateLevel;
-      if (unit->kind == HwEstimatorKind::kRtl && !rtl_power_) {
-        hwsyn::RtlPowerConfig rp;
-        rp.electrical = config_.electrical;
-        rtl_power_ = std::make_unique<hwsyn::RtlPowerEstimator>(rp);
-      }
-      hw_units_[c] = std::move(unit);
-    }
-  }
-
-  // Power-trace components: one per process, plus bus and cache.
-  trace_ = sim::PowerTrace(config_.electrical);
-  process_component_.clear();
-  for (std::size_t c = 0; c < net_->cfsm_count(); ++c)
-    process_component_.push_back(trace_.add_component(net_->cfsm(
-        static_cast<cfsm::CfsmId>(c)).name()));
-  bus_component_ = trace_.add_component("bus");
-  cache_component_ = trace_.add_component("icache");
-
-  receivers_by_event_.clear();
-  for (std::size_t e = 0; e < net_->event_count(); ++e)
-    receivers_by_event_.push_back(
-        net_->receivers(static_cast<cfsm::EventId>(e)));
-  mm_memo_.assign(net_->cfsm_count(), {});
-
-  prepared_ = true;
+void CoEstimator::set_transition_hook(TransitionHook hook) {
+  master_.set_transition_hook(std::move(hook));
 }
 
-void CoEstimator::reset_runtime_state() {
-  trace_.reset();
-  trace_.set_keep_samples(config_.keep_power_samples);
-  icache_ = std::make_unique<cache::CacheSim>(config_.icache);
-  bus_ = std::make_unique<bus::BusScheduler>(config_.bus);
-  bus_->set_keep_grant_times(config_.keep_power_samples);
-  ecache_ = EnergyCache(config_.energy_cache);
-  sampler_.assign(net_->cfsm_count(),
-                  DynamicCompactionStream(config_.sampling));
-  state_.clear();
-  for (std::size_t c = 0; c < net_->cfsm_count(); ++c) {
-    state_.push_back(net_->cfsm(static_cast<cfsm::CfsmId>(c)).make_state());
-    if (hw_units_[c]) {
-      hw_units_[c]->sim->reset();
-      hw_units_[c]->registers_dirty = false;
-      hw_units_[c]->batch.clear();
-    }
-  }
-  latched_.assign(net_->event_count(), std::nullopt);
-  queue_.clear();
-  sw_pending_.clear();
-  sw_bus_ = {};
-  cpu_blocked_ = false;
-  cpu_free_at_ = 0;
-  job_to_wait_.clear();
-  bus_waits_.clear();
-  iss_->reset_cpu();
+void CoEstimator::set_environment_hook(EnvironmentHook hook) {
+  master_.add_environment_hook(std::move(hook));
 }
 
-cfsm::ReactionInputs CoEstimator::merge_inputs(
-    cfsm::CfsmId task, const cfsm::ReactionInputs& trigger) const {
-  cfsm::ReactionInputs merged;
-  // Sampled inputs first: the latest latched value of each sampled event
-  // (POLIS valued events persist); trigger events override.
-  for (const cfsm::EventId e : net_->cfsm(task).sampled_inputs()) {
-    const auto& v = latched_[static_cast<std::size_t>(e)];
-    if (v) merged.set(e, *v);
-  }
-  for (const auto& [e, v] : trigger.all()) merged.set(e, v);
-  return merged;
-}
-
-void CoEstimator::latch_occurrence(const sim::EventOccurrence& occ) {
-  latched_[static_cast<std::size_t>(occ.event)] = occ.value;
-}
-
-CoEstimator::TransitionCost CoEstimator::measured_or_accelerated(
-    cfsm::CfsmId task, cfsm::PathId path,
-    const std::function<TransitionCost()>& simulate,
-    const std::vector<swsyn::MacroOp>* macro_stream) {
-  switch (config_.accel) {
-    case Acceleration::kNone:
-      return simulate();
-    case Acceleration::kCaching: {
-      if (const auto c = ecache_.lookup(task, path)) {
-        sync_overhead(config_.cache_hit_spin);
-        return {c->cycles, c->energy, false};
-      }
-      TransitionCost cost = simulate();
-      ecache_.record(task, path, static_cast<Cycles>(cost.cycles),
-                     cost.energy);
-      return cost;
-    }
-    case Acceleration::kMacroModel: {
-      if (macro_stream != nullptr) {
-        const PathEstimate est = macromodel_.estimate(*macro_stream);
-        return {est.cycles, est.energy, false};
-      }
-      // Hardware parts have no software macro-model; simulate them.
-      return simulate();
-    }
-    case Acceleration::kSampling: {
-      const bool do_sim = sampler_[static_cast<std::size_t>(task)].feed(
-          static_cast<std::uint32_t>(path));
-      if (!do_sim) {
-        if (const auto m = ecache_.mean(task, path))
-          return {m->cycles, m->energy, false};
-        // Unseen path: must simulate to bootstrap the extrapolation.
-      }
-      TransitionCost cost = simulate();
-      ecache_.record(task, path, static_cast<Cycles>(cost.cycles),
-                     cost.energy);
-      return cost;
-    }
-  }
-  return simulate();
-}
-
-CoEstimator::TransitionCost CoEstimator::sw_transition_cost(
-    cfsm::CfsmId task, const cfsm::ReactionInputs& inputs,
-    const cfsm::CfsmState& pre_state, const cfsm::Reaction& reaction,
-    cfsm::PathId path) {
-  const swsyn::SwImage& img = *sw_images_[static_cast<std::size_t>(task)];
-  if (config_.accel == Acceleration::kMacroModel) {
-    // The macro-model annotates the behavioral model: the first execution of
-    // a path prices its macro-op stream from the parameter library; later
-    // executions are O(1) lookups. The ISS is never invoked.
-    static telemetry::Counter& skipped =
-        telemetry::registry().counter("macromodel.skipped_iss_calls");
-    static telemetry::Counter& annotations =
-        telemetry::registry().counter("macromodel.path_annotations");
-    skipped.add();
-    auto& memo = mm_memo_[static_cast<std::size_t>(task)];
-    if (static_cast<std::size_t>(path) >= memo.size())
-      memo.resize(static_cast<std::size_t>(path) + 1);
-    auto& slot = memo[static_cast<std::size_t>(path)];
-    if (!slot) {
-      const auto stream =
-          swsyn::macro_stream_for_trace(net_->cfsm(task), reaction.trace);
-      slot = macromodel_.estimate(stream);
-      annotations.add();
-    }
-    return {slot->cycles, slot->energy, false};
-  }
-
-  auto simulate = [&]() -> TransitionCost {
-    sync_overhead(config_.sync_spin);
-    swsyn::stage_reaction(*iss_, img, inputs, pre_state);
-    // Reset the CPU's inter-invocation circuit state so a path's cost is a
-    // pure function of the path — the property that makes caching exact for
-    // data-independent power models (paper Section 5.2).
-    iss_->reset_cpu();
-    iss_->set_pc(img.code_base_word);
-    const iss::RunResult r = iss_->run();
-    assert(r.halted && "software transition did not reach HALT");
-    ++iss_invocations_;
-    iss_instructions_ += r.instructions;
-    if (config_.verify_lowlevel) {
-      const auto iss_em = swsyn::read_emissions(*iss_, img);
-      assert(iss_em.size() == reaction.emissions.size() &&
-             "ISS/behavioral emission mismatch");
-      for (std::size_t i = 0; i < iss_em.size(); ++i) {
-        assert(iss_em[i].event == reaction.emissions[i].event);
-        assert(iss_em[i].value == reaction.emissions[i].value);
-      }
-      cfsm::CfsmState iss_vars = pre_state;
-      swsyn::read_vars(*iss_, img, iss_vars);
-      assert(iss_vars.vars == state_[static_cast<std::size_t>(task)].vars &&
-             "ISS/behavioral variable state mismatch");
-    }
-    return {static_cast<double>(r.cycles), r.energy, true};
-  };
-  return measured_or_accelerated(task, path, simulate, nullptr);
-}
-
-CoEstimator::TransitionCost CoEstimator::hw_transition_cost(
-    cfsm::CfsmId task, const cfsm::ReactionInputs& inputs,
-    const cfsm::Reaction& reaction, cfsm::PathId path) {
-  HwUnit& unit = *hw_units_[static_cast<std::size_t>(task)];
-  // The caller resynchronized the register state (if dirty) before running
-  // the behavioral reaction, so the netlist sees the correct pre-state.
-  auto simulate = [&]() -> TransitionCost {
-    sync_overhead(config_.sync_spin);
-    if (unit.kind == HwEstimatorKind::kRtl) {
-      // RT-level estimation: price the executed path's operator activations;
-      // no gate evaluation (and nothing to functionally verify against).
-      const Joules e = rtl_power_->estimate_reaction(net_->cfsm(task),
-                                                     reaction.trace, inputs);
-      return {static_cast<double>(config_.hw_reaction_cycles), e, true};
-    }
-    hwsyn::stage_hw_reaction(*unit.sim, unit.image, inputs);
-    const hw::CycleResult r = unit.sim->step();
-    ++gate_cycles_;
-    if (config_.verify_lowlevel) {
-      const auto hw_em =
-          effective_emissions(hwsyn::read_hw_emissions(*unit.sim, unit.image));
-      auto beh_em = effective_emissions(reaction.emissions);
-      assert(hw_em.size() == beh_em.size() &&
-             "gate-sim/behavioral emission mismatch");
-      for (std::size_t i = 0; i < hw_em.size(); ++i) {
-        assert(hw_em[i].event == beh_em[i].event);
-        assert(hw_em[i].value == beh_em[i].value);
-      }
-      const auto& st = state_[static_cast<std::size_t>(task)];
-      for (std::size_t v = 0; v < st.vars.size(); ++v)
-        assert(hwsyn::read_hw_var(*unit.sim, unit.image,
-                                  static_cast<cfsm::VarId>(v)) ==
-               st.vars[v]);
-    }
-    return {static_cast<double>(config_.hw_reaction_cycles), r.energy, true};
-  };
-  // Table 1 accelerates the ISS side only (zero accuracy loss); HW-side
-  // caching/sampling is the opt-in ablation.
-  TransitionCost cost = config_.accelerate_hw
-                            ? measured_or_accelerated(task, path, simulate,
-                                                      nullptr)
-                            : simulate();
-  unit.registers_dirty = !cost.simulated;
-  return cost;
-}
+void CoEstimator::prepare() { master_.prepare(); }
 
 RunResults CoEstimator::run(const sim::Stimulus& stimulus) {
-  assert(prepared_);
-  telemetry::registry().counter("coest.runs").add();
-  SOCPOWER_TRACE_SPAN("coest.run");
-  const auto wall0 = std::chrono::steady_clock::now();
-  reset_runtime_state();
-  iss_invocations_ = 0;
-  iss_instructions_ = 0;
-  gate_cycles_ = 0;
-  stimulus.load_into(queue_);
-
-  RunResults res;
-  res.process_energy.assign(net_->cfsm_count(), 0.0);
-
-  auto charge_process = [&](cfsm::CfsmId task, sim::SimTime t, Joules e) {
-    trace_.record(process_component_[static_cast<std::size_t>(task)], t, e);
-    res.process_energy[static_cast<std::size_t>(task)] += e;
-    if (is_sw(task))
-      res.cpu_energy += e;
-    else
-      res.hw_energy += e;
-  };
-
-  sim::SimTime now = 0;
-  std::vector<sim::EventOccurrence> occs;  // instant buffer, reused per pop
-  while (true) {
-    if (res.reactions >= config_.max_reactions) {
-      res.truncated = true;
-      break;
-    }
-    const sim::SimTime t_queue = queue_.empty() ? kInfTime : queue_.next_time();
-    const sim::SimTime t_bus = sw_bus_.active ? sw_bus_.issue_at : kInfTime;
-    const sim::SimTime t_sched =
-        bus_->has_work() ? bus_->next_boundary() : kInfTime;
-    sim::SimTime t_cpu = kInfTime;
-    if (!sw_pending_.empty() && !sw_bus_.active && !cpu_blocked_) {
-      sim::SimTime earliest = kInfTime;
-      for (const auto& p : sw_pending_)
-        earliest = std::min(earliest, p.ready_at);
-      t_cpu = std::max(cpu_free_at_, earliest);
-    }
-    if (t_queue == kInfTime && t_cpu == kInfTime && t_bus == kInfTime &&
-        t_sched == kInfTime)
-      break;
-
-    if (t_sched <= t_queue && t_sched <= t_bus && t_sched <= t_cpu) {
-      // ---- advance the bus arbiter to its next grant boundary --------------
-      now = std::max(now, t_sched);
-      for (const auto& c : bus_->advance(t_sched)) {
-        const auto it = job_to_wait_.find(c.id);
-        assert(it != job_to_wait_.end());
-        BusWait& w = bus_waits_[it->second];
-        job_to_wait_.erase(it);
-        trace_.record(bus_component_, c.result.end, c.result.energy);
-        res.bus_energy += c.result.energy;
-        w.last_end = std::max(w.last_end, c.result.end);
-        if (--w.remaining != 0) continue;
-        const sim::SimTime done = std::max(w.last_end, w.earliest_done);
-        if (w.is_cpu) {
-          // Programmed I/O: the CPU stalls until its transfer completes,
-          // drawing a low-power wait current — this is how arbitration
-          // priorities and DMA sizing feed back into software energy even
-          // when the code is unchanged (the paper's Figure 7 effect).
-          if (done > w.cpu_issue) {
-            const Joules wait_e = config_.bus_wait_current_ma * 1e-3 *
-                                  config_.electrical.vdd_volts *
-                                  static_cast<double>(done - w.cpu_issue) /
-                                  config_.electrical.clock_hz;
-            charge_process(w.task, w.cpu_issue, wait_e);
-          }
-          cpu_blocked_ = false;
-          cpu_free_at_ = done;
-        }
-        for (const auto& em : w.emissions)
-          queue_.post(done, em.event, em.value, w.task);
-      }
-      continue;
-    }
-
-    if (t_bus < t_queue && t_bus <= t_cpu) {
-      // ---- issue the blocked CPU's shared-memory traffic --------------------
-      now = sw_bus_.issue_at;
-      BusWait w;
-      w.task = sw_bus_.task;
-      w.is_cpu = true;
-      w.emissions = std::move(sw_bus_.emissions);
-      w.remaining = sw_bus_.requests.size();
-      w.earliest_done = now;
-      w.cpu_issue = now;
-      bus_waits_.push_back(std::move(w));
-      for (auto& rq : sw_bus_.requests)
-        job_to_wait_[bus_->submit(now, std::move(rq))] =
-            bus_waits_.size() - 1;
-      cpu_blocked_ = true;
-      sw_bus_ = {};
-      continue;
-    }
-
-    if (t_queue <= t_cpu) {
-      // ---- process one event instant --------------------------------------
-      queue_.pop_instant(occs);
-      now = occs.front().time;
-      for (const auto& o : occs) {
-        latch_occurrence(o);
-        for (const auto& hook : environment_hooks_) hook(o, queue_);
-      }
-
-      // Group occurrences by triggered process.
-      std::vector<cfsm::CfsmId> triggered;
-      std::vector<cfsm::ReactionInputs> trig_inputs(net_->cfsm_count());
-      for (const auto& o : occs) {
-        for (const cfsm::CfsmId r : receivers_by_event_
-                 [static_cast<std::size_t>(o.event)]) {
-          auto& in = trig_inputs[static_cast<std::size_t>(r)];
-          if (in.empty()) triggered.push_back(r);
-          in.set(o.event, o.value);
-        }
-      }
-      std::sort(triggered.begin(), triggered.end());
-
-      for (const cfsm::CfsmId task : triggered) {
-        const auto& trig = trig_inputs[static_cast<std::size_t>(task)];
-        if (is_sw(task)) {
-          sw_pending_.push_back({now, task, trig});
-          continue;
-        }
-        // Hardware reaction at this instant.
-        ++res.reactions;
-        ++res.hw_reactions;
-        const cfsm::ReactionInputs inputs = merge_inputs(task, trig);
-        auto& st = state_[static_cast<std::size_t>(task)];
-        const cfsm::CfsmState pre_state = st;
-        HwUnit& unit = *hw_units_[static_cast<std::size_t>(task)];
-        if (hw_online() && unit.registers_dirty) {
-          hwsyn::sync_hw_vars(*unit.sim, unit.image, pre_state);
-          unit.registers_dirty = false;
-        }
-        const cfsm::Reaction reaction =
-            net_->cfsm(task).react(inputs, st);
-        if (!hw_online()) {
-          // Batch mode: buffer the vector; energy is computed in one pass
-          // after the co-simulation (HW latency is constant, so nothing
-          // downstream needs it now).
-          HwBatchEntry entry;
-          entry.time = now;
-          entry.inputs = inputs;
-          if (!reaction.trace.empty())
-            entry.path = path_tables_[static_cast<std::size_t>(task)].intern(
-                reaction.trace);
-          unit.batch.push_back(std::move(entry));
-          if (reaction.trace.empty()) continue;
-        } else {
-          if (reaction.trace.empty()) {
-            // Reset transition: re-initialize the netlist state.
-            unit.sim->reset();
-            continue;
-          }
-          const cfsm::PathId path =
-              path_tables_[static_cast<std::size_t>(task)].intern(
-                  reaction.trace);
-          static telemetry::Counter& hw_transitions =
-              telemetry::registry().counter("coest.transitions.hw");
-          static telemetry::Counter& accel_served =
-              telemetry::registry().counter("coest.accel_served");
-          hw_transitions.add();
-          TransitionCost cost;
-          {
-            SOCPOWER_TRACE_SPAN("coest.hw_transition", now,
-                                static_cast<std::uint64_t>(task));
-            cost = hw_transition_cost(task, inputs, reaction, path);
-          }
-          if (!cost.simulated) {
-            ++res.cache_hits_served;
-            accel_served.add();
-          }
-          charge_process(task, now, cost.energy);
-          if (transition_hook_)
-            transition_hook_({task, path, now, cost.cycles, cost.energy,
-                              cost.simulated});
-        }
-
-        // Traffic goes to the grant-level arbiter; the reaction's emissions
-        // wait for its last transfer when it has any.
-        std::vector<bus::BusRequest> reqs;
-        if (traffic_hook_) reqs = traffic_hook_(task, reaction, pre_state);
-        const sim::SimTime latency = now + config_.hw_reaction_cycles;
-        if (reqs.empty()) {
-          for (const auto& em : reaction.emissions)
-            queue_.post(latency, em.event, em.value, task);
-        } else {
-          BusWait w;
-          w.task = task;
-          w.emissions = reaction.emissions;
-          w.remaining = reqs.size();
-          w.earliest_done = latency;
-          bus_waits_.push_back(std::move(w));
-          for (auto& rq : reqs)
-            job_to_wait_[bus_->submit(now, std::move(rq))] =
-                bus_waits_.size() - 1;
-        }
-      }
-      continue;
-    }
-
-    // ---- dispatch one software transition on the CPU ------------------------
-    now = t_cpu;
-    std::vector<cfsm::CfsmId> ready_tasks;
-    std::vector<std::size_t> ready_idx;
-    for (std::size_t i = 0; i < sw_pending_.size(); ++i) {
-      if (sw_pending_[i].ready_at <= now) {
-        ready_tasks.push_back(sw_pending_[i].task);
-        ready_idx.push_back(i);
-      }
-    }
-    assert(!ready_tasks.empty());
-    const std::size_t pick = rtos_.pick_next(ready_tasks);
-    const PendingSw pending = sw_pending_[ready_idx[pick]];
-    sw_pending_.erase(sw_pending_.begin() +
-                      static_cast<std::ptrdiff_t>(ready_idx[pick]));
-
-    ++res.reactions;
-    ++res.sw_reactions;
-    const cfsm::CfsmId task = pending.task;
-    const cfsm::ReactionInputs inputs =
-        merge_inputs(task, pending.trigger_inputs);
-    auto& st = state_[static_cast<std::size_t>(task)];
-    const cfsm::CfsmState pre_state = st;
-    const cfsm::Reaction reaction = net_->cfsm(task).react(inputs, st);
-
-    // RTOS dispatch overhead.
-    double cycles = static_cast<double>(rtos_.dispatch_cycles());
-    Joules energy = rtos_.dispatch_energy();
-
-    if (!reaction.trace.empty()) {
-      const cfsm::PathId path =
-          path_tables_[static_cast<std::size_t>(task)].intern(reaction.trace);
-      static telemetry::Counter& sw_transitions =
-          telemetry::registry().counter("coest.transitions.sw");
-      static telemetry::Counter& accel_served =
-          telemetry::registry().counter("coest.accel_served");
-      sw_transitions.add();
-      TransitionCost cost;
-      {
-        SOCPOWER_TRACE_SPAN("coest.sw_transition", now,
-                            static_cast<std::uint64_t>(task));
-        cost = sw_transition_cost(task, inputs, pre_state, reaction, path);
-      }
-      if (!cost.simulated) {
-        ++res.cache_hits_served;
-        accel_served.add();
-      }
-      cycles += cost.cycles;
-      energy += cost.energy;
-      if (transition_hook_)
-        transition_hook_({task, path, now, cost.cycles, cost.energy,
-                          cost.simulated});
-
-      // Instruction-cache references come from the behavioral model's path
-      // (Section 3), so they are issued whether or not the ISS ran.
-      if (config_.enable_icache) {
-        const auto addrs = swsyn::address_trace(
-            *sw_images_[static_cast<std::size_t>(task)], reaction.trace);
-        const cache::AccessStats cs = icache_->access_stream(addrs);
-        cycles += static_cast<double>(cs.penalty_cycles);
-        trace_.record(cache_component_, now, cs.energy);
-        res.cache_energy += cs.energy;
-      }
-    }
-
-    charge_process(task, now, energy);
-    sim::SimTime end =
-        now + static_cast<sim::SimTime>(std::llround(std::ceil(cycles)));
-    if (end == now) end = now + 1;
-
-    std::vector<bus::BusRequest> reqs;
-    if (traffic_hook_ && !reaction.trace.empty())
-      reqs = traffic_hook_(task, reaction, pre_state);
-    if (reqs.empty()) {
-      cpu_free_at_ = end;
-      for (const auto& em : reaction.emissions)
-        queue_.post(end, em.event, em.value, task);
-    } else {
-      // Defer the bus phase so it arbitrates in simulated-time order with
-      // the hardware masters' traffic; the CPU blocks until completion.
-      sw_bus_.active = true;
-      sw_bus_.issue_at = end;
-      sw_bus_.task = task;
-      sw_bus_.requests = std::move(reqs);
-      sw_bus_.emissions = reaction.emissions;
-      cpu_free_at_ = end;  // refined to the transfer end when it is served
-    }
-  }
-
-  if (!hw_online()) flush_hw_batches(res);
-
-  res.end_time = std::max(now, cpu_free_at_);
-  res.total_energy =
-      res.cpu_energy + res.hw_energy + res.bus_energy + res.cache_energy;
-  res.iss_invocations = iss_invocations_;
-  res.iss_instructions = iss_instructions_;
-  res.gate_sim_cycles = gate_cycles_;
-  res.icache = icache_->totals();
-  res.bus_totals = bus_->totals();
-  res.wall_seconds =
-      std::chrono::duration<double>(std::chrono::steady_clock::now() - wall0)
-          .count();
-  return res;
-}
-
-void CoEstimator::flush_hw_batches(RunResults& res) {
-  // Each HwUnit owns its gate simulator and batch vector, so the per-unit
-  // replay is embarrassingly parallel. The shared pieces — gate_cycles_, the
-  // PowerTrace, RunResults accumulation and the transition hook — are
-  // accumulated per worker below and merged in component order afterwards,
-  // so the reported energies (floating-point addition order included) are
-  // identical for any thread count.
-  struct FlushedEntry {
-    sim::SimTime time = 0;
-    cfsm::PathId path = cfsm::kNoPath;
-    Joules energy = 0.0;
-  };
-  struct UnitFlush {
-    std::vector<FlushedEntry> entries;
-    std::uint64_t gate_cycles = 0;
-  };
-
-  std::vector<std::size_t> active;
-  for (std::size_t c = 0; c < hw_units_.size(); ++c)
-    if (hw_units_[c] && !hw_units_[c]->batch.empty()) active.push_back(c);
-  if (active.empty()) return;
-
-  SOCPOWER_TRACE_SPAN("coest.hw_flush");
-  std::vector<UnitFlush> flushed(active.size());
-  auto flush_unit = [&](std::size_t ai) {
-    static telemetry::HistogramStat& batch_size =
-        telemetry::registry().histogram("coest.hw_batch_size", 0.0, 1e6, 32);
-    static telemetry::HistogramStat& flush_ms =
-        telemetry::registry().histogram("coest.hw_flush_ms", 0.0, 1e4, 32);
-    const std::size_t c = active[ai];
-    HwUnit& unit = *hw_units_[c];
-    UnitFlush& out = flushed[ai];
-    const bool telem = telemetry::enabled();
-    const auto flush0 = telem ? std::chrono::steady_clock::now()
-                              : std::chrono::steady_clock::time_point{};
-    SOCPOWER_TRACE_SPAN("coest.hw_flush_unit", 0,
-                        static_cast<std::uint64_t>(c));
-    batch_size.observe(static_cast<double>(unit.batch.size()));
-    out.entries.reserve(unit.batch.size());
-    sync_overhead(config_.sync_spin);  // one batch hand-off per component
-    unit.sim->reset();
-    const auto task = static_cast<cfsm::CfsmId>(c);
-    for (const HwBatchEntry& entry : unit.batch) {
-      if (entry.path == cfsm::kNoPath) {
-        unit.sim->reset();
-        continue;
-      }
-      Joules energy;
-      if (unit.kind == HwEstimatorKind::kRtl) {
-        energy = rtl_power_->estimate_reaction(
-            net_->cfsm(task), path_tables_[c].path(entry.path),
-            entry.inputs);
-      } else {
-        hwsyn::stage_hw_reaction(*unit.sim, unit.image, entry.inputs);
-        energy = unit.sim->step().energy;
-        ++out.gate_cycles;
-      }
-      out.entries.push_back({entry.time, entry.path, energy});
-    }
-    unit.batch.clear();
-    if (telem)
-      flush_ms.observe(std::chrono::duration<double, std::milli>(
-                           std::chrono::steady_clock::now() - flush0)
-                           .count());
-  };
-
-  const auto threads = static_cast<unsigned>(std::min<std::size_t>(
-      resolve_thread_count(config_.hw_flush_threads), active.size()));
-  if (threads > 1) {
-    ThreadPool pool(threads);
-    pool.parallel_for(active.size(), flush_unit);
-  } else {
-    for (std::size_t ai = 0; ai < active.size(); ++ai) flush_unit(ai);
-  }
-
-  for (std::size_t ai = 0; ai < active.size(); ++ai) {
-    const std::size_t c = active[ai];
-    const auto task = static_cast<cfsm::CfsmId>(c);
-    for (const FlushedEntry& e : flushed[ai].entries) {
-      trace_.record(process_component_[c], e.time, e.energy);
-      res.process_energy[c] += e.energy;
-      res.hw_energy += e.energy;
-      if (transition_hook_)
-        transition_hook_({task, e.path, e.time,
-                          static_cast<double>(config_.hw_reaction_cycles),
-                          e.energy, true});
-    }
-    gate_cycles_ += flushed[ai].gate_cycles;
-  }
+  return master_.run(stimulus);
 }
 
 RunResults CoEstimator::run_separate(const sim::Stimulus& stimulus) {
-  assert(prepared_);
-  const auto wall0 = std::chrono::steady_clock::now();
-
-  // ---- phase 1: timing-independent behavioral simulation, trace capture ----
-  reset_runtime_state();
-  stimulus.load_into(queue_);
-  std::vector<std::vector<cfsm::ReactionInputs>> traces(net_->cfsm_count());
-  std::uint64_t reactions = 0;
-  bool truncated = false;
-  std::vector<sim::EventOccurrence> occs;  // instant buffer, reused per pop
-  while (!queue_.empty()) {
-    if (reactions >= config_.max_reactions) {
-      truncated = true;
-      break;
-    }
-    queue_.pop_instant(occs);
-    const sim::SimTime t = occs.front().time;
-    for (const auto& o : occs) {
-      latch_occurrence(o);
-      for (const auto& hook : environment_hooks_) hook(o, queue_);
-    }
-    std::vector<cfsm::CfsmId> triggered;
-    std::vector<cfsm::ReactionInputs> trig_inputs(net_->cfsm_count());
-    for (const auto& o : occs) {
-      for (const cfsm::CfsmId r :
-           receivers_by_event_[static_cast<std::size_t>(o.event)]) {
-        auto& in = trig_inputs[static_cast<std::size_t>(r)];
-        if (in.empty()) triggered.push_back(r);
-        in.set(o.event, o.value);
-      }
-    }
-    std::sort(triggered.begin(), triggered.end());
-    for (const cfsm::CfsmId task : triggered) {
-      ++reactions;
-      const cfsm::ReactionInputs inputs =
-          merge_inputs(task, trig_inputs[static_cast<std::size_t>(task)]);
-      auto& st = state_[static_cast<std::size_t>(task)];
-      const cfsm::Reaction reaction = net_->cfsm(task).react(inputs, st);
-      traces[static_cast<std::size_t>(task)].push_back(inputs);
-      // Nominal unit delay: every transition takes one cycle.
-      for (const auto& em : reaction.emissions)
-        queue_.post(t + 1, em.event, em.value, task);
-    }
-  }
-
-  // ---- phase 2: independent per-component estimation on the traces ---------
-  RunResults res;
-  res.truncated = truncated;
-  res.process_energy.assign(net_->cfsm_count(), 0.0);
-  res.reactions = reactions;
-  for (std::size_t c = 0; c < net_->cfsm_count(); ++c) {
-    const auto task = static_cast<cfsm::CfsmId>(c);
-    cfsm::CfsmState st = net_->cfsm(task).make_state();
-    Joules e = 0.0;
-    if (is_sw(task)) {
-      const swsyn::SwImage& img = *sw_images_[c];
-      for (const auto& inputs : traces[c]) {
-        const cfsm::CfsmState pre = st;
-        const cfsm::Reaction reaction = net_->cfsm(task).react(inputs, st);
-        if (reaction.trace.empty()) continue;
-        swsyn::stage_reaction(*iss_, img, inputs, pre);
-        iss_->reset_cpu();
-        iss_->set_pc(img.code_base_word);
-        const iss::RunResult r = iss_->run();
-        assert(r.halted);
-        ++res.iss_invocations;
-        res.iss_instructions += r.instructions;
-        e += r.energy + rtos_.dispatch_energy();
-        ++res.sw_reactions;
-      }
-      res.cpu_energy += e;
-    } else {
-      HwUnit& unit = *hw_units_[c];
-      unit.sim->reset();
-      for (const auto& inputs : traces[c]) {
-        const cfsm::Reaction reaction = net_->cfsm(task).react(inputs, st);
-        if (reaction.trace.empty()) {
-          unit.sim->reset();
-          continue;
-        }
-        hwsyn::stage_hw_reaction(*unit.sim, unit.image, inputs);
-        e += unit.sim->step().energy;
-        ++res.gate_sim_cycles;
-        ++res.hw_reactions;
-      }
-      res.hw_energy += e;
-    }
-    res.process_energy[c] = e;
-  }
-  res.total_energy = res.cpu_energy + res.hw_energy;
-  res.wall_seconds =
-      std::chrono::duration<double>(std::chrono::steady_clock::now() - wall0)
-          .count();
-  return res;
+  return master_.run_separate(stimulus);
 }
 
 const MacroModelLibrary& CoEstimator::macromodel() const {
-  assert(prepared_);
-  return macromodel_;
+  return master_.macromodel();
 }
 
 void CoEstimator::set_macromodel(MacroModelLibrary library) {
-  macromodel_ = std::move(library);
-  mm_memo_.assign(net_->cfsm_count(), {});
+  master_.set_macromodel(std::move(library));
+}
+
+const EnergyCache& CoEstimator::energy_cache() const {
+  return master_.energy_cache();
 }
 
 cfsm::PathTable& CoEstimator::path_table(cfsm::CfsmId task) {
-  return path_tables_.at(static_cast<std::size_t>(task));
+  return master_.path_table(task);
 }
 
 const swsyn::SwImage* CoEstimator::sw_image(cfsm::CfsmId task) const {
-  return sw_images_.at(static_cast<std::size_t>(task)).get();
+  return master_.sw_image(task);
+}
+
+const cfsm::CfsmState& CoEstimator::process_state(cfsm::CfsmId task) const {
+  return master_.process_state(task);
 }
 
 const hwsyn::HwImage* CoEstimator::hw_image(cfsm::CfsmId task) const {
-  const auto& u = hw_units_.at(static_cast<std::size_t>(task));
-  return u ? &u->image : nullptr;
+  return master_.hw_image(task);
+}
+
+const sim::PowerTrace& CoEstimator::power_trace() const {
+  return master_.power_trace();
+}
+
+const bus::BusScheduler& CoEstimator::bus_model() const {
+  return master_.bus_scheduler();
+}
+
+CoEstimatorConfig& CoEstimator::config() { return master_.config(); }
+
+const CoEstimatorConfig& CoEstimator::config() const {
+  return master_.config();
+}
+
+std::vector<const ComponentEstimator*> CoEstimator::backends() const {
+  return master_.backends();
 }
 
 }  // namespace socpower::core

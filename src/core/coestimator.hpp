@@ -1,16 +1,19 @@
 // The SOC power co-estimation framework (paper Sections 3 and 4).
 //
-// CoEstimator plays the PTOLEMY role of Figure 2(b): it simulates the
-// discrete-event behavioral model of the whole system (the golden CFSM
-// network), and at every CFSM transition synchronizes the component power
-// estimators —
-//   * software transitions dispatch the compiled SLITE code on the ISS
-//     (serialized on the single embedded CPU by the RTOS model),
-//   * hardware transitions apply an input vector to the synthesized gate
-//     netlist and step the gate-level power simulator,
-//   * the per-path instruction reference stream goes to the fast cache
-//     simulator (the ISS assumes 100 % hits),
-//   * shared-memory traffic goes through the behavioral bus/arbiter model.
+// CoEstimator is the public facade over the split master/backend
+// architecture:
+//   * core::CoSimMaster (cosim_master.hpp) plays the PTOLEMY role of
+//     Figure 2(b) — it simulates the discrete-event behavioral model of the
+//     whole system (the golden CFSM network) and owns scheduling and the
+//     acceleration policy;
+//   * core::ComponentEstimator backends (estimators/) price the components —
+//     software transitions dispatch the compiled SLITE code on the ISS
+//     (serialized on the single embedded CPU by the RTOS model), hardware
+//     transitions go to the gate-level or RT-level power simulator, the
+//     per-path instruction reference stream goes to the fast cache simulator
+//     (the ISS assumes 100 % hits), and shared-memory traffic goes through
+//     the behavioral bus/arbiter model. Backends are selected by name
+//     (CoEstimatorConfig::estimators) from the EstimatorRegistry.
 // Cycle and energy statistics are collected per component into a PowerTrace.
 //
 // The unit of synchronization is a CFSM transition, exactly as in POLIS.
@@ -29,161 +32,9 @@
 // each component estimator runs in isolation on its trace.
 #pragma once
 
-#include <functional>
-#include <memory>
-#include <optional>
-#include <string>
-#include <unordered_map>
-#include <vector>
-
-#include "bus/bus_model.hpp"
-#include "cache/cache_sim.hpp"
-#include "cfsm/cfsm.hpp"
-#include "core/compactor.hpp"
-#include "core/energy_cache.hpp"
-#include "core/macromodel.hpp"
-#include "hw/gatesim.hpp"
-#include "hwsyn/rtl_power.hpp"
-#include "hwsyn/synth.hpp"
-#include "iss/iss.hpp"
-#include "sim/event_queue.hpp"
-#include "sim/power_trace.hpp"
-#include "swsyn/codegen.hpp"
-#include "swsyn/rtos.hpp"
+#include "core/cosim_master.hpp"
 
 namespace socpower::core {
-
-enum class Acceleration { kNone, kCaching, kMacroModel, kSampling };
-
-[[nodiscard]] const char* acceleration_name(Acceleration a);
-
-/// Effective per-event final values of an emission list: same-instant
-/// duplicates collapse at the receiver with the later emission winning, and
-/// the result is sorted by event id. Used by the verify_lowlevel
-/// cross-checks; exposed for unit testing.
-[[nodiscard]] std::vector<cfsm::EmittedEvent> effective_emissions(
-    std::vector<cfsm::EmittedEvent> ems);
-
-/// Hardware power estimator choice per ASIC (paper Section 3: "the hardware
-/// netlist may be represented at the RT-level or the gate-level, depending
-/// on the accuracy/efficiency requirements").
-enum class HwEstimatorKind { kGateLevel, kRtl };
-
-struct CoEstimatorConfig {
-  ElectricalParams electrical;
-  iss::IssConfig iss;
-  /// Data-dependent (DSP-style) term of the instruction power model; the
-  /// default 0 models the SPARClite (data-independent, caching is exact).
-  double data_nj_per_toggle = 0.0;
-
-  bool enable_icache = true;
-  cache::CacheConfig icache;
-
-  bus::BusParams bus;
-  swsyn::RtosConfig rtos;
-  unsigned hw_reaction_cycles = 1;  // latency of a HW transition, pre-bus
-  /// Supply current (mA) the CPU draws while blocked on its shared-memory
-  /// transfers (low-power wait state; lower than a pipeline stall).
-  double bus_wait_current_ma = 70.0;
-
-  Acceleration accel = Acceleration::kNone;
-  EnergyCacheConfig energy_cache;
-  CompactionParams sampling;
-  /// Apply caching/sampling to hardware transitions too. Off by default:
-  /// the paper's Table 1 experiment accelerates the ISS side only, which is
-  /// why it reports zero accuracy loss (the gate-level estimator is
-  /// data-dependent). Enabling this is the HW-caching ablation.
-  bool accelerate_hw = false;
-  /// Synthetic synchronization overhead, in spin iterations, charged per
-  /// lower-level simulator invocation (ISS run / gate-sim step). The paper's
-  /// component estimators are separate processes driven over IPC, and it
-  /// identifies that communication/synchronization cost as a dominant part
-  /// of co-estimation time; in-process calls have none, so benchmarks can
-  /// model it explicitly. 0 disables.
-  unsigned sync_spin = 0;
-  /// Bookkeeping cost (spin iterations) per transition served from the
-  /// energy cache. In the paper's tool the ISS session stays attached under
-  /// caching and the master still performs per-transition table management
-  /// and delay annotation across the co-simulation backplane — cheaper than
-  /// a full ISS round-trip but not free (visible in Table 1 vs Table 2 CPU
-  /// times). Macro-modeling pre-annotates the behavioral model and has no
-  /// such per-transition cost. 0 disables.
-  unsigned cache_hit_spin = 0;
-  /// Run the hardware power simulator in batch mode: input vectors are
-  /// collected during co-simulation and evaluated in one pass at the end
-  /// (possible because a HW transition's latency is constant, so timing
-  /// feedback never needs the gate simulator). This is the paper's "run
-  /// hardware power analysis in batch-mode on long traces" (Section 5.1).
-  /// Forced off when verify_lowlevel or accelerate_hw is set.
-  bool hw_batch = true;
-  /// Worker threads for the offline hardware batch flush. Each HwUnit owns
-  /// its gate simulator and batch vector, so units evaluate concurrently;
-  /// per-unit energies/trace records/hook calls are accumulated by the
-  /// worker and merged in component order, so reported results are
-  /// bit-identical for any value. 1 = serial, 0 = one per hardware thread.
-  unsigned hw_flush_threads = 1;
-
-  /// Retain per-sample power waveforms (needed for waveform()/peak reports;
-  /// disable for long batch sweeps).
-  bool keep_power_samples = false;
-  /// Cross-check ISS / gate-sim functional results against the behavioral
-  /// model every transition (slow; on in tests).
-  bool verify_lowlevel = false;
-  /// Runaway guard for misbehaving systems.
-  std::uint64_t max_reactions = 20'000'000;
-};
-
-/// Hook supplying the shared-memory/bus traffic a reaction performs.
-/// Systems attach one to model e.g. "create_pack writes the packet into
-/// shared memory" or "checksum reads one DMA block through the arbiter".
-/// `pre_state` is the process state before the transition.
-using TrafficHook = std::function<std::vector<bus::BusRequest>(
-    cfsm::CfsmId, const cfsm::Reaction&, const cfsm::CfsmState& pre_state)>;
-
-/// Observation hook: called once per transition with the measured (or
-/// estimated) cost. Drives the Figure 4 histograms and custom reports.
-struct TransitionRecord {
-  cfsm::CfsmId task = cfsm::kNoCfsm;
-  cfsm::PathId path = cfsm::kNoPath;
-  sim::SimTime time = 0;
-  double cycles = 0.0;
-  Joules energy = 0.0;
-  bool simulated = true;  // false when served by cache/macromodel/sampling
-};
-using TransitionHook = std::function<void(const TransitionRecord&)>;
-
-/// Environment/IP-model hook: called for every event occurrence the master
-/// pops. Pre-designed IP blocks outside the CFSM network (e.g. the shared
-/// memory of the TCP/IP system) observe requests here and may post reply
-/// events into the queue. Must be a deterministic function of the observed
-/// occurrences.
-using EnvironmentHook = std::function<void(const sim::EventOccurrence&,
-                                           sim::EventQueue&)>;
-
-struct RunResults {
-  Joules total_energy = 0.0;
-  /// Energy attributed to each process (indexed by CfsmId).
-  std::vector<Joules> process_energy;
-  Joules cpu_energy = 0.0;    // all software + RTOS
-  Joules hw_energy = 0.0;     // all ASICs
-  Joules bus_energy = 0.0;
-  Joules cache_energy = 0.0;
-  sim::SimTime end_time = 0;
-
-  std::uint64_t reactions = 0;
-  std::uint64_t sw_reactions = 0;
-  std::uint64_t hw_reactions = 0;
-  std::uint64_t iss_invocations = 0;
-  std::uint64_t iss_instructions = 0;
-  std::uint64_t gate_sim_cycles = 0;
-  std::uint64_t cache_hits_served = 0;  // energy-cache hits
-  cache::AccessStats icache;
-  bus::BusTotals bus_totals;
-  double wall_seconds = 0.0;
-  bool truncated = false;  // max_reactions guard fired
-
-  [[nodiscard]] std::string summary() const;
-};
 
 class CoEstimator {
  public:
@@ -199,16 +50,12 @@ class CoEstimator {
               HwEstimatorKind kind = HwEstimatorKind::kGateLevel);
   [[nodiscard]] bool is_sw(cfsm::CfsmId task) const;
 
-  void set_traffic_hook(TrafficHook hook) { traffic_hook_ = std::move(hook); }
-  void set_transition_hook(TransitionHook hook) {
-    transition_hook_ = std::move(hook);
-  }
+  void set_traffic_hook(TrafficHook hook);
+  void set_transition_hook(TransitionHook hook);
   /// Hooks compose: systems install their IP models (shared memory, ...)
   /// and observers/tests may add more; all are called per occurrence in
   /// installation order.
-  void set_environment_hook(EnvironmentHook hook) {
-    environment_hooks_.push_back(std::move(hook));
-  }
+  void set_environment_hook(EnvironmentHook hook);
 
   /// Compile SW images, synthesize HW netlists, characterize the macro-op
   /// library, build the simulators. Must be called once before run().
@@ -227,136 +74,24 @@ class CoEstimator {
   /// parameter file produced on another machine — the characterize-once
   /// workflow of Figure 3). Clears the per-path estimate memos.
   void set_macromodel(MacroModelLibrary library);
-  [[nodiscard]] const EnergyCache& energy_cache() const { return ecache_; }
+  [[nodiscard]] const EnergyCache& energy_cache() const;
   [[nodiscard]] cfsm::PathTable& path_table(cfsm::CfsmId task);
   [[nodiscard]] const swsyn::SwImage* sw_image(cfsm::CfsmId task) const;
   /// Behavioral state of a process after the last run (functional checks).
-  [[nodiscard]] const cfsm::CfsmState& process_state(cfsm::CfsmId task) const {
-    return state_.at(static_cast<std::size_t>(task));
-  }
+  [[nodiscard]] const cfsm::CfsmState& process_state(cfsm::CfsmId task) const;
   [[nodiscard]] const hwsyn::HwImage* hw_image(cfsm::CfsmId task) const;
   /// Power waveform support (requires keep_power_samples).
-  [[nodiscard]] const sim::PowerTrace& power_trace() const { return trace_; }
-  [[nodiscard]] const bus::BusScheduler& bus_model() const { return *bus_; }
-  [[nodiscard]] CoEstimatorConfig& config() { return config_; }
-  [[nodiscard]] const CoEstimatorConfig& config() const { return config_; }
+  [[nodiscard]] const sim::PowerTrace& power_trace() const;
+  [[nodiscard]] const bus::BusScheduler& bus_model() const;
+  [[nodiscard]] CoEstimatorConfig& config();
+  [[nodiscard]] const CoEstimatorConfig& config() const;
+
+  /// The component-estimator backends behind this facade (available after
+  /// prepare()); see CoSimMaster::backends().
+  [[nodiscard]] std::vector<const ComponentEstimator*> backends() const;
 
  private:
-  struct HwBatchEntry {
-    sim::SimTime time = 0;
-    cfsm::ReactionInputs inputs;
-    cfsm::PathId path = cfsm::kNoPath;  // kNoPath == reset transition
-  };
-  struct HwUnit {
-    hwsyn::HwImage image;
-    std::unique_ptr<hw::GateSim> sim;
-    HwEstimatorKind kind = HwEstimatorKind::kGateLevel;
-    bool registers_dirty = false;  // gate sim skipped; state needs resync
-    std::vector<HwBatchEntry> batch;
-  };
-  struct PendingSw {
-    sim::SimTime ready_at = 0;
-    cfsm::CfsmId task = cfsm::kNoCfsm;
-    cfsm::ReactionInputs trigger_inputs;
-  };
-  /// A software transition's shared-memory traffic, issued when its compute
-  /// phase ends. Kept pending so the bus request enters arbitration in
-  /// simulated-time order (causally with hardware traffic); the CPU blocks
-  /// (programmed I/O) and its emissions are released at transfer completion.
-  struct PendingSwBus {
-    bool active = false;
-    sim::SimTime issue_at = 0;
-    cfsm::CfsmId task = cfsm::kNoCfsm;
-    std::vector<bus::BusRequest> requests;
-    std::vector<cfsm::EmittedEvent> emissions;
-  };
-  /// Emissions gated on outstanding bus transfers (a HW reaction's DMA
-  /// block reads, or the blocked CPU's writes). Released when the last of
-  /// the reaction's jobs completes on the grant-level scheduler.
-  struct BusWait {
-    cfsm::CfsmId task = cfsm::kNoCfsm;
-    bool is_cpu = false;
-    std::vector<cfsm::EmittedEvent> emissions;
-    std::size_t remaining = 0;
-    sim::SimTime earliest_done = 0;  // reaction-latency floor
-    sim::SimTime last_end = 0;
-    sim::SimTime cpu_issue = 0;      // wait-energy accounting
-  };
-  struct TransitionCost {
-    double cycles = 0.0;
-    Joules energy = 0.0;
-    bool simulated = true;
-  };
-
-  void reset_runtime_state();
-  [[nodiscard]] bool hw_online() const {
-    return !config_.hw_batch || config_.verify_lowlevel ||
-           config_.accelerate_hw;
-  }
-  void flush_hw_batches(RunResults& res);
-  [[nodiscard]] cfsm::ReactionInputs merge_inputs(
-      cfsm::CfsmId task, const cfsm::ReactionInputs& trigger) const;
-  void latch_occurrence(const sim::EventOccurrence& occ);
-
-  TransitionCost sw_transition_cost(cfsm::CfsmId task,
-                                    const cfsm::ReactionInputs& inputs,
-                                    const cfsm::CfsmState& pre_state,
-                                    const cfsm::Reaction& reaction,
-                                    cfsm::PathId path);
-  TransitionCost hw_transition_cost(cfsm::CfsmId task,
-                                    const cfsm::ReactionInputs& inputs,
-                                    const cfsm::Reaction& reaction,
-                                    cfsm::PathId path);
-
-  TransitionCost measured_or_accelerated(
-      cfsm::CfsmId task, cfsm::PathId path,
-      const std::function<TransitionCost()>& simulate,
-      const std::vector<swsyn::MacroOp>* macro_stream);
-
-  const cfsm::Network* net_;
-  CoEstimatorConfig config_;
-  std::vector<std::optional<bool>> impl_is_sw_;  // per CfsmId; nullopt unmapped
-  swsyn::RtosModel rtos_;
-  TrafficHook traffic_hook_;
-  TransitionHook transition_hook_;
-  std::vector<EnvironmentHook> environment_hooks_;
-
-  bool prepared_ = false;
-  std::unique_ptr<iss::Iss> iss_;
-  std::vector<std::unique_ptr<swsyn::SwImage>> sw_images_;  // per CfsmId
-  std::vector<std::unique_ptr<HwUnit>> hw_units_;           // per CfsmId
-  std::unique_ptr<hwsyn::RtlPowerEstimator> rtl_power_;
-  std::vector<HwEstimatorKind> hw_kind_;  // per CfsmId (set before prepare)
-  std::unique_ptr<cache::CacheSim> icache_;
-  std::unique_ptr<bus::BusScheduler> bus_;
-  MacroModelLibrary macromodel_;
-  EnergyCache ecache_;
-  std::vector<DynamicCompactionStream> sampler_;  // per CfsmId
-  std::vector<cfsm::PathTable> path_tables_;      // per CfsmId
-  /// Lazily memoized macro-model estimates per (task, path): annotating the
-  /// behavioral model once per path makes macro-modeled co-simulation O(1)
-  /// per transition, as in POLIS (costs are annotated before simulation).
-  std::vector<std::vector<std::optional<PathEstimate>>> mm_memo_;
-
-  std::vector<std::vector<cfsm::CfsmId>> receivers_by_event_;
-
-  // Run-time state (valid during run()).
-  sim::PowerTrace trace_;
-  std::vector<sim::ComponentId> process_component_;  // per CfsmId
-  sim::ComponentId bus_component_ = -1;
-  sim::ComponentId cache_component_ = -1;
-  std::vector<cfsm::CfsmState> state_;
-  std::vector<std::optional<std::int32_t>> latched_;  // last value per event
-  sim::EventQueue queue_;
-  std::vector<PendingSw> sw_pending_;
-  PendingSwBus sw_bus_;
-  bool cpu_blocked_ = false;
-  sim::SimTime cpu_free_at_ = 0;
-  std::unordered_map<std::uint64_t, std::size_t> job_to_wait_;  // job -> slot
-  std::vector<BusWait> bus_waits_;
-  std::uint64_t iss_invocations_ = 0;
-  std::uint64_t iss_instructions_ = 0;
-  std::uint64_t gate_cycles_ = 0;
+  CoSimMaster master_;
 };
 
 }  // namespace socpower::core

@@ -1,0 +1,165 @@
+#include "core/coestimator_config.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "core/estimators/registry.hpp"
+
+namespace socpower::core {
+
+std::vector<cfsm::EmittedEvent> effective_emissions(
+    std::vector<cfsm::EmittedEvent> ems) {
+  // Stable sort groups duplicates while preserving emission order within
+  // each event, so the last element of a group is the latest emission — the
+  // one the receiver observes.
+  std::stable_sort(ems.begin(), ems.end(),
+                   [](const auto& a, const auto& b) { return a.event < b.event; });
+  std::size_t w = 0;
+  for (std::size_t i = 0; i < ems.size();) {
+    std::size_t last = i;
+    while (last + 1 < ems.size() && ems[last + 1].event == ems[i].event)
+      ++last;
+    ems[w++] = ems[last];
+    i = last + 1;
+  }
+  ems.resize(w);
+  return ems;
+}
+
+const char* acceleration_name(Acceleration a) {
+  switch (a) {
+    case Acceleration::kNone: return "none";
+    case Acceleration::kCaching: return "caching";
+    case Acceleration::kMacroModel: return "macromodel";
+    case Acceleration::kSampling: return "sampling";
+  }
+  return "?";
+}
+
+std::string RunResults::summary() const {
+  char buf[512];
+  std::snprintf(
+      buf, sizeof buf,
+      "total=%s cpu=%s hw=%s bus=%s cache=%s  end=%llu cycles  "
+      "reactions=%llu (sw=%llu hw=%llu) iss_calls=%llu wall=%.3fs%s",
+      format_energy(total_energy).c_str(), format_energy(cpu_energy).c_str(),
+      format_energy(hw_energy).c_str(), format_energy(bus_energy).c_str(),
+      format_energy(cache_energy).c_str(),
+      static_cast<unsigned long long>(end_time),
+      static_cast<unsigned long long>(reactions),
+      static_cast<unsigned long long>(sw_reactions),
+      static_cast<unsigned long long>(hw_reactions),
+      static_cast<unsigned long long>(iss_invocations), wall_seconds,
+      truncated ? " [TRUNCATED]" : "");
+  return buf;
+}
+
+std::vector<std::string> CoEstimatorConfig::validate() const {
+  std::vector<std::string> errs;
+  auto err = [&errs](const char* fmt, auto... args) {
+    char buf[256];
+    std::snprintf(buf, sizeof buf, fmt, args...);
+    errs.emplace_back(buf);
+  };
+
+  if (electrical.vdd_volts <= 0.0)
+    err("electrical.vdd_volts must be > 0 (got %g)", electrical.vdd_volts);
+  if (electrical.clock_hz <= 0.0)
+    err("electrical.clock_hz must be > 0 (got %g)", electrical.clock_hz);
+  if (data_nj_per_toggle < 0.0)
+    err("data_nj_per_toggle must be >= 0 (got %g)", data_nj_per_toggle);
+  if (bus_wait_current_ma < 0.0)
+    err("bus_wait_current_ma must be >= 0 (got %g)", bus_wait_current_ma);
+  if (rtos.dispatch_current_ma < 0.0)
+    err("rtos.dispatch_current_ma must be >= 0 (got %g)",
+        rtos.dispatch_current_ma);
+
+  if (iss.memory_bytes == 0)
+    err("iss.memory_bytes must be > 0 — the ISS needs code and data room");
+
+  if (bus.addr_bits == 0)
+    err("bus.addr_bits must be > 0 — a zero-width address bus cannot "
+        "address the shared memory");
+  if (bus.data_bits == 0)
+    err("bus.data_bits must be > 0 — a zero-width data bus moves no bytes");
+  if (bus.dma_block_size == 0)
+    err("bus.dma_block_size must be > 0 — each grant must move at least "
+        "one byte");
+  if (bus.line_cap_f < 0.0)
+    err("bus.line_cap_f must be >= 0 (got %g)", bus.line_cap_f);
+  if (bus.handshake_toggles < 0.0)
+    err("bus.handshake_toggles must be >= 0 (got %g)", bus.handshake_toggles);
+
+  if (enable_icache) {
+    if (icache.line_bytes == 0 || icache.size_bytes == 0 ||
+        icache.associativity == 0 || icache.num_sets() == 0)
+      err("icache geometry invalid (size=%u line=%u assoc=%u): all must be "
+          "> 0 with size >= line * associativity",
+          icache.size_bytes, icache.line_bytes, icache.associativity);
+    if (icache.hit_energy < 0.0 || icache.miss_energy < 0.0)
+      err("icache energies must be >= 0 (hit=%g miss=%g)", icache.hit_energy,
+          icache.miss_energy);
+  }
+
+  if (energy_cache.thresh_variance < 0.0)
+    err("energy_cache.thresh_variance must be >= 0 (got %g)",
+        energy_cache.thresh_variance);
+  if (sampling.keep_ratio <= 0.0 || sampling.keep_ratio > 1.0)
+    err("sampling.keep_ratio must be in (0, 1] (got %g)",
+        sampling.keep_ratio);
+  if (sampling.k_memory == 0)
+    err("sampling.k_memory must be > 0 — the compactor buffers K symbols "
+        "per selection round");
+
+  if (hw_flush_threads != 1 && !hw_batch)
+    err("hw_flush_threads=%u requested with hw_batch off: the offline flush "
+        "never runs, so the parallelism is silently dead — set "
+        "hw_batch=true or hw_flush_threads=1",
+        hw_flush_threads);
+
+  if (max_reactions == 0)
+    err("max_reactions must be > 0 — a zero guard truncates every run at "
+        "the first transition");
+
+  const EstimatorRegistry& reg = estimator_registry();
+  for (const auto& [role, name] :
+       {std::pair<const char*, const std::string*>{"sw", &estimators.sw},
+        {"hw_gate", &estimators.hw_gate},
+        {"hw_rtl", &estimators.hw_rtl},
+        {"cache", &estimators.cache},
+        {"bus", &estimators.bus}}) {
+    if (!reg.contains(*name))
+      err("estimators.%s backend \"%s\" is not registered (known: %s)", role,
+          name->c_str(), reg.joined_names().c_str());
+  }
+  return errs;
+}
+
+const char* structural_mismatch(const CoEstimatorConfig& a,
+                                const CoEstimatorConfig& b) {
+  if (a.electrical.vdd_volts != b.electrical.vdd_volts ||
+      a.electrical.clock_hz != b.electrical.clock_hz)
+    return "electrical";
+  if (a.data_nj_per_toggle != b.data_nj_per_toggle)
+    return "data_nj_per_toggle";
+  if (a.iss.memory_bytes != b.iss.memory_bytes ||
+      a.iss.pipeline_fill_cycles != b.iss.pipeline_fill_cycles ||
+      a.iss.taken_branch_penalty != b.iss.taken_branch_penalty ||
+      a.iss.default_max_instructions != b.iss.default_max_instructions ||
+      a.iss.block_cache != b.iss.block_cache ||
+      a.iss.block_cache_max_blocks != b.iss.block_cache_max_blocks ||
+      a.iss.block_cache_max_ops != b.iss.block_cache_max_ops)
+    return "iss";
+  if (a.rtos.dispatch_cycles != b.rtos.dispatch_cycles ||
+      a.rtos.dispatch_current_ma != b.rtos.dispatch_current_ma)
+    return "rtos";
+  if (a.estimators.sw != b.estimators.sw ||
+      a.estimators.hw_gate != b.estimators.hw_gate ||
+      a.estimators.hw_rtl != b.estimators.hw_rtl ||
+      a.estimators.cache != b.estimators.cache ||
+      a.estimators.bus != b.estimators.bus)
+    return "estimators";
+  return nullptr;
+}
+
+}  // namespace socpower::core

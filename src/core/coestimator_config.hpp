@@ -1,0 +1,200 @@
+// Shared vocabulary of the co-estimation framework: the configuration,
+// result, and hook types that the simulation master, the component-estimator
+// backends, and the public CoEstimator facade all speak.
+//
+// These types used to live inside coestimator.hpp; they are split out so the
+// backends under estimators/ can be compiled without pulling in the facade
+// (and so a future out-of-process backend can share the wire vocabulary
+// without linking the master at all).
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "bus/bus_model.hpp"
+#include "cache/cache_sim.hpp"
+#include "cfsm/cfsm.hpp"
+#include "core/compactor.hpp"
+#include "core/energy_cache.hpp"
+#include "iss/iss.hpp"
+#include "sim/event_queue.hpp"
+#include "swsyn/rtos.hpp"
+
+namespace socpower::core {
+
+enum class Acceleration { kNone, kCaching, kMacroModel, kSampling };
+
+[[nodiscard]] const char* acceleration_name(Acceleration a);
+
+/// Effective per-event final values of an emission list: same-instant
+/// duplicates collapse at the receiver with the later emission winning, and
+/// the result is sorted by event id. Used by the verify_lowlevel
+/// cross-checks; exposed for unit testing.
+[[nodiscard]] std::vector<cfsm::EmittedEvent> effective_emissions(
+    std::vector<cfsm::EmittedEvent> ems);
+
+/// Hardware power estimator choice per ASIC (paper Section 3: "the hardware
+/// netlist may be represented at the RT-level or the gate-level, depending
+/// on the accuracy/efficiency requirements").
+enum class HwEstimatorKind { kGateLevel, kRtl };
+
+/// Which registered ComponentEstimator backend fills each role of the
+/// paper's Figure 2(b). The defaults are the built-in in-process backends;
+/// alternate implementations (an emulated HW estimator, a remote ISS over
+/// IPC) register under their own names in the EstimatorRegistry and are
+/// selected here without touching the master.
+struct EstimatorSelection {
+  std::string sw = "sw.iss";
+  std::string hw_gate = "hw.gate";
+  std::string hw_rtl = "hw.rtl";
+  std::string cache = "cache.icache";
+  std::string bus = "bus.arbiter";
+};
+
+// Configuration of one co-estimation setup.
+//
+// Mutability contract: the fields marked [structural] below are consumed
+// when the simulators are built — by the CoEstimator constructor or by
+// prepare() — and are frozen from prepare() on; mutating one through the
+// config() accessor afterwards aborts at the next run() with the offending
+// field named (see structural_mismatch()). Every other field is a per-run
+// knob, (re)read by each run()/run_separate(), and may be changed freely
+// between runs — that is what the acceleration-mode sweeps in the benches
+// and examples do.
+struct CoEstimatorConfig {
+  ElectricalParams electrical;    // [structural]
+  iss::IssConfig iss;             // [structural]
+  /// Data-dependent (DSP-style) term of the instruction power model; the
+  /// default 0 models the SPARClite (data-independent, caching is exact).
+  double data_nj_per_toggle = 0.0;  // [structural]
+
+  bool enable_icache = true;
+  cache::CacheConfig icache;
+
+  bus::BusParams bus;
+  swsyn::RtosConfig rtos;         // [structural]
+  unsigned hw_reaction_cycles = 1;  // latency of a HW transition, pre-bus
+  /// Supply current (mA) the CPU draws while blocked on its shared-memory
+  /// transfers (low-power wait state; lower than a pipeline stall).
+  double bus_wait_current_ma = 70.0;
+
+  Acceleration accel = Acceleration::kNone;
+  EnergyCacheConfig energy_cache;
+  CompactionParams sampling;
+  /// Apply caching/sampling to hardware transitions too. Off by default:
+  /// the paper's Table 1 experiment accelerates the ISS side only, which is
+  /// why it reports zero accuracy loss (the gate-level estimator is
+  /// data-dependent). Enabling this is the HW-caching ablation.
+  bool accelerate_hw = false;
+  /// Synthetic synchronization overhead, in spin iterations, charged per
+  /// lower-level simulator invocation (ISS run / gate-sim step). The paper's
+  /// component estimators are separate processes driven over IPC, and it
+  /// identifies that communication/synchronization cost as a dominant part
+  /// of co-estimation time; in-process calls have none, so benchmarks can
+  /// model it explicitly. 0 disables.
+  unsigned sync_spin = 0;
+  /// Bookkeeping cost (spin iterations) per transition served from the
+  /// energy cache. In the paper's tool the ISS session stays attached under
+  /// caching and the master still performs per-transition table management
+  /// and delay annotation across the co-simulation backplane — cheaper than
+  /// a full ISS round-trip but not free (visible in Table 1 vs Table 2 CPU
+  /// times). Macro-modeling pre-annotates the behavioral model and has no
+  /// such per-transition cost. 0 disables.
+  unsigned cache_hit_spin = 0;
+  /// Run the hardware power simulator in batch mode: input vectors are
+  /// collected during co-simulation and evaluated in one pass at the end
+  /// (possible because a HW transition's latency is constant, so timing
+  /// feedback never needs the gate simulator). This is the paper's "run
+  /// hardware power analysis in batch-mode on long traces" (Section 5.1).
+  /// Forced off when verify_lowlevel or accelerate_hw is set.
+  bool hw_batch = true;
+  /// Worker threads for the offline hardware batch flush. Each HW backend
+  /// unit owns its gate simulator and batch vector, so units evaluate
+  /// concurrently; per-unit energies/trace records/hook calls are
+  /// accumulated by the worker and merged in component order, so reported
+  /// results are bit-identical for any value. 1 = serial, 0 = one per
+  /// hardware thread.
+  unsigned hw_flush_threads = 1;
+
+  /// Which registered backend serves each estimator role.
+  EstimatorSelection estimators;  // [structural]
+
+  /// Retain per-sample power waveforms (needed for waveform()/peak reports;
+  /// disable for long batch sweeps).
+  bool keep_power_samples = false;
+  /// Cross-check ISS / gate-sim functional results against the behavioral
+  /// model every transition (slow; on in tests).
+  bool verify_lowlevel = false;
+  /// Runaway guard for misbehaving systems.
+  std::uint64_t max_reactions = 20'000'000;
+
+  /// Checks the configuration for values that would make the simulators
+  /// misbehave silently — zero bus widths, negative energies/currents,
+  /// a parallel hw_flush_threads request with hw_batch off, unknown
+  /// estimator-backend names, out-of-range sampling parameters. Returns one
+  /// actionable message per problem; empty means the config is usable.
+  /// prepare() calls this and aborts (in every build type) on any error.
+  [[nodiscard]] std::vector<std::string> validate() const;
+};
+
+/// Compares only the [structural] fields of two configs; returns the name
+/// of the first field that differs, or nullptr when they match. The master
+/// snapshots the config at prepare() and runs this check at every run() to
+/// catch post-prepare mutation of baked-in options.
+[[nodiscard]] const char* structural_mismatch(const CoEstimatorConfig& a,
+                                              const CoEstimatorConfig& b);
+
+/// Hook supplying the shared-memory/bus traffic a reaction performs.
+/// Systems attach one to model e.g. "create_pack writes the packet into
+/// shared memory" or "checksum reads one DMA block through the arbiter".
+/// `pre_state` is the process state before the transition.
+using TrafficHook = std::function<std::vector<bus::BusRequest>(
+    cfsm::CfsmId, const cfsm::Reaction&, const cfsm::CfsmState& pre_state)>;
+
+/// Observation hook: called once per transition with the measured (or
+/// estimated) cost. Drives the Figure 4 histograms and custom reports.
+struct TransitionRecord {
+  cfsm::CfsmId task = cfsm::kNoCfsm;
+  cfsm::PathId path = cfsm::kNoPath;
+  sim::SimTime time = 0;
+  double cycles = 0.0;
+  Joules energy = 0.0;
+  bool simulated = true;  // false when served by cache/macromodel/sampling
+};
+using TransitionHook = std::function<void(const TransitionRecord&)>;
+
+/// Environment/IP-model hook: called for every event occurrence the master
+/// pops. Pre-designed IP blocks outside the CFSM network (e.g. the shared
+/// memory of the TCP/IP system) observe requests here and may post reply
+/// events into the queue. Must be a deterministic function of the observed
+/// occurrences.
+using EnvironmentHook = std::function<void(const sim::EventOccurrence&,
+                                           sim::EventQueue&)>;
+
+struct RunResults {
+  Joules total_energy = 0.0;
+  /// Energy attributed to each process (indexed by CfsmId).
+  std::vector<Joules> process_energy;
+  Joules cpu_energy = 0.0;    // all software + RTOS
+  Joules hw_energy = 0.0;     // all ASICs
+  Joules bus_energy = 0.0;
+  Joules cache_energy = 0.0;
+  sim::SimTime end_time = 0;
+
+  std::uint64_t reactions = 0;
+  std::uint64_t sw_reactions = 0;
+  std::uint64_t hw_reactions = 0;
+  std::uint64_t iss_invocations = 0;
+  std::uint64_t iss_instructions = 0;
+  std::uint64_t gate_sim_cycles = 0;
+  std::uint64_t cache_hits_served = 0;  // energy-cache hits
+  cache::AccessStats icache;
+  bus::BusTotals bus_totals;
+  double wall_seconds = 0.0;
+  bool truncated = false;  // max_reactions guard fired
+
+  [[nodiscard]] std::string summary() const;
+};
+
+}  // namespace socpower::core

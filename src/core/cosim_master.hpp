@@ -1,0 +1,201 @@
+// The simulation master of the paper's Figure 2(b).
+//
+// CoSimMaster simulates the discrete-event behavioral model of the whole
+// system (the golden CFSM network) and owns nothing but scheduling state:
+// the event queue and value latches, the RTOS serialization of software
+// transitions on the single CPU, the pending-software and bus-wait
+// bookkeeping, and the acceleration policy of Section 4 (energy cache,
+// macro-op library, sequence-compaction sampling). Component *pricing* is
+// delegated to ComponentEstimator backends created by name from the
+// EstimatorRegistry (CoEstimatorConfig::estimators), one per role:
+//
+//          ┌──────────────── CoSimMaster ────────────────┐
+//          │ event queue · latches · RTOS · bus waits    │
+//          │ energy cache / macro-model / sampling       │
+//          └──┬──────┬─────────┬─────────┬─────────┬─────┘
+//             ▼      ▼         ▼         ▼         ▼
+//          SwBackend HwBackend HwBackend CacheB.  BusBackend
+//          (sw.iss)  (hw.gate) (hw.rtl)  (cache.*)(bus.*)
+//
+// The unit of synchronization is a CFSM transition, exactly as in POLIS.
+// The public entry point is the CoEstimator facade (coestimator.hpp); this
+// class is the implementation and is also usable directly by tools that
+// want to own backend selection programmatically.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "cfsm/cfsm.hpp"
+#include "core/coestimator_config.hpp"
+#include "core/compactor.hpp"
+#include "core/energy_cache.hpp"
+#include "core/estimators/component_estimator.hpp"
+#include "core/macromodel.hpp"
+#include "sim/event_queue.hpp"
+#include "sim/power_trace.hpp"
+#include "swsyn/rtos.hpp"
+
+namespace socpower::core {
+
+class CoSimMaster {
+ public:
+  CoSimMaster(const cfsm::Network* network, CoEstimatorConfig config);
+  ~CoSimMaster();
+
+  CoSimMaster(const CoSimMaster&) = delete;
+  CoSimMaster& operator=(const CoSimMaster&) = delete;
+
+  // -- implementation mapping (before prepare) -------------------------------
+  void map_sw(cfsm::CfsmId task, int rtos_priority);
+  void map_hw(cfsm::CfsmId task, HwEstimatorKind kind);
+  [[nodiscard]] bool is_sw(cfsm::CfsmId task) const;
+
+  void set_traffic_hook(TrafficHook hook) { traffic_hook_ = std::move(hook); }
+  void set_transition_hook(TransitionHook hook) {
+    transition_hook_ = std::move(hook);
+  }
+  void add_environment_hook(EnvironmentHook hook) {
+    environment_hooks_.push_back(std::move(hook));
+  }
+
+  /// Validate the config, instantiate the selected backends, and have them
+  /// compile/synthesize/build their simulators. Must be called once.
+  void prepare();
+
+  RunResults run(const sim::Stimulus& stimulus);
+  RunResults run_separate(const sim::Stimulus& stimulus);
+
+  // -- introspection ----------------------------------------------------------
+  [[nodiscard]] const MacroModelLibrary& macromodel() const;
+  void set_macromodel(MacroModelLibrary library);
+  [[nodiscard]] const EnergyCache& energy_cache() const { return ecache_; }
+  [[nodiscard]] cfsm::PathTable& path_table(cfsm::CfsmId task);
+  [[nodiscard]] const swsyn::SwImage* sw_image(cfsm::CfsmId task) const;
+  [[nodiscard]] const cfsm::CfsmState& process_state(cfsm::CfsmId task) const {
+    return state_.at(static_cast<std::size_t>(task));
+  }
+  [[nodiscard]] const hwsyn::HwImage* hw_image(cfsm::CfsmId task) const;
+  [[nodiscard]] const sim::PowerTrace& power_trace() const { return trace_; }
+  [[nodiscard]] const bus::BusScheduler& bus_scheduler() const {
+    return bus_->scheduler();
+  }
+  [[nodiscard]] CoEstimatorConfig& config() { return config_; }
+  [[nodiscard]] const CoEstimatorConfig& config() const { return config_; }
+
+  /// The backends serving this master, in role order (sw, hw gate, hw rtl,
+  /// cache, bus; roles with no mapped process are absent). For telemetry
+  /// and tests.
+  [[nodiscard]] std::vector<const ComponentEstimator*> backends() const;
+
+ private:
+  struct PendingSw {
+    sim::SimTime ready_at = 0;
+    cfsm::CfsmId task = cfsm::kNoCfsm;
+    cfsm::ReactionInputs trigger_inputs;
+  };
+  /// A software transition's shared-memory traffic, issued when its compute
+  /// phase ends. Kept pending so the bus request enters arbitration in
+  /// simulated-time order (causally with hardware traffic); the CPU blocks
+  /// (programmed I/O) and its emissions are released at transfer completion.
+  struct PendingSwBus {
+    bool active = false;
+    sim::SimTime issue_at = 0;
+    cfsm::CfsmId task = cfsm::kNoCfsm;
+    std::vector<bus::BusRequest> requests;
+    std::vector<cfsm::EmittedEvent> emissions;
+  };
+  /// Emissions gated on outstanding bus transfers (a HW reaction's DMA
+  /// block reads, or the blocked CPU's writes). Released when the last of
+  /// the reaction's jobs completes on the grant-level scheduler.
+  struct BusWait {
+    cfsm::CfsmId task = cfsm::kNoCfsm;
+    bool is_cpu = false;
+    std::vector<cfsm::EmittedEvent> emissions;
+    std::size_t remaining = 0;
+    sim::SimTime earliest_done = 0;  // reaction-latency floor
+    sim::SimTime last_end = 0;
+    sim::SimTime cpu_issue = 0;      // wait-energy accounting
+  };
+
+  void check_structural_config() const;
+  void reset_runtime_state();
+  [[nodiscard]] bool hw_online() const {
+    return !config_.hw_batch || config_.verify_lowlevel ||
+           config_.accelerate_hw;
+  }
+  void flush_hw_batches(RunResults& res);
+  [[nodiscard]] cfsm::ReactionInputs merge_inputs(
+      cfsm::CfsmId task, const cfsm::ReactionInputs& trigger) const;
+  void latch_occurrence(const sim::EventOccurrence& occ);
+
+  TransitionCost sw_transition_cost(cfsm::CfsmId task,
+                                    const cfsm::ReactionInputs& inputs,
+                                    const cfsm::CfsmState& pre_state,
+                                    const cfsm::Reaction& reaction,
+                                    cfsm::PathId path);
+  TransitionCost hw_transition_cost(cfsm::CfsmId task,
+                                    const cfsm::ReactionInputs& inputs,
+                                    const cfsm::Reaction& reaction,
+                                    cfsm::PathId path);
+
+  TransitionCost measured_or_accelerated(
+      cfsm::CfsmId task, cfsm::PathId path,
+      const std::function<TransitionCost()>& simulate,
+      const std::vector<swsyn::MacroOp>* macro_stream);
+
+  const cfsm::Network* net_;
+  CoEstimatorConfig config_;
+  /// Frozen copy of the [structural] fields, taken at prepare(); see
+  /// structural_mismatch().
+  CoEstimatorConfig structural_baseline_;
+  std::vector<std::optional<bool>> impl_is_sw_;  // per CfsmId; nullopt unmapped
+  std::vector<HwEstimatorKind> hw_kind_;         // per CfsmId
+  swsyn::RtosModel rtos_;
+  TrafficHook traffic_hook_;
+  TransitionHook transition_hook_;
+  std::vector<EnvironmentHook> environment_hooks_;
+
+  bool prepared_ = false;
+  /// Owned backends; the typed pointers below alias into this list.
+  std::vector<std::unique_ptr<ComponentEstimator>> owned_backends_;
+  SwBackend* sw_ = nullptr;
+  HwBackend* hw_gate_ = nullptr;
+  HwBackend* hw_rtl_ = nullptr;
+  CacheBackend* cache_ = nullptr;
+  BusBackend* bus_ = nullptr;
+  std::vector<HwBackend*> hw_backend_for_;  // per CfsmId (nullptr for SW)
+
+  MacroModelLibrary macromodel_;
+  EnergyCache ecache_;
+  std::vector<DynamicCompactionStream> sampler_;  // per CfsmId
+  std::vector<cfsm::PathTable> path_tables_;      // per CfsmId
+  /// Lazily memoized macro-model estimates per (task, path): annotating the
+  /// behavioral model once per path makes macro-modeled co-simulation O(1)
+  /// per transition, as in POLIS (costs are annotated before simulation).
+  std::vector<std::vector<std::optional<PathEstimate>>> mm_memo_;
+
+  std::vector<std::vector<cfsm::CfsmId>> receivers_by_event_;
+
+  // Run-time state (valid during run()).
+  sim::PowerTrace trace_;
+  std::vector<sim::ComponentId> process_component_;  // per CfsmId
+  sim::ComponentId bus_component_ = -1;
+  sim::ComponentId cache_component_ = -1;
+  std::vector<cfsm::CfsmState> state_;
+  std::vector<std::optional<std::int32_t>> latched_;  // last value per event
+  sim::EventQueue queue_;
+  std::vector<PendingSw> sw_pending_;
+  PendingSwBus sw_bus_;
+  bool cpu_blocked_ = false;
+  sim::SimTime cpu_free_at_ = 0;
+  std::unordered_map<std::uint64_t, std::size_t> job_to_wait_;  // job -> slot
+  std::vector<BusWait> bus_waits_;
+  /// Gate cycles contributed by the offline batch flush (merged from the
+  /// per-unit flush jobs; online cycles are counted by the backends).
+  std::uint64_t flush_gate_cycles_ = 0;
+};
+
+}  // namespace socpower::core

@@ -1,0 +1,47 @@
+#include "core/estimators/bus_estimator.hpp"
+
+#include <cassert>
+
+#include "telemetry/registry.hpp"
+
+namespace socpower::core {
+
+void BusEstimator::prepare(const EstimatorContext& ctx) {
+  config_ = ctx.config;
+}
+
+void BusEstimator::begin_run() {
+  sched_ = std::make_unique<bus::BusScheduler>(config_->bus);
+  sched_->set_keep_grant_times(config_->keep_power_samples);
+}
+
+TransitionCost BusEstimator::cost(const TransitionRequest&) {
+  assert(false && "the bus backend prices transfers, not transitions — use "
+                  "submit()/advance()");
+  return {};
+}
+
+bus::BusScheduler::JobId BusEstimator::submit(sim::SimTime now,
+                                              bus::BusRequest request) {
+  static telemetry::Counter& transfers =
+      telemetry::registry().counter("estimator.bus.arbiter.transfers");
+  transfers.add();
+  return sched_->submit(now, std::move(request));
+}
+
+bool BusEstimator::has_work() const { return sched_->has_work(); }
+
+sim::SimTime BusEstimator::next_boundary() const {
+  return sched_->next_boundary();
+}
+
+std::vector<bus::BusScheduler::Completion> BusEstimator::advance(
+    sim::SimTime t) {
+  return sched_->advance(t);
+}
+
+void BusEstimator::stats(RunResults& res) const {
+  res.bus_totals = sched_->totals();
+}
+
+}  // namespace socpower::core

@@ -1,0 +1,42 @@
+// Bus/arbiter component estimator: the behavioral shared-bus model of the
+// paper's Section 3. The master submits each reaction's shared-memory
+// transfers and advances the grant-level scheduler as part of its
+// discrete-event timebase; this backend owns the scheduler and books
+// interconnect energy from per-line Hamming activity.
+#pragma once
+
+#include <memory>
+
+#include "bus/bus_model.hpp"
+#include "core/estimators/component_estimator.hpp"
+
+namespace socpower::core {
+
+class BusEstimator final : public BusBackend {
+ public:
+  [[nodiscard]] std::string_view name() const override { return "bus.arbiter"; }
+
+  void prepare(const EstimatorContext& ctx) override;
+  void begin_run() override;
+  TransitionCost cost(const TransitionRequest&) override;
+  void flush(std::vector<FlushJob>&) override {}  // nothing deferred
+  void stats(RunResults& res) const override;
+  [[nodiscard]] std::vector<cfsm::CfsmId> component_ids() const override {
+    return {};  // resource backend: prices transfers, not processes
+  }
+
+  bus::BusScheduler::JobId submit(sim::SimTime now,
+                                  bus::BusRequest request) override;
+  [[nodiscard]] bool has_work() const override;
+  [[nodiscard]] sim::SimTime next_boundary() const override;
+  std::vector<bus::BusScheduler::Completion> advance(sim::SimTime t) override;
+  [[nodiscard]] const bus::BusScheduler& scheduler() const override {
+    return *sched_;
+  }
+
+ private:
+  const CoEstimatorConfig* config_ = nullptr;
+  std::unique_ptr<bus::BusScheduler> sched_;
+};
+
+}  // namespace socpower::core

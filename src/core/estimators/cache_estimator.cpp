@@ -1,0 +1,39 @@
+#include "core/estimators/cache_estimator.hpp"
+
+#include <cassert>
+
+#include "telemetry/registry.hpp"
+
+namespace socpower::core {
+
+void CacheEstimator::prepare(const EstimatorContext& ctx) {
+  config_ = ctx.config;
+}
+
+void CacheEstimator::begin_run() {
+  sim_ = std::make_unique<cache::CacheSim>(config_->icache);
+}
+
+TransitionCost CacheEstimator::cost(const TransitionRequest&) {
+  assert(false && "the cache backend prices reference streams, not "
+                  "transitions — use access()");
+  return {};
+}
+
+cache::AccessStats CacheEstimator::access(
+    std::span<const std::uint32_t> addresses) {
+  static telemetry::Counter& accesses =
+      telemetry::registry().counter("estimator.cache.icache.accesses");
+  static telemetry::Counter& misses =
+      telemetry::registry().counter("estimator.cache.icache.misses");
+  const cache::AccessStats stats = sim_->access_stream(addresses);
+  accesses.add(stats.accesses);
+  misses.add(stats.misses);
+  return stats;
+}
+
+void CacheEstimator::stats(RunResults& res) const {
+  res.icache = sim_->totals();
+}
+
+}  // namespace socpower::core

@@ -1,0 +1,37 @@
+// Instruction-cache component estimator: the fast behavioral cache
+// simulator of the paper's Section 3. The ISS assumes 100 % hits; the
+// master feeds this backend each software path's static address trace and
+// charges the returned penalty cycles and access/refill energy — which is
+// why acceleration on the ISS side stays exact.
+#pragma once
+
+#include <memory>
+
+#include "cache/cache_sim.hpp"
+#include "core/estimators/component_estimator.hpp"
+
+namespace socpower::core {
+
+class CacheEstimator final : public CacheBackend {
+ public:
+  [[nodiscard]] std::string_view name() const override {
+    return "cache.icache";
+  }
+
+  void prepare(const EstimatorContext& ctx) override;
+  void begin_run() override;
+  TransitionCost cost(const TransitionRequest&) override;
+  void flush(std::vector<FlushJob>&) override {}  // nothing deferred
+  void stats(RunResults& res) const override;
+  [[nodiscard]] std::vector<cfsm::CfsmId> component_ids() const override {
+    return {};  // resource backend: prices references, not processes
+  }
+
+  cache::AccessStats access(std::span<const std::uint32_t> addresses) override;
+
+ private:
+  const CoEstimatorConfig* config_ = nullptr;
+  std::unique_ptr<cache::CacheSim> sim_;
+};
+
+}  // namespace socpower::core

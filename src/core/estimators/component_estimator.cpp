@@ -1,0 +1,10 @@
+#include "core/estimators/component_estimator.hpp"
+
+namespace socpower::core {
+
+void sync_overhead(unsigned spins) {
+  volatile unsigned sink = 0;
+  for (unsigned i = 0; i < spins; ++i) sink = sink + 1;
+}
+
+}  // namespace socpower::core

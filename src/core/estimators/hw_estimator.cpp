@@ -1,0 +1,127 @@
+#include "core/estimators/hw_estimator.hpp"
+
+#include <cassert>
+#include <chrono>
+
+#include "telemetry/registry.hpp"
+#include "telemetry/trace.hpp"
+
+namespace socpower::core {
+
+void HwEstimatorBase::prepare(const EstimatorContext& ctx) {
+  net_ = ctx.network;
+  config_ = ctx.config;
+  path_tables_ = ctx.path_tables;
+  components_ = ctx.components;
+  units_.resize(net_->cfsm_count());
+  for (const cfsm::CfsmId task : components_) {
+    auto u = std::make_unique<Unit>();
+    u->image = hwsyn::synthesize_cfsm(net_->cfsm(task));
+    u->sim = std::make_unique<hw::GateSim>(u->image.netlist.get(),
+                                           hw::TechParams::generic_250nm(),
+                                           config_->electrical);
+    units_[static_cast<std::size_t>(task)] = std::move(u);
+  }
+}
+
+void HwEstimatorBase::begin_run() {
+  for (const cfsm::CfsmId task : components_) {
+    Unit& u = unit(task);
+    u.sim->reset();
+    u.registers_dirty = false;
+    u.batch.clear();
+  }
+  gate_cycles_ = 0;
+}
+
+TransitionCost HwEstimatorBase::cost(const TransitionRequest& req) {
+  sync_overhead(config_->sync_spin);
+  const Joules e = measure(unit(req.task), req);
+  return {static_cast<double>(config_->hw_reaction_cycles), e, true};
+}
+
+void HwEstimatorBase::flush(std::vector<FlushJob>& jobs) {
+  for (const cfsm::CfsmId task : components_) {
+    Unit* u = &unit(task);
+    if (u->batch.empty()) continue;
+    jobs.push_back({task, [this, u, task] { return run_flush(*u, task); }});
+  }
+}
+
+ComponentEstimator::FlushResult HwEstimatorBase::run_flush(Unit& u,
+                                                           cfsm::CfsmId task) {
+  static telemetry::HistogramStat& batch_size =
+      telemetry::registry().histogram("coest.hw_batch_size", 0.0, 1e6, 32);
+  static telemetry::HistogramStat& flush_ms =
+      telemetry::registry().histogram("coest.hw_flush_ms", 0.0, 1e4, 32);
+  FlushResult out;
+  const bool telem = telemetry::enabled();
+  const auto flush0 = telem ? std::chrono::steady_clock::now()
+                            : std::chrono::steady_clock::time_point{};
+  SOCPOWER_TRACE_SPAN("coest.hw_flush_unit", 0,
+                      static_cast<std::uint64_t>(task));
+  batch_size.observe(static_cast<double>(u.batch.size()));
+  out.entries.reserve(u.batch.size());
+  sync_overhead(config_->sync_spin);  // one batch hand-off per component
+  u.sim->reset();
+  for (const BatchEntry& entry : u.batch) {
+    if (entry.path == cfsm::kNoPath) {
+      u.sim->reset();
+      continue;
+    }
+    const Joules energy = measure_flush(u, task, entry, &out.gate_cycles);
+    out.entries.push_back({entry.time, entry.path, energy});
+  }
+  u.batch.clear();
+  if (telem)
+    flush_ms.observe(std::chrono::duration<double, std::milli>(
+                         std::chrono::steady_clock::now() - flush0)
+                         .count());
+  return out;
+}
+
+void HwEstimatorBase::stats(RunResults& res) const {
+  res.gate_sim_cycles += gate_cycles_;
+}
+
+const hwsyn::HwImage* HwEstimatorBase::image(cfsm::CfsmId task) const {
+  const auto& u = units_.at(static_cast<std::size_t>(task));
+  return u ? &u->image : nullptr;
+}
+
+void HwEstimatorBase::resync_if_dirty(cfsm::CfsmId task,
+                                      const cfsm::CfsmState& state) {
+  Unit& u = unit(task);
+  if (!u.registers_dirty) return;
+  hwsyn::sync_hw_vars(*u.sim, u.image, state);
+  u.registers_dirty = false;
+}
+
+void HwEstimatorBase::mark_skipped(cfsm::CfsmId task, bool skipped) {
+  unit(task).registers_dirty = skipped;
+}
+
+void HwEstimatorBase::reset_unit(cfsm::CfsmId task) { unit(task).sim->reset(); }
+
+void HwEstimatorBase::enqueue(cfsm::CfsmId task, sim::SimTime time,
+                              const cfsm::ReactionInputs& inputs,
+                              cfsm::PathId path) {
+  unit(task).batch.push_back({time, inputs, path});
+}
+
+void HwEstimatorBase::separate_reset(cfsm::CfsmId task) {
+  unit(task).sim->reset();
+}
+
+Joules HwEstimatorBase::separate_step(cfsm::CfsmId task,
+                                      const cfsm::ReactionInputs& inputs) {
+  // The Section 2 baseline replays the captured trace through the gate
+  // simulator for every hardware unit, whatever its co-estimation kind.
+  Unit& u = unit(task);
+  hwsyn::stage_hw_reaction(*u.sim, u.image, inputs);
+  const Joules e = u.sim->step().energy;
+  ++gate_cycles_;
+  return e;
+}
+
+}  // namespace socpower::core

@@ -1,0 +1,34 @@
+#include "core/estimators/hw_rtl_estimator.hpp"
+
+#include "telemetry/registry.hpp"
+
+namespace socpower::core {
+
+void HwRtlEstimator::prepare(const EstimatorContext& ctx) {
+  HwEstimatorBase::prepare(ctx);
+  // The netlist + gate simulator built by the base still back the reset /
+  // register-resync / separate-baseline paths; only transition pricing is
+  // RT-level.
+  hwsyn::RtlPowerConfig rp;
+  rp.electrical = config_->electrical;
+  rtl_power_ = std::make_unique<hwsyn::RtlPowerEstimator>(rp);
+}
+
+Joules HwRtlEstimator::measure(Unit&, const TransitionRequest& req) {
+  static telemetry::Counter& reactions =
+      telemetry::registry().counter("estimator.hw.rtl.reactions");
+  reactions.add();
+  return rtl_power_->estimate_reaction(net_->cfsm(req.task),
+                                       req.reaction->trace, *req.inputs);
+}
+
+Joules HwRtlEstimator::measure_flush(Unit&, cfsm::CfsmId task,
+                                     const BatchEntry& entry,
+                                     std::uint64_t*) {
+  const cfsm::PathTable& paths =
+      (*path_tables_)[static_cast<std::size_t>(task)];
+  return rtl_power_->estimate_reaction(net_->cfsm(task), paths.path(entry.path),
+                                       entry.inputs);
+}
+
+}  // namespace socpower::core

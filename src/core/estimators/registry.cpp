@@ -1,0 +1,70 @@
+#include "core/estimators/registry.hpp"
+
+#include "core/estimators/bus_estimator.hpp"
+#include "core/estimators/cache_estimator.hpp"
+#include "core/estimators/hw_gate_estimator.hpp"
+#include "core/estimators/hw_rtl_estimator.hpp"
+#include "core/estimators/sw_iss_estimator.hpp"
+
+namespace socpower::core {
+
+void EstimatorRegistry::register_backend(std::string name, Factory factory) {
+  std::lock_guard<std::mutex> lk(mu_);
+  factories_[std::move(name)] = std::move(factory);
+}
+
+bool EstimatorRegistry::contains(const std::string& name) const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return factories_.count(name) != 0;
+}
+
+std::unique_ptr<ComponentEstimator> EstimatorRegistry::create(
+    const std::string& name) const {
+  Factory factory;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    const auto it = factories_.find(name);
+    if (it == factories_.end()) return nullptr;
+    factory = it->second;
+  }
+  return factory();
+}
+
+std::vector<std::string> EstimatorRegistry::names() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  std::vector<std::string> out;
+  out.reserve(factories_.size());
+  for (const auto& [name, _] : factories_) out.push_back(name);
+  return out;
+}
+
+std::string EstimatorRegistry::joined_names() const {
+  std::string out;
+  for (const auto& name : names()) {
+    if (!out.empty()) out += ", ";
+    out += name;
+  }
+  return out;
+}
+
+EstimatorRegistry& estimator_registry() {
+  // Leaked singleton: backends may be created during static destruction of
+  // client code, and the registry must outlive every estimator instance.
+  static EstimatorRegistry* reg = [] {
+    auto* r = new EstimatorRegistry();
+    r->register_backend("sw.iss",
+                        [] { return std::make_unique<SwIssEstimator>(); });
+    r->register_backend("hw.gate",
+                        [] { return std::make_unique<HwGateEstimator>(); });
+    r->register_backend("hw.rtl",
+                        [] { return std::make_unique<HwRtlEstimator>(); });
+    r->register_backend("cache.icache",
+                        [] { return std::make_unique<CacheEstimator>(); });
+    r->register_backend("bus.arbiter",
+                        [] { return std::make_unique<BusEstimator>(); });
+    return r;
+  }();
+  return *reg;
+}
+
+}  // namespace socpower::core

@@ -1,0 +1,51 @@
+// Name-keyed factory of ComponentEstimator backends.
+//
+// Configs select backends by string (CoEstimatorConfig::estimators), so an
+// alternate implementation — an emulated hardware estimator, an ISS driven
+// over IPC in another process, a table-driven stub for tests — plugs in by
+// registering a factory here; the simulation master never changes. Built-in
+// backends ("sw.iss", "hw.gate", "hw.rtl", "cache.icache", "bus.arbiter")
+// are registered on first access of estimator_registry().
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace socpower::core {
+
+class ComponentEstimator;
+
+class EstimatorRegistry {
+ public:
+  using Factory = std::function<std::unique_ptr<ComponentEstimator>()>;
+
+  /// Registers `factory` under `name`. Re-registering a name replaces the
+  /// factory (tests swap in instrumented backends); registration never
+  /// invalidates existing estimator instances.
+  void register_backend(std::string name, Factory factory);
+
+  [[nodiscard]] bool contains(const std::string& name) const;
+
+  /// Creates a fresh backend; returns nullptr for unknown names (the config
+  /// validator reports those with the known-name list before prepare()).
+  [[nodiscard]] std::unique_ptr<ComponentEstimator> create(
+      const std::string& name) const;
+
+  /// Registered names, sorted.
+  [[nodiscard]] std::vector<std::string> names() const;
+  /// names() joined with ", " — for error messages.
+  [[nodiscard]] std::string joined_names() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, Factory> factories_;
+};
+
+/// The process-wide registry, with the built-in backends pre-registered.
+[[nodiscard]] EstimatorRegistry& estimator_registry();
+
+}  // namespace socpower::core

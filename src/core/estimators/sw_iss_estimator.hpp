@@ -1,0 +1,61 @@
+// Software component estimator: the single embedded CPU's ISS, the compiled
+// SLITE images of the software processes, and the instruction power model.
+//
+// This is the "SW power co-simulator" box of the paper's Figure 2(b): the
+// master stages a transition's inputs and variables into the process's data
+// block, and the backend runs the compiled code to HALT on the cycle-true
+// ISS, returning cycles and energy. The ISS's pre-decoded basic-block cache
+// (iss::IssConfig::block_cache) makes this the fast path; acceleration
+// beyond that (energy cache, macro-model, sampling) is master policy and
+// never reaches this backend.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/estimators/component_estimator.hpp"
+#include "iss/iss.hpp"
+#include "swsyn/codegen.hpp"
+
+namespace socpower::core {
+
+/// The instruction power model a config describes: data-dependent DSP-style
+/// when data_nj_per_toggle is set, SPARClite otherwise. Shared between this
+/// backend and the master's macro-op library characterization so both price
+/// instructions identically.
+[[nodiscard]] iss::InstructionPowerModel instruction_power_model(
+    const CoEstimatorConfig& config);
+
+class SwIssEstimator final : public SwBackend {
+ public:
+  [[nodiscard]] std::string_view name() const override { return "sw.iss"; }
+
+  void prepare(const EstimatorContext& ctx) override;
+  void begin_run() override;
+  TransitionCost cost(const TransitionRequest& req) override;
+  void flush(std::vector<FlushJob>&) override {}  // nothing deferred
+  void stats(RunResults& res) const override;
+  [[nodiscard]] std::vector<cfsm::CfsmId> component_ids() const override {
+    return components_;
+  }
+
+  [[nodiscard]] const swsyn::SwImage* image(cfsm::CfsmId task) const override;
+  Joules replay(cfsm::CfsmId task, const cfsm::ReactionInputs& inputs,
+                const cfsm::CfsmState& pre_state) override;
+
+ private:
+  /// One staged ISS invocation: run the task's compiled code to HALT.
+  iss::RunResult invoke(cfsm::CfsmId task, const cfsm::ReactionInputs& inputs,
+                        const cfsm::CfsmState& pre_state);
+
+  const cfsm::Network* net_ = nullptr;
+  const CoEstimatorConfig* config_ = nullptr;
+  std::vector<cfsm::CfsmId> components_;
+  std::unique_ptr<iss::Iss> iss_;
+  std::vector<std::unique_ptr<swsyn::SwImage>> images_;  // per CfsmId
+  std::uint64_t invocations_ = 0;
+  std::uint64_t instructions_ = 0;
+};
+
+}  // namespace socpower::core

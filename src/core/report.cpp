@@ -62,6 +62,26 @@ std::string render_report(const cfsm::Network& network,
 
   if (telemetry::enabled()) {
     const telemetry::Snapshot snap = telemetry::snapshot();
+    // Per-backend breakdown: each component estimator publishes its
+    // counters under "estimator.<registry-name>.*", so the report can show
+    // how many lower-level invocations each backend actually served
+    // (invocations dodged by the acceleration layer simply never arrive).
+    TextTable bt({"backend", "metric", "value"});
+    bool any_backend_counters = false;
+    for (const ComponentEstimator* b : estimator.backends()) {
+      const std::string name(b->name());
+      const std::string prefix = "estimator." + name + ".";
+      for (const auto& c : snap.counters) {
+        if (c.name.compare(0, prefix.size(), prefix) != 0) continue;
+        bt.add_row({name, c.name.substr(prefix.size()),
+                    std::to_string(c.value)});
+        any_backend_counters = true;
+      }
+    }
+    if (any_backend_counters) {
+      out += "\n--- estimator backends ---\n";
+      out += bt.render();
+    }
     if (!snap.empty()) {
       out += "\n--- telemetry counters ---\n";
       out += snap.render_table();

@@ -1,0 +1,251 @@
+// The pluggable-backend seams: EstimatorRegistry lookup/registration,
+// CoEstimatorConfig::validate() rejection paths, the structural-mutation
+// guard, and the backends() introspection of a prepared estimator.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/coestimator.hpp"
+#include "core/estimators/registry.hpp"
+#include "core/estimators/sw_iss_estimator.hpp"
+#include "systems/tcpip.hpp"
+
+namespace socpower::core {
+namespace {
+
+systems::TcpIpParams small_params() {
+  systems::TcpIpParams p;
+  p.num_packets = 2;
+  p.packet_bytes = 32;
+  p.ip_check_in_hw = true;
+  p.seed = 11;
+  return p;
+}
+
+bool contains_substr(const std::vector<std::string>& errs,
+                     const std::string& needle) {
+  return std::any_of(errs.begin(), errs.end(), [&](const std::string& e) {
+    return e.find(needle) != std::string::npos;
+  });
+}
+
+// ---- registry --------------------------------------------------------------
+
+TEST(EstimatorBackends, RegistryHasBuiltins) {
+  EstimatorRegistry& reg = estimator_registry();
+  for (const char* name :
+       {"sw.iss", "hw.gate", "hw.rtl", "cache.icache", "bus.arbiter"}) {
+    EXPECT_TRUE(reg.contains(name)) << name;
+    auto backend = reg.create(name);
+    ASSERT_NE(backend, nullptr) << name;
+    EXPECT_EQ(backend->name(), name);
+  }
+  const std::vector<std::string> names = reg.names();
+  EXPECT_TRUE(std::is_sorted(names.begin(), names.end()));
+  EXPECT_NE(reg.joined_names().find("sw.iss"), std::string::npos);
+}
+
+TEST(EstimatorBackends, RegistryUnknownNameIsNull) {
+  EXPECT_FALSE(estimator_registry().contains("sw.nope"));
+  EXPECT_EQ(estimator_registry().create("sw.nope"), nullptr);
+}
+
+TEST(EstimatorBackends, CustomRegistrationSelectsByName) {
+  // An alternate software backend plugs in by name only; here it is the
+  // stock ISS under an alias, so results must match the default selection
+  // exactly.
+  estimator_registry().register_backend(
+      "test.sw.alias", [] { return std::make_unique<SwIssEstimator>(); });
+  ASSERT_TRUE(estimator_registry().contains("test.sw.alias"));
+
+  RunResults base, aliased;
+  {
+    systems::TcpIpSystem sys(small_params());
+    CoEstimator est(&sys.network());
+    sys.configure(est);
+    est.prepare();
+    base = est.run(sys.stimulus());
+  }
+  {
+    systems::TcpIpSystem sys(small_params());
+    CoEstimatorConfig cfg;
+    cfg.estimators.sw = "test.sw.alias";
+    CoEstimator est(&sys.network(), cfg);
+    sys.configure(est);
+    est.prepare();
+    aliased = est.run(sys.stimulus());
+  }
+  EXPECT_EQ(aliased.total_energy, base.total_energy);
+  EXPECT_EQ(aliased.cpu_energy, base.cpu_energy);
+  EXPECT_EQ(aliased.end_time, base.end_time);
+  EXPECT_EQ(aliased.iss_invocations, base.iss_invocations);
+  EXPECT_EQ(aliased.iss_instructions, base.iss_instructions);
+}
+
+TEST(EstimatorBackends, ReRegistrationReplacesFactory) {
+  int calls = 0;
+  estimator_registry().register_backend("test.counted", [&calls] {
+    ++calls;
+    return std::make_unique<SwIssEstimator>();
+  });
+  (void)estimator_registry().create("test.counted");
+  EXPECT_EQ(calls, 1);
+  estimator_registry().register_backend(
+      "test.counted", [] { return std::make_unique<SwIssEstimator>(); });
+  (void)estimator_registry().create("test.counted");
+  EXPECT_EQ(calls, 1);  // replaced factory no longer runs the old lambda
+}
+
+// ---- config validation -----------------------------------------------------
+
+TEST(EstimatorBackends, ValidateAcceptsDefaults) {
+  EXPECT_TRUE(CoEstimatorConfig{}.validate().empty());
+}
+
+TEST(EstimatorBackends, ValidateRejectsBadElectricals) {
+  CoEstimatorConfig cfg;
+  cfg.electrical.vdd_volts = 0.0;
+  cfg.data_nj_per_toggle = -1.0;
+  const auto errs = cfg.validate();
+  EXPECT_TRUE(contains_substr(errs, "vdd_volts"));
+  EXPECT_TRUE(contains_substr(errs, "data_nj_per_toggle"));
+}
+
+TEST(EstimatorBackends, ValidateRejectsZeroWidthBus) {
+  CoEstimatorConfig cfg;
+  cfg.bus.data_bits = 0;
+  cfg.bus.addr_bits = 0;
+  const auto errs = cfg.validate();
+  EXPECT_TRUE(contains_substr(errs, "bus.data_bits"));
+  EXPECT_TRUE(contains_substr(errs, "bus.addr_bits"));
+}
+
+TEST(EstimatorBackends, ValidateRejectsBadIssAndCache) {
+  CoEstimatorConfig cfg;
+  cfg.iss.memory_bytes = 0;
+  cfg.icache.size_bytes = 0;
+  const auto errs = cfg.validate();
+  EXPECT_TRUE(contains_substr(errs, "iss.memory_bytes"));
+  EXPECT_TRUE(contains_substr(errs, "icache geometry"));
+}
+
+TEST(EstimatorBackends, ValidateRejectsBadSampling) {
+  CoEstimatorConfig cfg;
+  cfg.sampling.keep_ratio = 0.0;
+  cfg.sampling.k_memory = 0;
+  const auto errs = cfg.validate();
+  EXPECT_TRUE(contains_substr(errs, "keep_ratio"));
+  EXPECT_TRUE(contains_substr(errs, "k_memory"));
+}
+
+TEST(EstimatorBackends, ValidateRejectsDeadFlushParallelism) {
+  CoEstimatorConfig cfg;
+  cfg.hw_batch = false;
+  cfg.hw_flush_threads = 4;
+  EXPECT_TRUE(contains_substr(cfg.validate(), "hw_flush_threads"));
+  cfg.hw_batch = true;
+  EXPECT_TRUE(cfg.validate().empty());
+}
+
+TEST(EstimatorBackends, ValidateRejectsUnknownBackendName) {
+  CoEstimatorConfig cfg;
+  cfg.estimators.cache = "cache.imaginary";
+  const auto errs = cfg.validate();
+  EXPECT_TRUE(contains_substr(errs, "cache.imaginary"));
+  EXPECT_TRUE(contains_substr(errs, "cache.icache"));  // known-name list
+}
+
+// ---- prepare()/run() enforcement (aborts fire in every build type) ---------
+
+using EstimatorBackendsDeathTest = ::testing::Test;
+
+TEST(EstimatorBackendsDeathTest, PrepareAbortsOnInvalidConfig) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  systems::TcpIpSystem sys(small_params());
+  CoEstimatorConfig cfg;
+  cfg.bus.data_bits = 0;
+  CoEstimator est(&sys.network(), cfg);
+  sys.configure(est);
+  EXPECT_DEATH(est.prepare(), "invalid config");
+}
+
+TEST(EstimatorBackendsDeathTest, PrepareAbortsOnUnknownBackend) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  systems::TcpIpSystem sys(small_params());
+  CoEstimatorConfig cfg;
+  cfg.estimators.sw = "sw.remote-iss";
+  CoEstimator est(&sys.network(), cfg);
+  sys.configure(est);
+  EXPECT_DEATH(est.prepare(), "not registered");
+}
+
+TEST(EstimatorBackendsDeathTest, StructuralMutationAfterPrepareAborts) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  systems::TcpIpSystem sys(small_params());
+  CoEstimator est(&sys.network());
+  sys.configure(est);
+  est.prepare();
+  est.config().iss.memory_bytes *= 2;  // structural: baked into the ISS
+  EXPECT_DEATH(est.run(sys.stimulus()), "structural");
+}
+
+TEST(EstimatorBackendsDeathTest, BackendSwapAfterPrepareAborts) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  systems::TcpIpSystem sys(small_params());
+  CoEstimator est(&sys.network());
+  sys.configure(est);
+  est.prepare();
+  est.config().estimators.hw_gate = "hw.rtl";
+  EXPECT_DEATH(est.run(sys.stimulus()), "structural");
+}
+
+TEST(EstimatorBackends, PerRunKnobsStayMutable) {
+  // The documented contract: everything not marked [structural] may change
+  // between runs on the same instance.
+  systems::TcpIpSystem sys(small_params());
+  CoEstimator est(&sys.network());
+  sys.configure(est);
+  est.prepare();
+  const RunResults plain = est.run(sys.stimulus());
+  est.config().accel = Acceleration::kCaching;
+  est.config().hw_flush_threads = 2;
+  const RunResults cached = est.run(sys.stimulus());
+  EXPECT_EQ(cached.total_energy, plain.total_energy);
+  EXPECT_LE(cached.iss_invocations, plain.iss_invocations);
+  est.config().accel = Acceleration::kNone;
+  const RunResults again = est.run(sys.stimulus());
+  EXPECT_EQ(again.iss_invocations, plain.iss_invocations);
+}
+
+// ---- introspection ---------------------------------------------------------
+
+TEST(EstimatorBackends, BackendsListRolesAfterPrepare) {
+  systems::TcpIpParams p = small_params();
+  p.checksum_rtl_estimator = true;  // mixed: gate + RTL units present
+  systems::TcpIpSystem sys(p);
+  CoEstimator est(&sys.network());
+  sys.configure(est);
+  EXPECT_TRUE(est.backends().empty());  // built at prepare()
+  est.prepare();
+  std::vector<std::string> names;
+  for (const ComponentEstimator* b : est.backends())
+    names.emplace_back(b->name());
+  std::sort(names.begin(), names.end());
+  EXPECT_EQ(names, (std::vector<std::string>{"bus.arbiter", "cache.icache",
+                                             "hw.gate", "hw.rtl", "sw.iss"}));
+  // Process backends own disjoint, non-empty component sets; resource
+  // backends own none.
+  for (const ComponentEstimator* b : est.backends()) {
+    const auto ids = b->component_ids();
+    if (b->name() == "bus.arbiter" || b->name() == "cache.icache")
+      EXPECT_TRUE(ids.empty()) << b->name();
+    else
+      EXPECT_FALSE(ids.empty()) << b->name();
+  }
+}
+
+}  // namespace
+}  // namespace socpower::core

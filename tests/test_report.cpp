@@ -5,9 +5,28 @@
 
 #include "core/report.hpp"
 #include "systems/tcpip.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace socpower::core {
 namespace {
+
+/// Enables counters for one test and restores the prior configuration.
+class ScopedTelemetry {
+ public:
+  ScopedTelemetry() : saved_(telemetry::config()) {
+    telemetry::TelemetryConfig cfg = saved_;
+    cfg.enabled = true;
+    telemetry::configure(cfg);
+    telemetry::reset();
+  }
+  ~ScopedTelemetry() {
+    telemetry::reset();
+    telemetry::configure(saved_);
+  }
+
+ private:
+  telemetry::TelemetryConfig saved_;
+};
 
 struct ReportFixture : ::testing::Test {
   ReportFixture() : sys({.num_packets = 3, .packet_bytes = 32}) {}
@@ -40,6 +59,31 @@ TEST_F(ReportFixture, ReportListsEveryProcessWithImplementation) {
   EXPECT_NE(report.find("(icache)"), std::string::npos);
   EXPECT_NE(report.find("SW"), std::string::npos);
   EXPECT_NE(report.find("HW"), std::string::npos);
+}
+
+TEST_F(ReportFixture, BackendBreakdownRenderedWhenTelemetryEnabled) {
+  ScopedTelemetry telemetry;
+  run(/*keep_samples=*/false);
+  ReportOptions opt;
+  opt.include_waveforms = false;
+  const std::string report =
+      render_report(sys.network(), *est, results, opt);
+  EXPECT_NE(report.find("--- estimator backends ---"), std::string::npos);
+  // Each backend that did work reports under its registry name, with the
+  // "estimator.<name>." prefix stripped by the report.
+  EXPECT_NE(report.find("sw.iss"), std::string::npos);
+  EXPECT_NE(report.find("invocations"), std::string::npos);
+  EXPECT_NE(report.find("cache.icache"), std::string::npos);
+  EXPECT_NE(report.find("bus.arbiter"), std::string::npos);
+}
+
+TEST_F(ReportFixture, BackendBreakdownAbsentWhenTelemetryDisabled) {
+  run(/*keep_samples=*/false);
+  ReportOptions opt;
+  opt.include_waveforms = false;
+  const std::string report =
+      render_report(sys.network(), *est, results, opt);
+  EXPECT_EQ(report.find("--- estimator backends ---"), std::string::npos);
 }
 
 TEST_F(ReportFixture, WaveformsRenderedWhenSamplesKept) {
