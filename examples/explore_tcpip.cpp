@@ -10,6 +10,8 @@
 // Set SOCPOWER_BLOCK_CACHE=0 to run the reference ISS interpreter instead
 // of the block-cache fast path — results are bit-identical either way; the
 // knob exists to measure the speedup end to end.
+// SOCPOWER_HW_REACTION_CACHE=0 likewise disables the gate-level reaction
+// cache (also bit-identical).
 // Set SOCPOWER_TRACE=out.json to collect telemetry and write a Chrome
 // trace-event file (open in chrome://tracing or https://ui.perfetto.dev);
 // SOCPOWER_TELEMETRY=1 enables the counters alone.
@@ -43,6 +45,7 @@ int main(int argc, char** argv) {
   threads = resolve_thread_count(threads);
 
   const bool block_cache = util::env_bool("SOCPOWER_BLOCK_CACHE", true);
+  const bool hw_rcache = util::env_bool("SOCPOWER_HW_REACTION_CACHE", true);
 
   std::printf("exploring the TCP/IP subsystem integration architecture\n");
   std::printf("workload: %d packets x %d bytes, %u worker thread(s)\n\n",
@@ -87,6 +90,7 @@ int main(int argc, char** argv) {
     cfg.bus.line_cap_f = 10e-9;
     cfg.accel = core::Acceleration::kCaching;  // exploration-speed mode
     cfg.iss.block_cache = block_cache;
+    cfg.hw_reaction_cache = hw_rcache;
     core::CoEstimator est(&sys.network(), cfg);
     sys.configure(est);
     est.prepare();
@@ -155,6 +159,7 @@ int main(int argc, char** argv) {
         cfg.bus.line_cap_f = 10e-9;
         cfg.accel = accel;
         cfg.iss.block_cache = block_cache;
+        cfg.hw_reaction_cache = hw_rcache;
         core::CoEstimator est(&sys.network(), cfg);
         sys.configure(est);
         est.prepare();

@@ -18,6 +18,7 @@
 #include "core/report.hpp"
 #include "systems/tcpip.hpp"
 #include "telemetry/telemetry.hpp"
+#include "util/env.hpp"
 
 using namespace socpower;
 
@@ -39,6 +40,7 @@ int main(int argc, char** argv) {
 
   core::CoEstimatorConfig cfg;
   cfg.accel = core::Acceleration::kCaching;
+  cfg.hw_reaction_cache = util::env_bool("SOCPOWER_HW_REACTION_CACHE", true);
   core::CoEstimator est(&sys.network(), cfg);
   sys.configure(est);
   est.prepare();
@@ -59,6 +61,22 @@ int main(int argc, char** argv) {
     std::printf("energy-cache hit rate across both runs: %.1f%%\n",
                 100.0 * static_cast<double>(hits) /
                     static_cast<double>(hits + misses));
+  // One layer down: how often the gate-level simulator replayed a memoized
+  // reaction instead of sweeping the netlist (both HW backends publish
+  // under their own telemetry namespace).
+  for (const char* backend : {"hw.gate", "hw.rtl"}) {
+    const std::string prefix = std::string("estimator.") + backend + ".rcache.";
+    const std::uint64_t rhits = snap.counter_or(prefix + "hits");
+    const std::uint64_t rmisses = snap.counter_or(prefix + "misses");
+    if (rhits + rmisses == 0) continue;
+    std::printf("%s reaction-cache hit rate across both runs: %.1f%% "
+                "(%llu gate evaluations skipped)\n",
+                backend,
+                100.0 * static_cast<double>(rhits) /
+                    static_cast<double>(rhits + rmisses),
+                static_cast<unsigned long long>(
+                    snap.counter_or(prefix + "skipped_gate_evals")));
+  }
 
   if (!telemetry::write_chrome_trace(out_path)) return 1;
   std::printf("wrote %s (%zu events, %llu dropped) — open in "

@@ -111,6 +111,10 @@ std::vector<std::string> CoEstimatorConfig::validate() const {
     err("sampling.k_memory must be > 0 — the compactor buffers K symbols "
         "per selection round");
 
+  if (hw_reaction_cache && hw_reaction_cache_max_entries == 0)
+    err("hw_reaction_cache_max_entries must be > 0 with hw_reaction_cache "
+        "on — a zero-entry table can never hit; disable the cache instead");
+
   if (hw_flush_threads != 1 && !hw_batch)
     err("hw_flush_threads=%u requested with hw_batch off: the offline flush "
         "never runs, so the parallelism is silently dead — set "

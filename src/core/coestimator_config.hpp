@@ -109,6 +109,18 @@ struct CoEstimatorConfig {
   /// hardware power analysis in batch-mode on long traces" (Section 5.1).
   /// Forced off when verify_lowlevel or accelerate_hw is set.
   bool hw_batch = true;
+  /// Memoize gate-level reactions per hardware unit: key = (register state,
+  /// applied + staged input vectors), value = the exact CycleResult plus the
+  /// next-state delta, so a repeated reaction replays with one hash lookup
+  /// and a state restore instead of a levelized sweep. Bit-identical to the
+  /// uncached path — the cached energy is the double the first evaluation
+  /// computed and the restored simulator state is exact (see
+  /// hw/reaction_cache.hpp for the keying and invalidation rules). Per-run
+  /// knob.
+  bool hw_reaction_cache = true;
+  /// Entry bound per hardware unit; reaching it drops that unit's table
+  /// wholesale (generation clear), like the ISS block cache's bound.
+  std::size_t hw_reaction_cache_max_entries = 4096;
   /// Worker threads for the offline hardware batch flush. Each HW backend
   /// unit owns its gate simulator and batch vector, so units evaluate
   /// concurrently; per-unit energies/trace records/hook calls are

@@ -8,6 +8,14 @@
 
 namespace socpower::core {
 
+hw::ReactionCacheConfig HwEstimatorBase::reaction_cache_config() const {
+  hw::ReactionCacheConfig rc;
+  rc.enabled = config_->hw_reaction_cache;
+  rc.max_entries = config_->hw_reaction_cache_max_entries;
+  rc.telemetry_prefix = "estimator." + std::string(name()) + ".rcache";
+  return rc;
+}
+
 void HwEstimatorBase::prepare(const EstimatorContext& ctx) {
   net_ = ctx.network;
   config_ = ctx.config;
@@ -20,6 +28,8 @@ void HwEstimatorBase::prepare(const EstimatorContext& ctx) {
     u->sim = std::make_unique<hw::GateSim>(u->image.netlist.get(),
                                            hw::TechParams::generic_250nm(),
                                            config_->electrical);
+    u->rcache = std::make_unique<hw::ReactionCache>(u->sim.get(),
+                                                    reaction_cache_config());
     units_[static_cast<std::size_t>(task)] = std::move(u);
   }
 }
@@ -28,6 +38,9 @@ void HwEstimatorBase::begin_run() {
   for (const cfsm::CfsmId task : components_) {
     Unit& u = unit(task);
     u.sim->reset();
+    // Per-run knobs may have changed between runs; the table itself
+    // survives unless they did (warm-start hits across runs are the point).
+    u.rcache->configure(reaction_cache_config());
     u.registers_dirty = false;
     u.batch.clear();
   }
@@ -119,9 +132,27 @@ Joules HwEstimatorBase::separate_step(cfsm::CfsmId task,
   // simulator for every hardware unit, whatever its co-estimation kind.
   Unit& u = unit(task);
   hwsyn::stage_hw_reaction(*u.sim, u.image, inputs);
-  const Joules e = u.sim->step().energy;
+  const Joules e = step_unit(u).energy;
   ++gate_cycles_;
   return e;
+}
+
+hw::ReactionCacheStats HwEstimatorBase::reaction_cache_stats() const {
+  hw::ReactionCacheStats sum;
+  for (const cfsm::CfsmId task : components_) {
+    const auto& u = units_[static_cast<std::size_t>(task)];
+    if (!u || !u->rcache) continue;
+    const hw::ReactionCacheStats& s = u->rcache->stats();
+    sum.hits += s.hits;
+    sum.misses += s.misses;
+    sum.bypassed += s.bypassed;
+    sum.insertions += s.insertions;
+    sum.capacity_clears += s.capacity_clears;
+    sum.evicted_entries += s.evicted_entries;
+    sum.invalidations += s.invalidations;
+    sum.skipped_gate_evals += s.skipped_gate_evals;
+  }
+  return sum;
 }
 
 }  // namespace socpower::core

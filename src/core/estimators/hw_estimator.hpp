@@ -16,6 +16,7 @@
 
 #include "core/estimators/component_estimator.hpp"
 #include "hw/gatesim.hpp"
+#include "hw/reaction_cache.hpp"
 #include "hwsyn/synth.hpp"
 
 namespace socpower::core {
@@ -42,6 +43,11 @@ class HwEstimatorBase : public HwBackend {
   Joules separate_step(cfsm::CfsmId task,
                        const cfsm::ReactionInputs& inputs) override;
 
+  /// Reaction-cache statistics summed over this backend's hardware units
+  /// (tests and examples; per-unit telemetry lives under
+  /// "estimator.<name>.rcache.*").
+  [[nodiscard]] hw::ReactionCacheStats reaction_cache_stats() const;
+
  protected:
   struct BatchEntry {
     sim::SimTime time = 0;
@@ -51,6 +57,10 @@ class HwEstimatorBase : public HwBackend {
   struct Unit {
     hwsyn::HwImage image;
     std::unique_ptr<hw::GateSim> sim;
+    /// Reaction memoizer wrapping `sim`. One per unit — the parallel batch
+    /// flush dispatches whole units, so no cache is ever shared between
+    /// threads.
+    std::unique_ptr<hw::ReactionCache> rcache;
     bool registers_dirty = false;  // gate sim skipped; state needs resync
     std::vector<BatchEntry> batch;
   };
@@ -68,6 +78,13 @@ class HwEstimatorBase : public HwBackend {
     return *units_[static_cast<std::size_t>(task)];
   }
 
+  /// Evaluate the staged reaction of `u` — through the reaction cache when
+  /// one is attached (every consumer goes through here: online cost(), the
+  /// batched flush, and the separate-estimation baseline).
+  [[nodiscard]] hw::CycleResult step_unit(Unit& u) {
+    return u.rcache ? u.rcache->step() : u.sim->step();
+  }
+
   const cfsm::Network* net_ = nullptr;
   const CoEstimatorConfig* config_ = nullptr;
   const std::vector<cfsm::PathTable>* path_tables_ = nullptr;
@@ -79,6 +96,7 @@ class HwEstimatorBase : public HwBackend {
 
  private:
   [[nodiscard]] FlushResult run_flush(Unit& u, cfsm::CfsmId task);
+  [[nodiscard]] hw::ReactionCacheConfig reaction_cache_config() const;
 };
 
 }  // namespace socpower::core

@@ -10,7 +10,10 @@ Joules HwGateEstimator::measure(Unit& unit, const TransitionRequest& req) {
   static telemetry::Counter& cycles =
       telemetry::registry().counter("estimator.hw.gate.cycles");
   hwsyn::stage_hw_reaction(*unit.sim, unit.image, *req.inputs);
-  const hw::CycleResult r = unit.sim->step();
+  // A cache hit replays the reaction with the simulator's post-step state
+  // restored exactly, so the verify_lowlevel cross-checks below read the
+  // same net values they would after a real step().
+  const hw::CycleResult r = step_unit(unit);
   ++gate_cycles_;
   cycles.add();
   if (config_->verify_lowlevel) {
@@ -35,7 +38,7 @@ Joules HwGateEstimator::measure_flush(Unit& unit, cfsm::CfsmId,
                                       const BatchEntry& entry,
                                       std::uint64_t* gate_cycles) {
   hwsyn::stage_hw_reaction(*unit.sim, unit.image, entry.inputs);
-  const Joules e = unit.sim->step().energy;
+  const Joules e = step_unit(unit).energy;
   ++*gate_cycles;
   return e;
 }

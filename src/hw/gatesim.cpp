@@ -1,6 +1,8 @@
 #include "hw/gatesim.hpp"
 
 #include <cassert>
+#include <cstdio>
+#include <cstdlib>
 
 #include "telemetry/registry.hpp"
 
@@ -11,7 +13,13 @@ GateSim::GateSim(const Netlist* netlist, TechParams tech,
     : netlist_(netlist), tech_(tech), params_(params) {
   std::string err;
   topo_ = netlist_->levelize(&err);
-  assert(err.empty() && "netlist has combinational cycles");
+  if (!err.empty()) {
+    // Checked in every build type: under NDEBUG a cyclic netlist would pass
+    // the old assert and then silently simulate garbage (the level sweep
+    // never converges to the fixpoint the energy accounting assumes).
+    std::fprintf(stderr, "GateSim: %s — refusing to simulate\n", err.c_str());
+    std::abort();
+  }
 
   // Topological levels and per-net consumer lists for event-driven
   // evaluation (a la SIS: only gates whose inputs changed are re-evaluated).
@@ -71,7 +79,12 @@ GateSim::GateSim(const Netlist* netlist, TechParams tech,
 }
 
 void GateSim::set_input(std::size_t input_index, bool value) {
-  assert(input_index < input_next_.size());
+  // Checked in every build type (the PowerTrace::record convention): a bad
+  // staging index must become a counted drop, not an out-of-bounds write.
+  if (input_index >= input_next_.size()) {
+    ++dropped_input_writes_;
+    return;
+  }
   input_next_[input_index] = value ? 1 : 0;
 }
 
@@ -142,6 +155,7 @@ CycleResult GateSim::step() {
   // into a member buffer first (commits must not observe each other within
   // the same edge).
   const auto& dffs = netlist_->dffs();
+  latch_begin_ = toggled_.size();
   for (std::size_t i = 0; i < dffs.size(); ++i)
     latch_next_[i] = value_[static_cast<std::size_t>(dffs[i].d)];
   for (std::size_t i = 0; i < dffs.size(); ++i)
@@ -163,6 +177,44 @@ CycleResult GateSim::step() {
   return r;
 }
 
+CycleResult GateSim::apply_cached_reaction(std::span<const NetId> toggles,
+                                           std::size_t latch_begin,
+                                           Joules energy) {
+  // Restore the exact state a real step() from here would have produced:
+  //  1. Drain every pending dirty mark. A real step() consumes them all in
+  //     its level sweep, and the only marks it leaves behind are those of
+  //     its own clock-edge Q toggles.
+  //  2. Flip the memoized toggled nets (a toggle is its own inverse, so a
+  //     flip lands on exactly the values the replayed step committed).
+  //  3. Re-mark the consumers of the memoized latch-phase toggles, in stored
+  //     commit order — the per-level work lists end up element-for-element
+  //     identical to the post-step() lists, so a subsequent miss evaluates
+  //     gates (and therefore commits toggles, and therefore sums energies)
+  //     in exactly the same order as the uncached run.
+  // Energy is the double the miss computed; counters advance as a real
+  // step() would (gates_evaluated_ intentionally does not — the skipped
+  // evaluations are the win, and the cache reports them separately).
+  for (auto& work : level_dirty_) {
+    for (const std::size_t gi : work) gate_dirty_[gi] = 0;
+    work.clear();
+  }
+  for (const NetId net : toggles) value_[static_cast<std::size_t>(net)] ^= 1;
+  for (std::size_t i = latch_begin; i < toggles.size(); ++i)
+    mark_consumers_dirty(toggles[i]);
+  CycleResult r;
+  r.toggles = toggles.size();
+  r.energy = energy;
+  ++cycles_;
+  total_energy_ += r.energy;
+  static telemetry::Counter& steps =
+      telemetry::registry().counter("gatesim.steps");
+  static telemetry::Counter& tgl =
+      telemetry::registry().counter("gatesim.toggles");
+  steps.add();
+  tgl.add(r.toggles);
+  return r;
+}
+
 bool GateSim::net_value(NetId n) const {
   assert(n >= 0 && static_cast<std::size_t>(n) < value_.size());
   return value_[static_cast<std::size_t>(n)] != 0;
@@ -170,10 +222,12 @@ bool GateSim::net_value(NetId n) const {
 
 std::uint32_t GateSim::read_word(std::size_t first_output_index,
                                  unsigned width) const {
+  // Clamped in every build type: out-of-range output bits read as 0 instead
+  // of indexing past the output table under NDEBUG.
   const auto& outs = netlist_->outputs();
   std::uint32_t v = 0;
   for (unsigned b = 0; b < width; ++b) {
-    assert(first_output_index + b < outs.size());
+    if (first_output_index + b >= outs.size()) break;
     if (net_value(outs[first_output_index + b].first)) v |= 1u << b;
   }
   return v;
@@ -185,6 +239,7 @@ void GateSim::force_net(NetId n, bool value) {
   const std::uint8_t nv = value ? 1 : 0;
   if (cur != nv) {
     cur = nv;
+    forced_ = true;
     mark_consumers_dirty(n);
   }
 }
@@ -206,6 +261,8 @@ void GateSim::full_settle() {
 }
 
 void GateSim::reset() {
+  ++resets_;
+  forced_ = false;  // reset rebuilds a canonical state; prior forces are moot
   value_.assign(netlist_->net_count(), 0);
   value_[static_cast<std::size_t>(netlist_->const1())] = 1;
   for (const Dff& ff : netlist_->dffs())

@@ -10,6 +10,7 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -29,10 +30,18 @@ class GateSim {
           ElectricalParams params = {});
 
   /// Set a primary input for the upcoming cycle (index into primary_inputs()).
+  /// Out-of-range indices are checked in every build type: the write is
+  /// dropped and counted (dropped_input_writes()) instead of corrupting
+  /// adjacent state under NDEBUG.
   void set_input(std::size_t input_index, bool value);
   /// Convenience: drive a whole input word, LSB first.
   void set_input_word(std::size_t first_input_index, std::uint32_t value,
                       unsigned width);
+  /// Count of set_input()/set_input_word() bit writes rejected for an
+  /// out-of-range input index.
+  [[nodiscard]] std::uint64_t dropped_input_writes() const {
+    return dropped_input_writes_;
+  }
 
   /// Evaluate one clock cycle; returns toggles and switched energy
   /// (combinational + register + clock tree).
@@ -40,6 +49,8 @@ class GateSim {
 
   [[nodiscard]] bool net_value(NetId n) const;
   /// Read an output word (as marked by mark_output order), LSB first.
+  /// Out-of-range output indices are clamped in every build type: the
+  /// missing bits read as 0 rather than indexing past the output table.
   [[nodiscard]] std::uint32_t read_word(std::size_t first_output_index,
                                         unsigned width) const;
 
@@ -59,6 +70,43 @@ class GateSim {
   [[nodiscard]] std::uint64_t gates_evaluated() const {
     return gates_evaluated_;
   }
+
+  // -- reaction-cache protocol (hw/reaction_cache.hpp) -----------------------
+  // The cache memoizes full reactions; these accessors expose exactly what it
+  // needs to key a lookup (the staged input vector), to detect state breaks
+  // (resets, forced writes), and to capture/replay a step's complete effect.
+
+  /// Pending primary-input values the next step() will apply (key material).
+  [[nodiscard]] const std::vector<std::uint8_t>& staged_inputs() const {
+    return input_next_;
+  }
+  /// Incremented by every reset(); the cache re-anchors its state tracking
+  /// on a change.
+  [[nodiscard]] std::uint64_t reset_count() const { return resets_; }
+  /// True once if any force_net() since the last call (or reset) actually
+  /// changed a net value; the cache de-anchors on it because forced states
+  /// cannot be content-addressed soundly (the forced writes leave pending
+  /// dirty marks that net values alone do not imply).
+  [[nodiscard]] bool consume_forced() {
+    const bool f = forced_;
+    forced_ = false;
+    return f;
+  }
+  /// Nets toggled by the most recent step(), in commit order. The suffix
+  /// starting at last_latch_begin() holds the DFF Q toggles of the clock
+  /// edge (the only toggles whose dirty marks outlive the step).
+  [[nodiscard]] const std::vector<NetId>& last_toggles() const {
+    return toggled_;
+  }
+  [[nodiscard]] std::size_t last_latch_begin() const { return latch_begin_; }
+  /// Replay a memoized reaction: restore the exact post-step() state (net
+  /// values, pending dirty marks, counters) and bill the stored energy,
+  /// without evaluating any gate. `toggles`/`latch_begin` must be the
+  /// last_toggles()/last_latch_begin() capture and `energy` the CycleResult
+  /// energy of the step() being replayed, taken from an identical simulator
+  /// state — then the outcome is bit-identical to re-running that step().
+  CycleResult apply_cached_reaction(std::span<const NetId> toggles,
+                                    std::size_t latch_begin, Joules energy);
 
  private:
   void full_settle();  // evaluate everything in level order (reset path)
@@ -81,11 +129,15 @@ class GateSim {
   std::vector<std::uint8_t> value_;      // current net values
   std::vector<std::uint8_t> input_next_; // pending PI values
   std::vector<NetId> toggled_;           // nets toggled this step, in order
+  std::size_t latch_begin_ = 0;          // toggled_ index where Q toggles start
   std::vector<std::uint8_t> latch_next_; // DFF D values at the clock edge
   Joules clock_energy_per_cycle_ = 0.0;
   std::uint64_t cycles_ = 0;
   Joules total_energy_ = 0.0;
   std::uint64_t gates_evaluated_ = 0;
+  std::uint64_t dropped_input_writes_ = 0;
+  std::uint64_t resets_ = 0;
+  bool forced_ = false;
 };
 
 }  // namespace socpower::hw

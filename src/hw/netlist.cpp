@@ -92,11 +92,20 @@ void Netlist::mark_output(NetId n, std::string name) {
 }
 
 NetId Netlist::add_gate(GateType t, NetId a, NetId b, NetId c) {
+  const NetId out = add_net();
+  add_gate_driving(out, t, a, b, c);
+  return out;
+}
+
+void Netlist::add_gate_driving(NetId out, GateType t, NetId a, NetId b,
+                               NetId c) {
   const int arity = gate_arity(t);
+  assert(out >= 0 && static_cast<std::size_t>(out) < n_nets_);
+  assert(driver_gate_[static_cast<std::size_t>(out)] == -1 &&
+         "net already has a driver");
   assert(a != kNoNet);
   assert((arity < 2) == (b == kNoNet));
   assert((arity < 3) == (c == kNoNet));
-  const NetId out = add_net();
   Gate g;
   g.type = t;
   g.out = out;
@@ -107,7 +116,6 @@ NetId Netlist::add_gate(GateType t, NetId a, NetId b, NetId c) {
   driver_gate_[static_cast<std::size_t>(out)] =
       static_cast<std::int32_t>(gates_.size() - 1);
   for (int i = 0; i < arity; ++i) ++fanout_[static_cast<std::size_t>(g.in[i])];
-  return out;
 }
 
 NetId Netlist::add_dff(bool init) {
@@ -159,7 +167,19 @@ std::vector<std::size_t> Netlist::levelize(std::string* error) const {
       if (--pending[ci] == 0) order.push_back(ci);
   }
   if (order.size() != gates_.size()) {
-    if (error) *error = "combinational cycle in netlist";
+    if (error) {
+      // Name one gate stuck on the cycle so the failing netlist is
+      // identifiable from the abort message alone.
+      *error = "combinational cycle in netlist";
+      for (std::size_t gi = 0; gi < gates_.size(); ++gi) {
+        if (pending[gi] != 0) {
+          *error += " (through gate " + std::to_string(gi) + " " +
+                    gate_type_name(gates_[gi].type) + " -> net " +
+                    std::to_string(gates_[gi].out) + ")";
+          break;
+        }
+      }
+    }
     return {};
   }
   if (error) error->clear();

@@ -75,6 +75,13 @@ class Netlist {
 
   /// Adds a gate; returns its (new) output net.
   NetId add_gate(GateType t, NetId a, NetId b = kNoNet, NetId c = kNoNet);
+  /// Adds a gate driving an existing undriven net (created with add_net()).
+  /// This is how forward references are built: create the net, consume it,
+  /// then attach its driver. Combinational feedback loops become expressible
+  /// here, which is exactly why GateSim refuses to simulate a netlist whose
+  /// levelization fails.
+  void add_gate_driving(NetId out, GateType t, NetId a, NetId b = kNoNet,
+                        NetId c = kNoNet);
   /// Adds a flip-flop whose output is a fresh net; the D input may be
   /// connected later with connect_dff_d (registers feeding back on logic
   /// computed from their own outputs).

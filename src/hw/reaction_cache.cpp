@@ -1,0 +1,196 @@
+#include "hw/reaction_cache.hpp"
+
+#include <utility>
+
+#include "telemetry/registry.hpp"
+
+namespace socpower::hw {
+
+namespace {
+
+/// FNV-1a over the key words; distributes fine for the table sizes involved.
+std::size_t hash_words(const std::vector<std::uint64_t>& k) {
+  std::uint64_t h = 1469598103934665603ull;
+  for (const std::uint64_t w : k) {
+    h ^= w;
+    h *= 1099511628211ull;
+  }
+  return static_cast<std::size_t>(h);
+}
+
+void pack_bit(std::vector<std::uint64_t>* out, std::uint64_t* word,
+              std::size_t* n, bool bit) {
+  *word |= static_cast<std::uint64_t>(bit) << (*n & 63u);
+  if ((*n & 63u) == 63u) {
+    out->push_back(*word);
+    *word = 0;
+  }
+  ++*n;
+}
+
+void pack_flush(std::vector<std::uint64_t>* out, std::uint64_t* word,
+                std::size_t n) {
+  if (n % 64 != 0) out->push_back(*word);
+  *word = 0;
+}
+
+}  // namespace
+
+std::size_t ReactionCache::KeyHash::operator()(
+    const std::vector<std::uint64_t>& k) const {
+  return hash_words(k);
+}
+
+ReactionCache::ReactionCache(GateSim* sim, ReactionCacheConfig cfg)
+    : sim_(sim), cfg_(std::move(cfg)) {
+  if (cfg_.max_entries == 0) cfg_.max_entries = 1;
+  // Adopt the simulator as-is: anchored only if no force_net() has touched
+  // it since its last reset() (freshly constructed simulators qualify, and
+  // their state is the canonical post-reset one: the constructor settles
+  // from all-zero nets exactly like reset() does).
+  seen_resets_ = sim_->reset_count();
+  anchored_ = !sim_->consume_forced();
+  after_reset_ = true;
+}
+
+void ReactionCache::configure(const ReactionCacheConfig& cfg) {
+  const bool drop = cfg.enabled != cfg_.enabled ||
+                    cfg.telemetry_prefix != cfg_.telemetry_prefix ||
+                    cfg.max_entries < table_.size();
+  if (cfg.telemetry_prefix != cfg_.telemetry_prefix) counters_ = nullptr;
+  cfg_ = cfg;
+  if (cfg_.max_entries == 0) cfg_.max_entries = 1;
+  if (drop) clear();
+}
+
+void ReactionCache::clear() { table_.clear(); }
+
+ReactionCache::TelemetryCounters* ReactionCache::counters() {
+  // Handles resolved once per prefix and cached (registry entries are
+  // deque-stable); the steady state pays relaxed atomic adds only, per the
+  // telemetry cost contract.
+  if (!counters_ && !cfg_.telemetry_prefix.empty()) {
+    auto c = std::make_unique<TelemetryCounters>();
+    telemetry::Registry& reg = telemetry::registry();
+    c->hits = &reg.counter(cfg_.telemetry_prefix + ".hits");
+    c->misses = &reg.counter(cfg_.telemetry_prefix + ".misses");
+    c->evictions = &reg.counter(cfg_.telemetry_prefix + ".evictions");
+    c->invalidations = &reg.counter(cfg_.telemetry_prefix + ".invalidations");
+    c->skipped_gate_evals =
+        &reg.counter(cfg_.telemetry_prefix + ".skipped_gate_evals");
+    counters_ = std::move(c);
+  }
+  return counters_.get();
+}
+
+void ReactionCache::observe_sim_state() {
+  // Order matters: reset() clears the simulator's forced flag, so a pending
+  // forced flag always postdates the newest reset and must win.
+  if (sim_->reset_count() != seen_resets_) {
+    seen_resets_ = sim_->reset_count();
+    // The post-reset state is canonical (nets zeroed, registers at init,
+    // no pending marks) — deterministic across resets and across runs, so
+    // re-anchoring here is what makes warm-start hits sound.
+    after_reset_ = true;
+    anchored_ = true;
+  }
+  if (sim_->consume_forced()) {
+    // The simulator now holds a state the key tuple does not describe:
+    // forced writes leave dirty marks whose set and order depend on the
+    // force sequence, not on net values. Run uncached until the next
+    // reset().
+    anchored_ = false;
+    ++stats_.invalidations;
+    if (TelemetryCounters* c = counters()) c->invalidations->add();
+  }
+}
+
+void ReactionCache::capture_regs(std::vector<std::uint64_t>* out) const {
+  out->clear();
+  std::uint64_t word = 0;
+  std::size_t n = 0;
+  for (const Dff& d : sim_->netlist().dffs())
+    pack_bit(out, &word, &n, sim_->net_value(d.q));
+  pack_flush(out, &word, n);
+}
+
+void ReactionCache::build_key() {
+  key_scratch_.clear();
+  // Word 0 distinguishes the post-reset state: it is the one state whose
+  // (empty) pending-mark set is not implied by the value words that follow.
+  key_scratch_.push_back(after_reset_ ? 1u : 0u);
+  std::uint64_t word = 0;
+  std::size_t n = 0;
+  // PI vector the previous step applied (the input nets hold it).
+  for (const NetId pi : sim_->netlist().primary_inputs())
+    pack_bit(&key_scratch_, &word, &n, sim_->net_value(pi));
+  pack_flush(&key_scratch_, &word, n);
+  // Register values at the previous step's entry (tracked, not readable).
+  key_scratch_.insert(key_scratch_.end(), q_prev_.begin(), q_prev_.end());
+  // Staged PI vector the upcoming step will apply.
+  const std::vector<std::uint8_t>& staged = sim_->staged_inputs();
+  n = 0;
+  for (const std::uint8_t b : staged)
+    pack_bit(&key_scratch_, &word, &n, b != 0);
+  pack_flush(&key_scratch_, &word, n);
+}
+
+CycleResult ReactionCache::step() {
+  if (!cfg_.enabled) {
+    // De-anchor so a mid-stream re-enable (configure without an intervening
+    // reset) cannot key against stale tracking state.
+    anchored_ = false;
+    ++stats_.bypassed;
+    return sim_->step();
+  }
+  observe_sim_state();
+  if (!anchored_) {
+    ++stats_.bypassed;
+    return sim_->step();
+  }
+
+  // Register values at this step's entry become q_prev_ for the next lookup.
+  capture_regs(&q_cur_scratch_);
+  if (after_reset_) q_prev_ = q_cur_scratch_;  // canonical init values
+  build_key();
+
+  const auto it = table_.find(key_scratch_);
+  if (it != table_.end()) {
+    const Entry& e = it->second;
+    ++stats_.hits;
+    stats_.skipped_gate_evals += e.gate_evals;
+    std::swap(q_prev_, q_cur_scratch_);
+    after_reset_ = false;
+    if (TelemetryCounters* c = counters()) {
+      c->hits->add();
+      c->skipped_gate_evals->add(e.gate_evals);
+    }
+    return sim_->apply_cached_reaction(e.toggles, e.latch_begin, e.energy);
+  }
+
+  ++stats_.misses;
+  const std::uint64_t evals_before = sim_->gates_evaluated();
+  const CycleResult r = sim_->step();
+  Entry e;
+  e.energy = r.energy;
+  e.toggles.assign(sim_->last_toggles().begin(), sim_->last_toggles().end());
+  e.latch_begin = static_cast<std::uint32_t>(sim_->last_latch_begin());
+  e.gate_evals = sim_->gates_evaluated() - evals_before;
+  if (table_.size() >= cfg_.max_entries) {
+    // Generation clear, like the ISS block cache: drop everything rather
+    // than track per-entry age. Keys are pure content, so dropped entries
+    // simply repopulate on their next miss.
+    ++stats_.capacity_clears;
+    stats_.evicted_entries += table_.size();
+    if (TelemetryCounters* c = counters()) c->evictions->add(table_.size());
+    table_.clear();
+  }
+  ++stats_.insertions;
+  table_.emplace(key_scratch_, std::move(e));
+  std::swap(q_prev_, q_cur_scratch_);
+  after_reset_ = false;
+  if (TelemetryCounters* c = counters()) c->misses->add();
+  return r;
+}
+
+}  // namespace socpower::hw
