@@ -13,7 +13,10 @@
 #pragma once
 
 #include <cstdio>
+#include <cstdlib>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "core/coestimator.hpp"
 #include "systems/tcpip.hpp"
@@ -71,5 +74,60 @@ inline void print_header(const char* title, const char* paper_ref) {
   std::printf("Reproduces: %s\n", paper_ref);
   std::printf("==============================================================\n");
 }
+
+/// Short git revision of the working tree, or "unknown" outside a checkout
+/// (benchmarks run from installed artifacts, sandboxes without git, ...).
+inline std::string git_sha_short() {
+  std::string sha;
+  if (FILE* p = ::popen("git rev-parse --short HEAD 2>/dev/null", "r")) {
+    char buf[64];
+    if (std::fgets(buf, sizeof buf, p)) sha = buf;
+    ::pclose(p);
+  }
+  while (!sha.empty() && (sha.back() == '\n' || sha.back() == '\r'))
+    sha.pop_back();
+  return sha.empty() ? "unknown" : sha;
+}
+
+/// Persists one benchmark's headline numbers as BENCH_<name>.json so the
+/// perf trajectory accumulates run over run (scripts/run_experiments.sh
+/// collects the files). Metrics keep insertion order; values print with
+/// enough digits to round-trip a double.
+class BenchJson {
+ public:
+  explicit BenchJson(std::string name) : name_(std::move(name)) {}
+
+  BenchJson& metric(const std::string& key, double value) {
+    metrics_.emplace_back(key, value);
+    return *this;
+  }
+
+  /// Writes into $SOCPOWER_BENCH_JSON_DIR (default: the working directory).
+  /// Returns false (after printing a warning) when the file cannot be
+  /// written; benchmarks still pass — persistence is best-effort.
+  bool write() const {
+    std::string dir = ".";
+    if (const char* d = std::getenv("SOCPOWER_BENCH_JSON_DIR"))
+      if (*d) dir = d;
+    const std::string path = dir + "/BENCH_" + name_ + ".json";
+    FILE* f = std::fopen(path.c_str(), "w");
+    if (!f) {
+      std::fprintf(stderr, "BenchJson: cannot write %s\n", path.c_str());
+      return false;
+    }
+    std::fprintf(f, "{\n  \"bench\": \"%s\",\n  \"git_sha\": \"%s\"",
+                 name_.c_str(), git_sha_short().c_str());
+    for (const auto& [key, value] : metrics_)
+      std::fprintf(f, ",\n  \"%s\": %.17g", key.c_str(), value);
+    std::fprintf(f, "\n}\n");
+    std::fclose(f);
+    std::printf("[bench-json] wrote %s\n", path.c_str());
+    return true;
+  }
+
+ private:
+  std::string name_;
+  std::vector<std::pair<std::string, double>> metrics_;
+};
 
 }  // namespace socpower::bench

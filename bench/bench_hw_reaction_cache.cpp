@@ -172,6 +172,8 @@ int main(int argc, char** argv) {
                "speedup", "hit rate", "results"});
   bool all_identical = true;
   double worst_speedup = 1e30;
+  bench::BenchJson json("hw_reaction_cache");
+  json.metric("reactions", steps);
 
   for (Workload& w : workloads) {
     const std::string verr = w.nl.validate();
@@ -203,8 +205,14 @@ int main(int argc, char** argv) {
                TextTable::fixed(steps / off.seconds / 1e3, 1),
                TextTable::fixed(steps / on.seconds / 1e3, 1), sp, hr,
                same ? "bit-identical" : "MISMATCH"});
+    json.metric(std::string("speedup_") + w.name, speedup);
+    json.metric(std::string("hit_rate_") + w.name,
+                served > 0 ? static_cast<double>(on.stats.hits) / served
+                           : 0.0);
   }
   std::printf("%s", t.render().c_str());
+  json.metric("speedup_min", worst_speedup);
+  json.metric("bit_identical", all_identical ? 1.0 : 0.0);
 
   // Bit-identity is the hard requirement everywhere. The wall-clock gate
   // only runs where the toolchain can express it: an unoptimized build
@@ -223,6 +231,7 @@ int main(int argc, char** argv) {
       worst_speedup);
 #endif
 
+  json.write();
   std::printf("\nSHAPE CHECK: %s\n", shape_ok ? "PASS" : "FAIL");
   return shape_ok ? 0 : 1;
 }

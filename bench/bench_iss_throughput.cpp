@@ -124,6 +124,8 @@ int main(int argc, char** argv) {
   TextTable t({"kernel", "interp Mips", "cached Mips", "speedup", "results"});
   bool all_identical = true;
   double worst_speedup = 1e30;
+  bench::BenchJson json("iss_throughput");
+  json.metric("runs", runs);
 
   for (const Kernel& k : kKernels) {
     const iss::AsmResult asmres = iss::assemble(k.src);
@@ -150,8 +152,12 @@ int main(int argc, char** argv) {
     t.add_row({k.name, TextTable::fixed(mips_off, 1),
                TextTable::fixed(mips_on, 1), sp,
                same ? "bit-identical" : "MISMATCH"});
+    json.metric(std::string("speedup_") + k.name, speedup);
+    json.metric(std::string("cached_mips_") + k.name, mips_on);
   }
   std::printf("%s", t.render().c_str());
+  json.metric("speedup_min", worst_speedup);
+  json.metric("bit_identical", all_identical ? 1.0 : 0.0);
 
   // Bit-identity is the hard requirement everywhere. The wall-clock gate
   // only runs where the toolchain can express it: an unoptimized build
@@ -169,6 +175,7 @@ int main(int argc, char** argv) {
       worst_speedup);
 #endif
 
+  json.write();
   std::printf("\nSHAPE CHECK: %s\n", shape_ok ? "PASS" : "FAIL");
   return shape_ok ? 0 : 1;
 }

@@ -19,7 +19,18 @@ cmake --build build
 
 ctest --test-dir build 2>&1 | tee test_output.txt
 
+# Benchmarks that persist headline numbers (speedups, hit rates, git sha)
+# write BENCH_<name>.json into this directory; see bench_common.hpp.
+SOCPOWER_BENCH_JSON_DIR="$(pwd)"
+export SOCPOWER_BENCH_JSON_DIR
+
 for b in build/bench/*; do "$b"; done 2>&1 | tee bench_output.txt
+
+echo
+echo "benchmark json results:"
+for j in BENCH_*.json; do
+  [ -f "$j" ] && { echo "-- $j"; cat "$j"; }
+done
 
 ./build/examples/explore_tcpip 2 64 "$SOCPOWER_THREADS" 2>&1 \
   | tee explore_output.txt

@@ -121,6 +121,15 @@ std::vector<std::string> CoEstimatorConfig::validate() const {
         "hw_batch=true or hw_flush_threads=1",
         hw_flush_threads);
 
+  if (hw_bit_parallel && !hw_batch)
+    err("hw_bit_parallel requested with hw_batch off: packed evaluation "
+        "only runs in the offline flush, so the knob is silently dead — "
+        "set hw_batch=true or hw_bit_parallel=false");
+  if (hw_packed_lanes == 0 || hw_packed_lanes > 64)
+    err("hw_packed_lanes must be in [1, 64] (got %u) — lanes are bits of "
+        "one uint64_t word per net",
+        hw_packed_lanes);
+
   if (max_reactions == 0)
     err("max_reactions must be > 0 — a zero guard truncates every run at "
         "the first transition");

@@ -128,6 +128,19 @@ struct CoEstimatorConfig {
   /// results are bit-identical for any value. 1 = serial, 0 = one per
   /// hardware thread.
   unsigned hw_flush_threads = 1;
+  /// Bit-parallel gate evaluation for the offline flush: groups of up to
+  /// hw_packed_lanes consecutive buffered vectors evaluate in ONE pass over
+  /// the netlist (uint64_t per net, one bit per stimulus lane), with
+  /// per-lane energies billed in the exact scalar commit order so results
+  /// stay bit-identical. Register lanes are seeded from the recorded
+  /// behavioral pre-states and verified against the netlist's own
+  /// next-state chain; any disagreement (or a reaction-cache-enabled unit,
+  /// whose replayed hits are faster still) falls back to the scalar path.
+  /// Per-run knob; requires hw_batch (validated).
+  bool hw_bit_parallel = false;
+  /// Stimulus patterns per packed pass, 1..64. Fewer lanes only make sense
+  /// for experiments on packed-evaluation overhead.
+  unsigned hw_packed_lanes = 64;
 
   /// Which registered backend serves each estimator role.
   EstimatorSelection estimators;  // [structural]

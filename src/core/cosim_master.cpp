@@ -454,7 +454,7 @@ RunResults CoSimMaster::run(const sim::Stimulus& stimulus) {
           if (!reaction.trace.empty())
             path = path_tables_[static_cast<std::size_t>(task)].intern(
                 reaction.trace);
-          hw->enqueue(task, now, inputs, path);
+          hw->enqueue(task, now, inputs, path, pre_state);
           if (reaction.trace.empty()) continue;
         } else {
           if (reaction.trace.empty()) {

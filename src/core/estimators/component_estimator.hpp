@@ -156,10 +156,13 @@ class HwBackend : public ComponentEstimator {
   virtual void mark_skipped(cfsm::CfsmId task, bool skipped) = 0;
   /// Reset transition observed while online: re-initialize the netlist.
   virtual void reset_unit(cfsm::CfsmId task) = 0;
-  /// Batch mode: buffer the input vector for the offline flush.
+  /// Batch mode: buffer the input vector for the offline flush. `pre_state`
+  /// is the behavioral process state before the reaction — the bit-parallel
+  /// flush seeds each packed lane's register state from it (and verifies the
+  /// seeds against the netlist's own next-state chain before trusting them).
   virtual void enqueue(cfsm::CfsmId task, sim::SimTime time,
-                       const cfsm::ReactionInputs& inputs,
-                       cfsm::PathId path) = 0;
+                       const cfsm::ReactionInputs& inputs, cfsm::PathId path,
+                       const cfsm::CfsmState& pre_state) = 0;
   /// Separate-estimation baseline: reset / step the unit's own simulator on
   /// a captured trace (always gate-level, as the Section 2 flow replays the
   /// netlist directly).

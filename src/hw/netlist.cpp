@@ -32,22 +32,6 @@ int gate_arity(GateType t) {
   }
 }
 
-bool eval_gate(GateType t, bool a, bool b, bool c) {
-  switch (t) {
-    case GateType::kInv: return !a;
-    case GateType::kBuf: return a;
-    case GateType::kAnd2: return a && b;
-    case GateType::kOr2: return a || b;
-    case GateType::kNand2: return !(a && b);
-    case GateType::kNor2: return !(a || b);
-    case GateType::kXor2: return a != b;
-    case GateType::kXnor2: return a == b;
-    case GateType::kMux2: return c ? b : a;
-    case GateType::kGateTypeCount: break;
-  }
-  return false;
-}
-
 TechParams TechParams::generic_250nm() {
   TechParams t;
   auto set = [&t](GateType g, double ff) {
@@ -140,6 +124,15 @@ void Netlist::connect_dff_d(NetId q, NetId d) {
 std::size_t Netlist::fanout(NetId n) const {
   assert(n >= 0 && static_cast<std::size_t>(n) < n_nets_);
   return fanout_[static_cast<std::size_t>(n)];
+}
+
+int Netlist::dff_index_of(NetId q) const {
+  if (q < 0 || static_cast<std::size_t>(q) >= n_nets_ ||
+      driver_gate_[static_cast<std::size_t>(q)] != -2)
+    return -1;
+  for (std::size_t fi = 0; fi < dffs_.size(); ++fi)
+    if (dffs_[fi].q == q) return static_cast<int>(fi);
+  return -1;
 }
 
 std::vector<std::size_t> Netlist::levelize(std::string* error) const {

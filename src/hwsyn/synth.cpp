@@ -300,14 +300,30 @@ void stage_hw_reaction(hw::GateSim& sim, const HwImage& img,
   }
 }
 
+void stage_hw_reaction_lane(hw::GateSim& sim, const HwImage& img,
+                            const cfsm::ReactionInputs& inputs,
+                            unsigned lane) {
+  // Packed counterpart of stage_hw_reaction: same PI layout, one lane of the
+  // packed staging buffers. begin_packed_stage() must already have run.
+  for (std::size_t i = 0; i < img.n_inputs; ++i) {
+    const cfsm::EventId e = img.local_inputs[i];
+    const bool present = inputs.present(e);
+    sim.stage_packed_input(i, lane, present);
+    sim.stage_packed_input_word(
+        img.n_inputs + i * img.width,
+        present ? static_cast<std::uint32_t>(inputs.value(e)) : 0u, img.width,
+        lane);
+  }
+}
+
 std::vector<cfsm::EmittedEvent> read_hw_emissions(const hw::GateSim& sim,
                                                   const HwImage& img) {
   std::vector<cfsm::EmittedEvent> out;
   const auto& outs = sim.netlist().outputs();
   for (std::size_t j = 0; j < img.n_outputs; ++j) {
     if (!sim.net_value(outs[j].first)) continue;
-    const std::uint32_t raw =
-        sim.read_word(img.n_outputs + j * img.width, img.width);
+    const auto raw = static_cast<std::uint32_t>(
+        sim.read_word(img.n_outputs + j * img.width, img.width));
     // Sign-extend when the datapath is narrower than 32 bits.
     std::int32_t v = static_cast<std::int32_t>(raw);
     if (img.width < 32) {

@@ -177,6 +177,29 @@ TEST(FacadeEquivalence, BitIdenticalToPreRefactorGoldens) {
   }
 }
 
+TEST(FacadeEquivalence, BitParallelFlushMatchesGoldens) {
+  // The bit-parallel flush must reproduce every golden bit-identically. The
+  // reaction cache is turned off so the packed path actually runs (with the
+  // cache on it defers to replayed hits); batch0 rows keep the knob off
+  // because packed evaluation only exists in the offline flush (validated).
+  for (const Golden& golden : kGoldens) {
+    SCOPED_TRACE(golden.tag);
+    const std::string tag = golden.tag;
+    const std::size_t slash = tag.find('/');
+    systems::TcpIpSystem sys(params_for(tag.substr(0, slash)));
+    bool separate = false;
+    CoEstimatorConfig cfg = config_for(tag.substr(slash + 1), &separate);
+    cfg.hw_reaction_cache = false;
+    cfg.hw_bit_parallel = cfg.hw_batch;
+    CoEstimator est(&sys.network(), cfg);
+    sys.configure(est);
+    est.prepare();
+    const RunResults r = separate ? est.run_separate(sys.stimulus())
+                                  : est.run(sys.stimulus());
+    expect_matches(r, golden.v);
+  }
+}
+
 TEST(FacadeEquivalence, SecondRunOnSameInstanceMatchesGoldens) {
   // Run-to-run reuse across all four acceleration modes: per-run state
   // (event queue, latches, energy cache, samplers, batch buffers, counters)

@@ -1,0 +1,564 @@
+// Bit-parallel gate evaluation must be invisible except for speed: every
+// lane of a packed pass is bit-identical — energies compared with EXPECT_EQ
+// on doubles, never a tolerance — to the scalar step() it replaces. These
+// tests fuzz step_packed against scalar references over randomized FSMD
+// netlists (chain seeds recorded from the scalar trajectory, mixed full and
+// partial lane groups), check probe_packed against hypothetical scalar
+// steps on simulator copies, exercise the seed-rejection fallback, the
+// force_net and reaction-cache interactions, the widened 48-bit input
+// words, compactor candidate pricing, config validation, and the
+// co-estimator flush end to end with hw_bit_parallel on vs off.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/coestimator.hpp"
+#include "core/compactor.hpp"
+#include "hw/gatesim.hpp"
+#include "hw/netlist.hpp"
+#include "hw/reaction_cache.hpp"
+#include "hwsyn/rtl.hpp"
+#include "systems/tcpip.hpp"
+#include "telemetry/telemetry.hpp"
+#include "util/rng.hpp"
+
+namespace socpower::hw {
+namespace {
+
+constexpr unsigned kWidth = 4;
+
+// -- random FSMD generator (the reaction-cache fuzz shape) -------------------
+
+struct RandomDesign {
+  Netlist nl;
+  std::vector<hwsyn::Word> regs;
+  std::size_t n_inputs = 0;
+};
+
+RandomDesign random_design(Rng& rng) {
+  RandomDesign d;
+  hwsyn::RtlBuilder rtl(&d.nl);
+  std::vector<hwsyn::Word> pool;
+  const std::size_t n_in = 2 + rng.below(2);
+  for (std::size_t i = 0; i < n_in; ++i)
+    pool.push_back(rtl.input_word("in" + std::to_string(i), kWidth));
+  const std::size_t n_reg = 2 + rng.below(3);
+  for (std::size_t i = 0; i < n_reg; ++i) {
+    d.regs.push_back(
+        rtl.reg_word(static_cast<std::uint32_t>(rng.below(16)), kWidth));
+    pool.push_back(d.regs.back());
+  }
+  const std::size_t n_ops = 6 + rng.below(10);
+  for (std::size_t i = 0; i < n_ops; ++i) {
+    const hwsyn::Word& a = pool[rng.below(pool.size())];
+    const hwsyn::Word& b = pool[rng.below(pool.size())];
+    hwsyn::Word r;
+    switch (rng.below(6)) {
+      case 0: r = rtl.add(a, b); break;
+      case 1: r = rtl.sub(a, b); break;
+      case 2: r = rtl.word_xor(a, b); break;
+      case 3: r = rtl.word_and(a, b); break;
+      case 4: r = rtl.word_or(a, b); break;
+      default: r = rtl.mux(rtl.eq(a, b), a, b); break;
+    }
+    pool.push_back(r);
+  }
+  for (const hwsyn::Word& q : d.regs) {
+    const hwsyn::Word& src = pool[pool.size() - 1 - rng.below(n_ops)];
+    rtl.connect_reg(q, rtl.word_xor(src, pool[rng.below(pool.size())]));
+  }
+  for (unsigned b = 0; b < kWidth; ++b)
+    d.nl.mark_output(pool.back()[b], "out");
+  EXPECT_EQ(d.nl.validate(), "");
+  d.n_inputs = d.nl.primary_inputs().size();
+  return d;
+}
+
+void expect_same_nets(const Netlist& nl, const GateSim& a, const GateSim& b) {
+  for (std::size_t n = 0; n < nl.net_count(); ++n)
+    ASSERT_EQ(a.net_value(static_cast<NetId>(n)),
+              b.net_value(static_cast<NetId>(n)))
+        << "net " << n << " diverged";
+}
+
+/// One recorded scalar cycle: the stimulus, the pre-edge register state (the
+/// packed chain's seed material — standing in for the behavioral pre-states
+/// the estimator records at enqueue time), and everything step() returned.
+struct RecordedCycle {
+  std::uint64_t stimulus = 0;
+  std::uint64_t pre_q = 0;  // bit d = dffs()[d] Q before the clock edge
+  CycleResult result;
+  std::uint64_t out_word = 0;
+};
+
+std::uint64_t pack_q(const GateSim& sim) {
+  const auto& dffs = sim.netlist().dffs();
+  std::uint64_t q = 0;
+  for (std::size_t d = 0; d < dffs.size(); ++d)
+    if (sim.net_value(dffs[d].q)) q |= 1ull << d;
+  return q;
+}
+
+void apply_scalar_stimulus(GateSim& sim, std::size_t n_inputs,
+                           std::uint64_t vec) {
+  for (std::size_t i = 0; i < n_inputs; ++i)
+    sim.set_input(i, (vec >> (i & 63u)) & 1u);
+}
+
+std::vector<RecordedCycle> record_scalar(GateSim& sim, std::size_t n_inputs,
+                                         const std::vector<std::uint64_t>& stim) {
+  std::vector<RecordedCycle> rec;
+  rec.reserve(stim.size());
+  for (const std::uint64_t vec : stim) {
+    RecordedCycle c;
+    c.stimulus = vec;
+    c.pre_q = pack_q(sim);
+    apply_scalar_stimulus(sim, n_inputs, vec);
+    c.result = sim.step();
+    c.out_word = sim.read_word(0, kWidth);
+    rec.push_back(c);
+  }
+  return rec;
+}
+
+/// Replays `rec` on `sim` as packed passes of the given group sizes (cycled),
+/// asserting per-lane bit identity cycle by cycle.
+void replay_packed(GateSim& sim, std::size_t n_inputs,
+                   const std::vector<RecordedCycle>& rec,
+                   const std::vector<unsigned>& group_sizes) {
+  CycleResult per_lane[GateSim::kMaxLanes];
+  const std::size_t n_dffs = sim.netlist().dffs().size();
+  std::size_t base = 0, g = 0;
+  while (base < rec.size()) {
+    const unsigned n = static_cast<unsigned>(
+        std::min<std::size_t>(group_sizes[g++ % group_sizes.size()],
+                              rec.size() - base));
+    sim.begin_packed_stage();
+    for (unsigned l = 0; l < n; ++l) {
+      const RecordedCycle& c = rec[base + l];
+      for (std::size_t i = 0; i < n_inputs; ++i)
+        sim.stage_packed_input(i, l, (c.stimulus >> (i & 63u)) & 1u);
+      for (std::size_t d = 0; d < n_dffs; ++d)
+        sim.seed_packed_dff(d, l, (c.pre_q >> d) & 1u);
+    }
+    ASSERT_TRUE(sim.step_packed(n, per_lane)) << "group at cycle " << base;
+    for (unsigned l = 0; l < n; ++l) {
+      const RecordedCycle& c = rec[base + l];
+      ASSERT_EQ(per_lane[l].energy, c.result.energy) << "cycle " << base + l;
+      ASSERT_EQ(per_lane[l].toggles, c.result.toggles) << "cycle " << base + l;
+      ASSERT_EQ(sim.read_word_lane(0, kWidth, l), c.out_word)
+          << "cycle " << base + l;
+    }
+    base += n;
+  }
+}
+
+// -- multi-seed differential fuzz --------------------------------------------
+
+class GatesimPackedFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(GatesimPackedFuzz, ChainMatchesScalarBitwise) {
+  Rng rng(GetParam());
+  RandomDesign d = random_design(rng);
+  GateSim ref(&d.nl);
+  GateSim sim(&d.nl);
+
+  std::vector<std::uint64_t> stim;
+  for (int i = 0; i < 384; ++i) stim.push_back(rng.next());
+  const std::vector<RecordedCycle> rec = record_scalar(ref, d.n_inputs, stim);
+
+  // Mixed group sizes: full words, odd partials, and single-lane passes all
+  // share the one packed path.
+  replay_packed(sim, d.n_inputs, rec, {64, 7, 1, 13});
+
+  expect_same_nets(d.nl, ref, sim);
+  EXPECT_EQ(ref.cycles_simulated(), sim.cycles_simulated());
+  EXPECT_EQ(ref.total_energy(), sim.total_energy());  // bitwise
+  EXPECT_EQ(sim.packed_seed_rejects(), 0u);
+  EXPECT_GT(sim.packed_steps(), 0u);
+  EXPECT_EQ(sim.packed_lane_steps(), rec.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GatesimPackedFuzz,
+                         ::testing::Values(11u, 12u, 13u, 14u, 15u));
+
+// -- probe mode --------------------------------------------------------------
+
+TEST(GatesimPacked, ProbeMatchesHypotheticalSteps) {
+  Rng rng(42);
+  RandomDesign d = random_design(rng);
+  GateSim sim(&d.nl);
+  // Reach a non-trivial state (with pending latch marks) before probing.
+  for (int i = 0; i < 20; ++i) {
+    apply_scalar_stimulus(sim, d.n_inputs, rng.next());
+    (void)sim.step();
+  }
+
+  std::vector<std::uint64_t> candidates;
+  for (int i = 0; i < 10; ++i) candidates.push_back(rng.next());
+
+  // Expected results: one simulator COPY per candidate, stepped scalar.
+  std::vector<CycleResult> want;
+  std::vector<std::uint64_t> want_out;
+  for (const std::uint64_t vec : candidates) {
+    GateSim copy = sim;
+    apply_scalar_stimulus(copy, d.n_inputs, vec);
+    want.push_back(copy.step());
+    want_out.push_back(copy.read_word(0, kWidth));
+  }
+
+  std::vector<bool> before_nets;
+  for (std::size_t n = 0; n < d.nl.net_count(); ++n)
+    before_nets.push_back(sim.net_value(static_cast<NetId>(n)));
+  const std::vector<std::uint8_t> before_staged = sim.staged_inputs();
+  const Joules before_energy = sim.total_energy();
+  const std::uint64_t before_cycles = sim.cycles_simulated();
+
+  CycleResult per_lane[GateSim::kMaxLanes];
+  sim.begin_packed_stage();
+  for (unsigned l = 0; l < candidates.size(); ++l)
+    for (std::size_t i = 0; i < d.n_inputs; ++i)
+      sim.stage_packed_input(i, l, (candidates[l] >> (i & 63u)) & 1u);
+  sim.probe_packed(static_cast<unsigned>(candidates.size()), per_lane);
+
+  for (std::size_t l = 0; l < candidates.size(); ++l) {
+    EXPECT_EQ(per_lane[l].energy, want[l].energy) << "lane " << l;  // bitwise
+    EXPECT_EQ(per_lane[l].toggles, want[l].toggles) << "lane " << l;
+    EXPECT_EQ(sim.read_word_lane(0, kWidth, static_cast<unsigned>(l)),
+              want_out[l])
+        << "lane " << l;
+  }
+
+  // Purely speculative: nothing observable moved...
+  for (std::size_t n = 0; n < d.nl.net_count(); ++n)
+    ASSERT_EQ(sim.net_value(static_cast<NetId>(n)), before_nets[n]);
+  EXPECT_EQ(sim.staged_inputs(), before_staged);
+  EXPECT_EQ(sim.total_energy(), before_energy);
+  EXPECT_EQ(sim.cycles_simulated(), before_cycles);
+  // ...including the pending dirty marks: a real step after the probe must
+  // equal the same step on a never-probed copy.
+  GateSim twin = sim;
+  apply_scalar_stimulus(sim, d.n_inputs, candidates[0]);
+  apply_scalar_stimulus(twin, d.n_inputs, candidates[0]);
+  const CycleResult after_probe = sim.step();
+  const CycleResult after_twin = twin.step();
+  EXPECT_EQ(after_probe.energy, after_twin.energy);
+  EXPECT_EQ(after_probe.toggles, after_twin.toggles);
+  expect_same_nets(d.nl, sim, twin);
+}
+
+// -- chain seed verification -------------------------------------------------
+
+/// 4-bit counter with an enable input: tiny, stateful, deterministic.
+struct Counter {
+  Netlist nl;
+  hwsyn::Word q;
+  std::size_t n_inputs = 0;
+
+  Counter() {
+    hwsyn::RtlBuilder rtl(&nl);
+    const NetId en = nl.add_primary_input("en");
+    q = rtl.reg_word(0, kWidth);
+    const hwsyn::Word inc = rtl.add(q, rtl.constant(1, kWidth));
+    rtl.connect_reg(q, rtl.mux(en, inc, q));
+    for (unsigned b = 0; b < kWidth; ++b) nl.mark_output(q[b], "q");
+    n_inputs = nl.primary_inputs().size();
+  }
+};
+
+TEST(GatesimPacked, ChainRejectsBadSeedsWithoutStateChange) {
+  Counter c;
+  GateSim sim(&c.nl);
+  CycleResult per_lane[GateSim::kMaxLanes];
+
+  // Correct seeds: with en=1 the counter counts 0,1,2,... so lane l's Q is l.
+  auto stage = [&](unsigned lanes, std::uint64_t bad_lane) {
+    sim.begin_packed_stage();
+    for (unsigned l = 0; l < lanes; ++l) {
+      sim.stage_packed_input(0, l, true);
+      const std::uint64_t ql = (l == bad_lane) ? (l ^ 1u) : l;
+      for (std::size_t d = 0; d < c.nl.dffs().size(); ++d)
+        sim.seed_packed_dff(d, l, (ql >> d) & 1u);
+    }
+  };
+
+  stage(8, /*bad_lane=*/3);
+  EXPECT_FALSE(sim.step_packed(8, per_lane));
+  EXPECT_EQ(sim.packed_seed_rejects(), 1u);
+  EXPECT_EQ(sim.cycles_simulated(), 0u);
+  EXPECT_EQ(sim.total_energy(), 0.0);
+  for (unsigned b = 0; b < kWidth; ++b)
+    EXPECT_FALSE(sim.net_value(c.q[b]));  // still the reset state
+
+  // Degenerate lane counts reject too, before touching anything.
+  EXPECT_FALSE(sim.step_packed(0, per_lane));
+  EXPECT_FALSE(sim.step_packed(65, per_lane));
+  EXPECT_FALSE(sim.step_packed(8, nullptr));
+
+  // The same staging with consistent seeds succeeds and matches scalar.
+  GateSim ref(&c.nl);
+  std::vector<CycleResult> want;
+  for (int i = 0; i < 8; ++i) {
+    ref.set_input(0, true);
+    want.push_back(ref.step());
+  }
+  stage(8, /*bad_lane=*/~0ull);
+  ASSERT_TRUE(sim.step_packed(8, per_lane));
+  for (int l = 0; l < 8; ++l) {
+    EXPECT_EQ(per_lane[l].energy, want[l].energy);
+    EXPECT_EQ(per_lane[l].toggles, want[l].toggles);
+  }
+  expect_same_nets(c.nl, ref, sim);
+  EXPECT_EQ(ref.total_energy(), sim.total_energy());
+}
+
+// -- forced-state and reaction-cache interplay -------------------------------
+
+TEST(GatesimPacked, ForceNetThenPackedMatchesScalar) {
+  Rng rng(7);
+  RandomDesign d = random_design(rng);
+  GateSim ref(&d.nl);
+  GateSim sim(&d.nl);
+
+  // Shared scalar prefix, then identical forced register writes on both:
+  // the packed pass must consume the pending force marks exactly as the
+  // scalar steps do (lane 0 billing starts from the same dirty state).
+  for (int i = 0; i < 5; ++i) {
+    const std::uint64_t vec = rng.next();
+    apply_scalar_stimulus(ref, d.n_inputs, vec);
+    apply_scalar_stimulus(sim, d.n_inputs, vec);
+    const CycleResult re = ref.step();
+    const CycleResult se = sim.step();
+    ASSERT_EQ(re.energy, se.energy);
+  }
+  const hwsyn::Word& q = d.regs[0];
+  const bool flip = !ref.net_value(q[1]);
+  ref.force_net(q[1], flip);
+  sim.force_net(q[1], flip);
+
+  std::vector<std::uint64_t> stim;
+  for (int i = 0; i < 96; ++i) stim.push_back(rng.next());
+  const std::vector<RecordedCycle> rec = record_scalar(ref, d.n_inputs, stim);
+  replay_packed(sim, d.n_inputs, rec, {16});
+  expect_same_nets(d.nl, ref, sim);
+  EXPECT_EQ(ref.total_energy(), sim.total_energy());
+}
+
+TEST(GatesimPacked, ReactionCacheDeAnchorsAfterPackedJump) {
+  Counter c;
+  GateSim ref(&c.nl);
+  GateSim sim(&c.nl);
+  ReactionCache cache(&sim, {});
+
+  auto step_both = [&] {
+    ref.set_input(0, true);
+    sim.set_input(0, true);
+    const CycleResult re = ref.step();
+    const CycleResult ce = cache.step();
+    ASSERT_EQ(re.energy, ce.energy);
+    ASSERT_EQ(re.toggles, ce.toggles);
+  };
+
+  // Warm the cache past one counter wrap, so stale replays WOULD be
+  // available if the packed jump failed to de-anchor it.
+  for (int i = 0; i < 20; ++i) step_both();
+  EXPECT_GT(cache.stats().hits, 0u);
+
+  // 8-cycle packed jump on the cached simulator; plain scalar on the ref.
+  const std::uint64_t q0 = pack_q(sim);
+  CycleResult per_lane[GateSim::kMaxLanes];
+  sim.begin_packed_stage();
+  for (unsigned l = 0; l < 8; ++l) {
+    sim.stage_packed_input(0, l, true);
+    const std::uint64_t ql = (q0 + l) & 0xF;
+    for (std::size_t d = 0; d < c.nl.dffs().size(); ++d)
+      sim.seed_packed_dff(d, l, (ql >> d) & 1u);
+  }
+  ASSERT_TRUE(sim.step_packed(8, per_lane));
+  for (int i = 0; i < 8; ++i) {
+    ref.set_input(0, true);
+    const CycleResult re = ref.step();
+    EXPECT_EQ(re.energy, per_lane[i].energy);
+  }
+  expect_same_nets(c.nl, ref, sim);
+
+  // Cached stepping resumes bit-identically: the forced-state flag made the
+  // cache re-anchor instead of replaying entries captured pre-jump.
+  for (int i = 0; i < 20; ++i) step_both();
+  expect_same_nets(c.nl, ref, sim);
+  EXPECT_EQ(ref.total_energy(), sim.total_energy());
+}
+
+// -- widened input/output words ----------------------------------------------
+
+TEST(GatesimPacked, WideInputWord48RoundTrips) {
+  // 48-bit pass-through port: wider than the old uint32_t staging could
+  // express without truncation.
+  Netlist nl;
+  std::vector<NetId> pis;
+  for (int i = 0; i < 48; ++i)
+    pis.push_back(nl.add_primary_input("in" + std::to_string(i)));
+  for (int i = 0; i < 48; ++i)
+    nl.mark_output(nl.add_gate(GateType::kBuf, pis[i]), "out");
+  ASSERT_EQ(nl.validate(), "");
+
+  GateSim sim(&nl);
+  const std::uint64_t value = 0x123456789ABCull;
+  sim.set_input_word(0, value, 48);
+  (void)sim.step();
+  EXPECT_EQ(sim.read_word(0, 48), value);
+
+  // Packed lanes carry the full width too; unstaged lanes default to the
+  // persisted scalar staging.
+  const std::uint64_t other = 0xFEDCBA987654ull & ((1ull << 48) - 1);
+  sim.begin_packed_stage();
+  sim.stage_packed_input_word(0, other, 48, /*lane=*/5);
+  sim.evaluate_packed(6);
+  EXPECT_EQ(sim.read_word_lane(0, 48, 5), other);
+  EXPECT_EQ(sim.read_word_lane(0, 48, 0), value);
+}
+
+// -- compactor candidate pricing ---------------------------------------------
+
+TEST(GatesimPacked, CompactorPricesCandidatesBitIdentical) {
+  Rng rng(101);
+  RandomDesign d = random_design(rng);
+  GateSim sim(&d.nl);
+  for (int i = 0; i < 10; ++i) {
+    apply_scalar_stimulus(sim, d.n_inputs, rng.next());
+    (void)sim.step();
+  }
+
+  // 70 candidates forces a second (partial) packed pass.
+  std::vector<std::vector<std::uint8_t>> patterns;
+  for (int p = 0; p < 70; ++p) {
+    std::vector<std::uint8_t> bits(d.n_inputs);
+    for (auto& b : bits) b = rng.chance(0.5) ? 1 : 0;
+    patterns.push_back(std::move(bits));
+  }
+
+  const Joules before_energy = sim.total_energy();
+  const std::uint64_t before_cycles = sim.cycles_simulated();
+  core::DynamicCompactionStream stream{core::CompactionParams{}};
+  const std::vector<Joules> prices = stream.price_candidates(sim, patterns);
+  ASSERT_EQ(prices.size(), patterns.size());
+  EXPECT_EQ(stream.priced(), patterns.size());
+  EXPECT_EQ(sim.total_energy(), before_energy);  // speculative only
+  EXPECT_EQ(sim.cycles_simulated(), before_cycles);
+
+  for (std::size_t p = 0; p < patterns.size(); ++p) {
+    GateSim copy = sim;
+    for (std::size_t i = 0; i < d.n_inputs; ++i)
+      copy.set_input(i, patterns[p][i] != 0);
+    EXPECT_EQ(copy.step().energy, prices[p]) << "pattern " << p;  // bitwise
+  }
+}
+
+}  // namespace
+}  // namespace socpower::hw
+
+// -- config validation and end-to-end flush ----------------------------------
+
+namespace socpower::core {
+namespace {
+
+bool errors_mention(const std::vector<std::string>& errs,
+                    const std::string& needle) {
+  for (const std::string& e : errs)
+    if (e.find(needle) != std::string::npos) return true;
+  return false;
+}
+
+TEST(GatesimPacked, ConfigValidatesPackedKnobs) {
+  CoEstimatorConfig cfg;
+  cfg.hw_bit_parallel = true;
+  EXPECT_FALSE(errors_mention(cfg.validate(), "hw_bit_parallel"));
+
+  cfg.hw_batch = false;
+  EXPECT_TRUE(errors_mention(cfg.validate(), "hw_bit_parallel"));
+  cfg.hw_batch = true;
+
+  cfg.hw_packed_lanes = 0;
+  EXPECT_TRUE(errors_mention(cfg.validate(), "hw_packed_lanes"));
+  cfg.hw_packed_lanes = 65;
+  EXPECT_TRUE(errors_mention(cfg.validate(), "hw_packed_lanes"));
+  cfg.hw_packed_lanes = 64;
+  EXPECT_FALSE(errors_mention(cfg.validate(), "hw_packed_lanes"));
+}
+
+RunResults run_tcpip_packed(bool bit_parallel, unsigned lanes,
+                            unsigned threads, bool rcache) {
+  systems::TcpIpParams p;
+  p.num_packets = 3;
+  p.packet_bytes = 64;
+  p.ip_check_in_hw = true;  // two gate-level ASICs
+  systems::TcpIpSystem sys(p);
+  CoEstimatorConfig cfg;
+  cfg.hw_bit_parallel = bit_parallel;
+  cfg.hw_packed_lanes = lanes;
+  cfg.hw_flush_threads = threads;
+  cfg.hw_reaction_cache = rcache;
+  CoEstimator est(&sys.network(), cfg);
+  sys.configure(est);
+  est.prepare();
+  return est.run(sys.stimulus());
+}
+
+void expect_identical_runs(const RunResults& off, const RunResults& on) {
+  EXPECT_EQ(off.total_energy, on.total_energy);  // bitwise throughout
+  EXPECT_EQ(off.cpu_energy, on.cpu_energy);
+  EXPECT_EQ(off.hw_energy, on.hw_energy);
+  EXPECT_EQ(off.bus_energy, on.bus_energy);
+  EXPECT_EQ(off.cache_energy, on.cache_energy);
+  EXPECT_EQ(off.end_time, on.end_time);
+  EXPECT_EQ(off.reactions, on.reactions);
+  EXPECT_EQ(off.hw_reactions, on.hw_reactions);
+  EXPECT_EQ(off.gate_sim_cycles, on.gate_sim_cycles);
+  ASSERT_EQ(off.process_energy.size(), on.process_energy.size());
+  for (std::size_t i = 0; i < off.process_energy.size(); ++i)
+    EXPECT_EQ(off.process_energy[i], on.process_energy[i]);
+}
+
+TEST(GatesimPackedEndToEnd, FlushBitIdenticalOnVsOff) {
+  const RunResults off = run_tcpip_packed(false, 64, 1, false);
+  expect_identical_runs(off, run_tcpip_packed(true, 64, 1, false));
+  // Narrower groups take the same path with more passes.
+  expect_identical_runs(off, run_tcpip_packed(true, 8, 1, false));
+}
+
+TEST(GatesimPackedEndToEnd, ParallelFlushStaysIdentical) {
+  // Packed passes inside pool workers: same energies as serial scalar.
+  const RunResults off = run_tcpip_packed(false, 64, 1, false);
+  expect_identical_runs(off, run_tcpip_packed(true, 64, 4, false));
+}
+
+TEST(GatesimPackedEndToEnd, ReactionCacheKeepsPriority) {
+  // With the reaction cache on (the default), the knob must be inert: the
+  // cache's replayed hits keep the scalar path, and results cannot move.
+  const RunResults off = run_tcpip_packed(false, 64, 1, true);
+  expect_identical_runs(off, run_tcpip_packed(true, 64, 1, true));
+}
+
+TEST(GatesimPackedEndToEnd, PackedTelemetryCountsEngagement) {
+  telemetry::set_enabled(true, false);
+  telemetry::reset();
+  (void)run_tcpip_packed(true, 64, 1, false);
+  const telemetry::Snapshot snap = telemetry::snapshot();
+  std::uint64_t steps = 0, lanes = 0, passes = 0;
+  for (const auto& c : snap.counters) {
+    if (c.name.find(".packed.steps") != std::string::npos) steps += c.value;
+    if (c.name.find(".packed.lanes") != std::string::npos) lanes += c.value;
+    if (c.name == "gatesim.packed_passes") passes += c.value;
+  }
+  telemetry::set_enabled(false, false);
+  telemetry::reset();
+  EXPECT_GT(steps, 0u);       // packed flush groups actually formed
+  EXPECT_GT(lanes, steps);    // ...and averaged more than one lane each
+  EXPECT_GE(passes, steps);   // every group ran at least one gatesim pass
+}
+
+}  // namespace
+}  // namespace socpower::core
