@@ -83,5 +83,12 @@ int main() {
   const bool shape_ok = exact && monotone && min_sp > 2.0 &&
                         max_sp >= min_sp;  // largest speedup at small DMA
   std::printf("\nSHAPE CHECK: %s\n", shape_ok ? "PASS" : "FAIL");
+
+  bench::BenchJson json("table1_caching");
+  json.metric("speedup_min", min_sp)
+      .metric("speedup_max", max_sp)
+      .metric("zero_energy_error", exact ? 1.0 : 0.0)
+      .metric("iss_profile_monotone", monotone ? 1.0 : 0.0);
+  json.write();
   return shape_ok ? 0 : 1;
 }

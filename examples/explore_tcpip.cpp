@@ -12,6 +12,11 @@
 // knob exists to measure the speedup end to end.
 // SOCPOWER_HW_REACTION_CACHE=0 likewise disables the gate-level reaction
 // cache (also bit-identical).
+// Set SOCPOWER_DIST_WORKERS=N (>= 2) to run the two-phase exploration
+// sharded over N forked worker processes instead of pool threads, and
+// SOCPOWER_HW_REMOTE=1 to put every hardware estimator behind an
+// out-of-process worker — both bit-identical, both degrade gracefully
+// where fork is unavailable.
 // Set SOCPOWER_TRACE=out.json to collect telemetry and write a Chrome
 // trace-event file (open in chrome://tracing or https://ui.perfetto.dev);
 // SOCPOWER_TELEMETRY=1 enables the counters alone.
@@ -46,10 +51,14 @@ int main(int argc, char** argv) {
 
   const bool block_cache = util::env_bool("SOCPOWER_BLOCK_CACHE", true);
   const bool hw_rcache = util::env_bool("SOCPOWER_HW_REACTION_CACHE", true);
+  const bool hw_remote = util::env_bool("SOCPOWER_HW_REMOTE", false);
+  const unsigned dist_workers = clamp_threads(
+      util::env_int("SOCPOWER_DIST_WORKERS", 1));
 
   std::printf("exploring the TCP/IP subsystem integration architecture\n");
-  std::printf("workload: %d packets x %d bytes, %u worker thread(s)\n\n",
-              packets, bytes, threads);
+  std::printf("workload: %d packets x %d bytes, %u worker thread(s)%s\n\n",
+              packets, bytes, threads,
+              hw_remote ? ", remote HW estimators" : "");
 
   struct Point {
     unsigned dma;
@@ -91,6 +100,7 @@ int main(int argc, char** argv) {
     cfg.accel = core::Acceleration::kCaching;  // exploration-speed mode
     cfg.iss.block_cache = block_cache;
     cfg.hw_reaction_cache = hw_rcache;
+    cfg.hw_remote = hw_remote;
     core::CoEstimator est(&sys.network(), cfg);
     sys.configure(est);
     est.prepare();
@@ -160,6 +170,7 @@ int main(int argc, char** argv) {
         cfg.accel = accel;
         cfg.iss.block_cache = block_cache;
         cfg.hw_reaction_cache = hw_rcache;
+        cfg.hw_remote = hw_remote;
         core::CoEstimator est(&sys.network(), cfg);
         sys.configure(est);
         est.prepare();
@@ -170,8 +181,12 @@ int main(int argc, char** argv) {
                           make_run(core::Acceleration::kMacroModel),
                           make_run(core::Acceleration::kNone)});
   }
+  // Sharded over forked worker processes when asked; identical outcome.
   const auto outcome =
-      core::explore(dma_points, /*verify_top=*/2, {.threads = threads});
+      dist_workers >= 2
+          ? core::explore_sharded(dma_points, /*verify_top=*/2,
+                                  {.workers = dist_workers})
+          : core::explore(dma_points, /*verify_top=*/2, {.threads = threads});
   std::printf("%s", outcome.render().c_str());
 
   if (telemetry::enabled()) {

@@ -10,6 +10,9 @@
 // Usage: trace_cosim [out.json] [num_packets]
 //   out.json     trace output path (default trace_cosim.json)
 //   num_packets  workload size (default 6)
+// Set SOCPOWER_HW_REMOTE=1 to run the hardware estimators in a forked
+// worker process: the trace gains dist.remote_flush_unit spans and the
+// counter dump reports the RPC/byte traffic the wire protocol carried.
 // Open the result in chrome://tracing or https://ui.perfetto.dev.
 #include <cstdio>
 #include <cstdlib>
@@ -41,6 +44,7 @@ int main(int argc, char** argv) {
   core::CoEstimatorConfig cfg;
   cfg.accel = core::Acceleration::kCaching;
   cfg.hw_reaction_cache = util::env_bool("SOCPOWER_HW_REACTION_CACHE", true);
+  cfg.hw_remote = util::env_bool("SOCPOWER_HW_REMOTE", false);
   core::CoEstimator est(&sys.network(), cfg);
   sys.configure(est);
   est.prepare();
@@ -76,6 +80,25 @@ int main(int argc, char** argv) {
                     static_cast<double>(rhits + rmisses),
                 static_cast<unsigned long long>(
                     snap.counter_or(prefix + "skipped_gate_evals")));
+  }
+
+  if (cfg.hw_remote) {
+    for (const char* backend : {"hw.gate.remote", "hw.rtl.remote"}) {
+      const std::string prefix = std::string("estimator.") + backend + ".dist.";
+      const std::uint64_t rpcs = snap.counter_or(prefix + "rpcs");
+      if (rpcs == 0) continue;
+      std::printf("%s: %llu RPCs, %llu bytes out, %llu bytes in, "
+                  "%llu respawn(s), %llu fallback(s)\n",
+                  backend, static_cast<unsigned long long>(rpcs),
+                  static_cast<unsigned long long>(
+                      snap.counter_or(prefix + "bytes_tx")),
+                  static_cast<unsigned long long>(
+                      snap.counter_or(prefix + "bytes_rx")),
+                  static_cast<unsigned long long>(
+                      snap.counter_or(prefix + "respawns")),
+                  static_cast<unsigned long long>(
+                      snap.counter_or(prefix + "fallbacks")));
+    }
   }
 
   if (!telemetry::write_chrome_trace(out_path)) return 1;

@@ -8,11 +8,16 @@
 #
 # SOCPOWER_ISS_RUNS sets the invocations per kernel for the ISS throughput
 # benchmark (bench_iss_throughput); results are bit-identical for any value.
+#
+# SOCPOWER_DIST_WORKERS sets the forked-worker count for the distributed
+# paths (sharded exploration, bench_sharded_explore); also bit-identical.
 set -e
 cd "$(dirname "$0")/.."
 
 SOCPOWER_THREADS="${SOCPOWER_THREADS:-$(nproc 2>/dev/null || echo 1)}"
 export SOCPOWER_THREADS
+SOCPOWER_DIST_WORKERS="${SOCPOWER_DIST_WORKERS:-$SOCPOWER_THREADS}"
+export SOCPOWER_DIST_WORKERS
 
 cmake -B build -G Ninja
 cmake --build build
@@ -34,6 +39,11 @@ done
 
 ./build/examples/explore_tcpip 2 64 "$SOCPOWER_THREADS" 2>&1 \
   | tee explore_output.txt
+
+# Same exploration with remote HW estimators + process-sharded two-phase
+# sweep: results must match the in-process run above bit for bit.
+SOCPOWER_HW_REMOTE=1 ./build/examples/explore_tcpip 2 64 \
+  "$SOCPOWER_THREADS" 2>&1 | tee explore_remote_output.txt
 
 echo
 echo "shape checks:"

@@ -130,6 +130,17 @@ std::vector<std::string> CoEstimatorConfig::validate() const {
         "one uint64_t word per net",
         hw_packed_lanes);
 
+  if (dist_rpc_timeout_ms == 0)
+    err("dist_rpc_timeout_ms must be > 0 — a zero timeout declares every "
+        "remote worker dead before it can answer");
+  if (dist_flush_chunk == 0)
+    err("dist_flush_chunk must be > 0 — a zero slice can never ship a "
+        "batch entry");
+  if (dist_workers > 256)
+    err("dist_workers must be <= 256 (got %u) — each worker is a forked "
+        "process",
+        dist_workers);
+
   if (max_reactions == 0)
     err("max_reactions must be > 0 — a zero guard truncates every run at "
         "the first transition");
@@ -144,6 +155,18 @@ std::vector<std::string> CoEstimatorConfig::validate() const {
     if (!reg.contains(*name))
       err("estimators.%s backend \"%s\" is not registered (known: %s)", role,
           name->c_str(), reg.joined_names().c_str());
+  }
+  if (hw_remote) {
+    for (const auto& [role, name] :
+         {std::pair<const char*, const std::string*>{"hw_gate",
+                                                     &estimators.hw_gate},
+          {"hw_rtl", &estimators.hw_rtl}}) {
+      const std::string remote = *name + ".remote";
+      if (!reg.contains(remote))
+        err("hw_remote selects estimators.%s backend \"%s\", which is not "
+            "registered (known: %s)",
+            role, remote.c_str(), reg.joined_names().c_str());
+    }
   }
   return errs;
 }
@@ -166,6 +189,7 @@ const char* structural_mismatch(const CoEstimatorConfig& a,
   if (a.rtos.dispatch_cycles != b.rtos.dispatch_cycles ||
       a.rtos.dispatch_current_ma != b.rtos.dispatch_current_ma)
     return "rtos";
+  if (a.hw_remote != b.hw_remote) return "hw_remote";
   if (a.estimators.sw != b.estimators.sw ||
       a.estimators.hw_gate != b.estimators.hw_gate ||
       a.estimators.hw_rtl != b.estimators.hw_rtl ||

@@ -141,6 +141,27 @@ struct CoEstimatorConfig {
   /// Stimulus patterns per packed pass, 1..64. Fewer lanes only make sense
   /// for experiments on packed-evaluation overhead.
   unsigned hw_packed_lanes = 64;
+  /// Host the hardware power estimators out-of-process: the master selects
+  /// the "<hw backend>.remote" proxy, which forks a worker process per
+  /// backend and ships batched vectors over the dist wire protocol while
+  /// the DE loop keeps running (the paper's multi-process backplane, for
+  /// real this time). Results are bit-identical to the in-process backends;
+  /// on fork failure or worker death the proxy degrades to an in-process
+  /// fallback (telemetry "dist.fallbacks"). No-op for platforms without
+  /// fork/socketpair.
+  bool hw_remote = false;  // [structural]
+  /// Worker processes for explore_sharded(). 1 = serial explore, 0 = one
+  /// per hardware thread.
+  unsigned dist_workers = 0;
+  /// Per-request timeout (ms) before a remote estimator worker is declared
+  /// dead and recovery (standby promotion, then in-process fallback) kicks
+  /// in. Generous by default: a false positive costs a full log replay.
+  unsigned dist_rpc_timeout_ms = 60'000;
+  /// Batch entries shipped per kEnqueueChunk slice to a remote hardware
+  /// worker. Smaller = more overlap between the master's DE loop and the
+  /// worker's gate evaluation, at more framing overhead. Slicing never
+  /// changes results (slices drain into the same per-unit sequence).
+  unsigned dist_flush_chunk = 256;
 
   /// Which registered backend serves each estimator role.
   EstimatorSelection estimators;  // [structural]

@@ -124,17 +124,20 @@ void CoSimMaster::prepare() {
   if (!sw_ids.empty())
     add_backend(create_role_backend(config_.estimators.sw, "sw", &sw_),
                 sw_ids);
+  // hw_remote swaps in the out-of-process proxies by name suffix, so any
+  // registered hardware backend gains a remote deployment for free.
+  const std::string hw_suffix = config_.hw_remote ? ".remote" : "";
   if (!gate_ids.empty()) {
-    add_backend(
-        create_role_backend(config_.estimators.hw_gate, "hw_gate", &hw_gate_),
-        gate_ids);
+    add_backend(create_role_backend(config_.estimators.hw_gate + hw_suffix,
+                                    "hw_gate", &hw_gate_),
+                gate_ids);
     for (const cfsm::CfsmId t : gate_ids)
       hw_backend_for_[static_cast<std::size_t>(t)] = hw_gate_;
   }
   if (!rtl_ids.empty()) {
-    add_backend(
-        create_role_backend(config_.estimators.hw_rtl, "hw_rtl", &hw_rtl_),
-        rtl_ids);
+    add_backend(create_role_backend(config_.estimators.hw_rtl + hw_suffix,
+                                    "hw_rtl", &hw_rtl_),
+                rtl_ids);
     for (const cfsm::CfsmId t : rtl_ids)
       hw_backend_for_[static_cast<std::size_t>(t)] = hw_rtl_;
   }

@@ -105,9 +105,28 @@ ComponentEstimator::FlushResult HwEstimatorBase::run_flush(Unit& u,
   SOCPOWER_TRACE_SPAN("coest.hw_flush_unit", 0,
                       static_cast<std::uint64_t>(task));
   batch_size.observe(static_cast<double>(u.batch.size()));
+  out = drain_into(u, task, /*first=*/true);
+  if (telem)
+    flush_ms.observe(std::chrono::duration<double, std::milli>(
+                         std::chrono::steady_clock::now() - flush0)
+                         .count());
+  return out;
+}
+
+ComponentEstimator::FlushResult HwEstimatorBase::drain_batch(cfsm::CfsmId task,
+                                                             bool first) {
+  return drain_into(unit(task), task, first);
+}
+
+ComponentEstimator::FlushResult HwEstimatorBase::drain_into(Unit& u,
+                                                            cfsm::CfsmId task,
+                                                            bool first) {
+  FlushResult out;
   out.entries.reserve(u.batch.size());
-  sync_overhead(config_->sync_spin);  // one batch hand-off per component
-  u.sim->reset();
+  if (first) {
+    sync_overhead(config_->sync_spin);  // one batch hand-off per component
+    u.sim->reset();
+  }
   // Bit-parallel replay prices up to hw_packed_lanes consecutive non-reset
   // vectors per gate-simulator pass. The reaction cache keeps the scalar
   // path (its replayed hits beat packed evaluation, and a packed pass
@@ -154,10 +173,6 @@ ComponentEstimator::FlushResult HwEstimatorBase::run_flush(Unit& u,
     i = j;
   }
   u.batch.clear();
-  if (telem)
-    flush_ms.observe(std::chrono::duration<double, std::milli>(
-                         std::chrono::steady_clock::now() - flush0)
-                         .count());
   return out;
 }
 

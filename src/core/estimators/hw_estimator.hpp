@@ -54,6 +54,18 @@ class HwEstimatorBase : public HwBackend {
   /// "estimator.<name>.rcache.*").
   [[nodiscard]] hw::ReactionCacheStats reaction_cache_stats() const;
 
+  /// Incrementally price and clear `task`'s currently buffered batch slice.
+  /// `first` marks the first slice of a run's batch: it pays the one batch
+  /// hand-off sync and resets the gate simulator, exactly like the top of a
+  /// whole-batch flush; later slices continue from the registers the
+  /// previous slice left behind. Concatenating the slices' entries (and
+  /// summing their gate_cycles) is bit-identical to flushing the whole
+  /// batch at once — packed-group boundaries can differ across slicings,
+  /// but per-lane energies equal the scalar replay's either way. Used by
+  /// the dist::Worker to evaluate shipped chunks eagerly, overlapping with
+  /// the master's DE loop; serialize calls per unit like flush jobs.
+  [[nodiscard]] FlushResult drain_batch(cfsm::CfsmId task, bool first);
+
  protected:
   struct BatchEntry {
     sim::SimTime time = 0;
@@ -124,6 +136,7 @@ class HwEstimatorBase : public HwBackend {
 
  private:
   [[nodiscard]] FlushResult run_flush(Unit& u, cfsm::CfsmId task);
+  [[nodiscard]] FlushResult drain_into(Unit& u, cfsm::CfsmId task, bool first);
   [[nodiscard]] hw::ReactionCacheConfig reaction_cache_config() const;
   void build_packed_dff_table(Unit& u) const;
 

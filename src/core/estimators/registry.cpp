@@ -5,6 +5,7 @@
 #include "core/estimators/hw_gate_estimator.hpp"
 #include "core/estimators/hw_rtl_estimator.hpp"
 #include "core/estimators/sw_iss_estimator.hpp"
+#include "dist/remote_hw_estimator.hpp"
 
 namespace socpower::core {
 
@@ -62,6 +63,14 @@ EstimatorRegistry& estimator_registry() {
                         [] { return std::make_unique<CacheEstimator>(); });
     r->register_backend("bus.arbiter",
                         [] { return std::make_unique<BusEstimator>(); });
+    // Out-of-process deployments of the hardware backends (config knob
+    // hw_remote selects them via the ".remote" suffix).
+    r->register_backend("hw.gate.remote", [] {
+      return std::make_unique<dist::RemoteHwEstimator>("hw.gate");
+    });
+    r->register_backend("hw.rtl.remote", [] {
+      return std::make_unique<dist::RemoteHwEstimator>("hw.rtl");
+    });
     return r;
   }();
   return *reg;

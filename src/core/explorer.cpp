@@ -32,30 +32,27 @@ void for_each_index(std::size_t n, unsigned threads,
 
 }  // namespace
 
-ExplorationOutcome explore(const std::vector<ExplorationPoint>& points,
-                           std::size_t verify_top) {
-  return explore(points, verify_top, ExploreOptions{});
-}
+namespace detail {
 
-ExplorationOutcome explore(const std::vector<ExplorationPoint>& points,
-                           std::size_t verify_top,
-                           const ExploreOptions& options) {
+ExplorationOutcome two_phase_outcome(
+    const std::vector<ExplorationPoint>& points, std::size_t verify_top,
+    const std::function<std::vector<PointEval>(
+        const std::vector<std::size_t>&, int)>& eval_phase) {
   assert(!points.empty());
   ExplorationOutcome out;
   out.ranked.reserve(points.size());
 
   telemetry::registry().counter("explore.points").add(points.size());
 
-  // Coarse sweep: evaluate every point (concurrently when asked), then
-  // reduce by point index.
-  std::vector<RunResults> coarse(points.size());
+  // Coarse sweep: evaluate every point, then reduce by point index.
+  std::vector<std::size_t> all(points.size());
+  std::iota(all.begin(), all.end(), std::size_t{0});
+  std::vector<PointEval> coarse;
   {
     SOCPOWER_TRACE_SPAN("explore.coarse");
-    for_each_index(points.size(), options.threads, [&](std::size_t i) {
-      SOCPOWER_TRACE_SPAN("explore.point", 0, i);
-      coarse[i] = points[i].run_coarse();
-    });
+    coarse = eval_phase(all, 0);
   }
+  assert(coarse.size() == points.size());
   for (std::size_t i = 0; i < points.size(); ++i) {
     out.coarse_seconds += coarse[i].wall_seconds;
     out.ranked.push_back(
@@ -70,27 +67,25 @@ ExplorationOutcome explore(const std::vector<ExplorationPoint>& points,
   for (std::size_t rank = 0; rank < order.size(); ++rank)
     out.ranked[order[rank]].coarse_rank = rank;
 
-  // Exact verification of the shortlist (same pattern: evaluate
-  // concurrently, reduce in shortlist order).
+  // Exact verification of the shortlist (reduced in shortlist order).
   const std::size_t k = std::min(verify_top, points.size());
   telemetry::registry().counter("explore.verified").add(k);
-  std::vector<std::optional<RunResults>> exact(k);
+  std::vector<std::size_t> shortlist(order.begin(),
+                                     order.begin() + static_cast<long>(k));
+  std::vector<PointEval> exact;
   {
     SOCPOWER_TRACE_SPAN("explore.verify");
-    for_each_index(k, options.threads, [&](std::size_t rank) {
-      const std::size_t idx = order[rank];
-      SOCPOWER_TRACE_SPAN("explore.point", 0, idx);
-      if (points[idx].run_exact) exact[rank] = points[idx].run_exact();
-    });
+    exact = eval_phase(shortlist, 1);
   }
+  assert(exact.size() == k);
   std::vector<double> coarse_v, exact_v;
   for (std::size_t rank = 0; rank < k; ++rank) {
-    if (!exact[rank]) continue;
+    if (!exact[rank].has_result) continue;
     const std::size_t idx = order[rank];
-    out.exact_seconds += exact[rank]->wall_seconds;
-    out.ranked[idx].exact_energy = exact[rank]->total_energy;
+    out.exact_seconds += exact[rank].wall_seconds;
+    out.ranked[idx].exact_energy = exact[rank].total_energy;
     coarse_v.push_back(out.ranked[idx].coarse_energy);
-    exact_v.push_back(exact[rank]->total_energy);
+    exact_v.push_back(exact[rank].total_energy);
   }
   if (coarse_v.size() >= 2)
     out.verification_correlation =
@@ -105,6 +100,35 @@ ExplorationOutcome explore(const std::vector<ExplorationPoint>& points,
             });
   out.winner_confirmed = out.ranked.front().coarse_rank == 0;
   return out;
+}
+
+}  // namespace detail
+
+ExplorationOutcome explore(const std::vector<ExplorationPoint>& points,
+                           std::size_t verify_top) {
+  return explore(points, verify_top, ExploreOptions{});
+}
+
+ExplorationOutcome explore(const std::vector<ExplorationPoint>& points,
+                           std::size_t verify_top,
+                           const ExploreOptions& options) {
+  return detail::two_phase_outcome(
+      points, verify_top,
+      [&](const std::vector<std::size_t>& idxs, int phase) {
+        std::vector<detail::PointEval> evals(idxs.size());
+        for_each_index(idxs.size(), options.threads, [&](std::size_t j) {
+          const std::size_t idx = idxs[j];
+          SOCPOWER_TRACE_SPAN("explore.point", 0, idx);
+          if (phase == 0) {
+            const RunResults r = points[idx].run_coarse();
+            evals[j] = {r.total_energy, r.wall_seconds, true};
+          } else if (points[idx].run_exact) {
+            const RunResults r = points[idx].run_exact();
+            evals[j] = {r.total_energy, r.wall_seconds, true};
+          }
+        });
+        return evals;
+      });
 }
 
 std::string ExplorationOutcome::render() const {

@@ -67,4 +67,54 @@ struct ExploreOptions {
     const std::vector<ExplorationPoint>& points, std::size_t verify_top,
     const ExploreOptions& options);
 
+struct ShardedExploreOptions {
+  /// Worker processes. Each forked worker evaluates the design points
+  /// assigned to its shard (point index modulo worker count, for both the
+  /// coarse sweep and the exact shortlist) in its own address space; the
+  /// master reduces the results in point-index order through the same
+  /// reduction as explore(), so the outcome — winner, ranking, every energy
+  /// bit — is identical to the serial path. A worker that dies or times out
+  /// is dropped and its unanswered points are evaluated in the master
+  /// (telemetry "dist.fallbacks"), which preserves results too: point
+  /// thunks are deterministic wherever they run. 1 = serial explore(),
+  /// 0 = one per hardware thread; platforms without fork degrade to serial.
+  unsigned workers = 0;
+  /// Per-reply timeout (ms) before a worker is declared dead. Generous:
+  /// one design point can legitimately co-simulate for minutes.
+  unsigned reply_timeout_ms = 600'000;
+  /// Fault injection for tests: the worker with this shard index exits
+  /// abruptly on its first request. -1 = off.
+  int debug_crash_worker = -1;
+};
+
+/// Two-phase exploration sharded over forked worker processes (implemented
+/// in src/dist/; declared here because it is the process-level analogue of
+/// ExploreOptions::threads).
+[[nodiscard]] ExplorationOutcome explore_sharded(
+    const std::vector<ExplorationPoint>& points, std::size_t verify_top,
+    const ShardedExploreOptions& options);
+
+namespace detail {
+
+/// One evaluated design point, reduced to what the outcome depends on.
+struct PointEval {
+  Joules total_energy = 0.0;
+  double wall_seconds = 0.0;
+  bool has_result = false;  // false: skipped (no run_exact for this point)
+};
+
+/// The shared two-phase reduction behind explore() and explore_sharded().
+/// `eval_phase(indices, phase)` evaluates the given point indices — phase 0
+/// coarse, phase 1 exact — and returns one PointEval per index, in order.
+/// Everything else (ranking, shortlist selection, correlation, final sort)
+/// happens here, identically for every evaluation strategy; that shared
+/// code path is what makes the sharded outcome bit-identical to the serial
+/// one.
+[[nodiscard]] ExplorationOutcome two_phase_outcome(
+    const std::vector<ExplorationPoint>& points, std::size_t verify_top,
+    const std::function<std::vector<PointEval>(
+        const std::vector<std::size_t>&, int)>& eval_phase);
+
+}  // namespace detail
+
 }  // namespace socpower::core

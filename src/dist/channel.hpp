@@ -1,0 +1,69 @@
+// One frame-oriented duplex channel between the simulation master and one
+// worker process, over a SOCK_STREAM socketpair.
+//
+// All I/O is poll-guarded: sends and receives take a timeout so a wedged or
+// dead worker is detected (kTimeout / kClosed) instead of hanging the
+// master. Writes use MSG_NOSIGNAL — a worker killed mid-run surfaces as an
+// error return, never as SIGPIPE. Byte counters feed the
+// estimator.<name>.dist.bytes_{tx,rx} telemetry.
+//
+// fork() hygiene: every parent-side fd registers itself in a process-wide
+// list; a freshly forked child calls close_parent_fds_in_child() so it does
+// not hold other workers' parent endpoints open (a stray duplicate would
+// defeat EOF-based crash detection for those workers).
+#pragma once
+
+#include <cstdint>
+
+#include "dist/wire.hpp"
+
+namespace socpower::dist {
+
+class Channel {
+ public:
+  Channel() = default;
+  ~Channel();
+
+  Channel(const Channel&) = delete;
+  Channel& operator=(const Channel&) = delete;
+  Channel(Channel&& other) noexcept;
+  Channel& operator=(Channel&& other) noexcept;
+
+  /// Creates a connected pair. Returns false (with both ends invalid) when
+  /// the platform has no socketpair or the call fails.
+  static bool make_pair(Channel* a, Channel* b);
+
+  [[nodiscard]] bool valid() const { return fd_ >= 0; }
+  void close();
+
+  /// Mark this end as living in the parent process (registers the fd for
+  /// close_parent_fds_in_child()); undone automatically by close().
+  void set_parent_side();
+
+  /// Sends one frame. `timeout_ms` bounds the total blocking time (-1 =
+  /// forever). False on timeout, peer death, or any error.
+  [[nodiscard]] bool send_frame(MsgType type,
+                                const std::vector<std::uint8_t>& payload,
+                                int timeout_ms = -1);
+
+  enum class RecvStatus { kOk, kTimeout, kClosed, kError };
+  /// Receives one frame; kClosed on orderly EOF or a dead peer.
+  [[nodiscard]] RecvStatus recv_frame(Frame* out, int timeout_ms = -1);
+
+  [[nodiscard]] std::uint64_t bytes_tx() const { return bytes_tx_; }
+  [[nodiscard]] std::uint64_t bytes_rx() const { return bytes_rx_; }
+
+ private:
+  explicit Channel(int fd) : fd_(fd) {}
+
+  int fd_ = -1;
+  bool parent_side_ = false;
+  std::uint64_t bytes_tx_ = 0;
+  std::uint64_t bytes_rx_ = 0;
+};
+
+/// Closes every registered parent-side fd. Call once in a freshly forked
+/// child, before it starts serving its own channel.
+void close_parent_fds_in_child();
+
+}  // namespace socpower::dist

@@ -1,0 +1,370 @@
+#include "dist/wire.hpp"
+
+#include <bit>
+#include <cstring>
+
+namespace socpower::dist {
+
+bool supported() {
+#if defined(_WIN32)
+  return false;
+#else
+  return true;
+#endif
+}
+
+bool expects_reply(MsgType t) {
+  switch (t) {
+    case MsgType::kCost:
+    case MsgType::kFlushUnit:
+    case MsgType::kSeparateStep:
+    case MsgType::kStats:
+    case MsgType::kEvalPoint:
+      return true;
+    default:
+      return false;
+  }
+}
+
+// ---- primitives ------------------------------------------------------------
+
+void WireWriter::put_u8(std::uint8_t v) { buf_.push_back(v); }
+
+void WireWriter::put_u32(std::uint32_t v) {
+  for (int i = 0; i < 4; ++i)
+    buf_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+void WireWriter::put_u64(std::uint64_t v) {
+  for (int i = 0; i < 8; ++i)
+    buf_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+void WireWriter::put_i32(std::int32_t v) {
+  put_u32(static_cast<std::uint32_t>(v));
+}
+
+void WireWriter::put_f64(double v) { put_u64(std::bit_cast<std::uint64_t>(v)); }
+
+std::uint8_t WireReader::get_u8() {
+  if (!take(1)) return 0;
+  return p_[pos_++];
+}
+
+std::uint32_t WireReader::get_u32() {
+  if (!take(4)) return 0;
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i)
+    v |= static_cast<std::uint32_t>(p_[pos_ + static_cast<std::size_t>(i)])
+         << (8 * i);
+  pos_ += 4;
+  return v;
+}
+
+std::uint64_t WireReader::get_u64() {
+  if (!take(8)) return 0;
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i)
+    v |= static_cast<std::uint64_t>(p_[pos_ + static_cast<std::size_t>(i)])
+         << (8 * i);
+  pos_ += 8;
+  return v;
+}
+
+std::int32_t WireReader::get_i32() {
+  return static_cast<std::int32_t>(get_u32());
+}
+
+double WireReader::get_f64() { return std::bit_cast<double>(get_u64()); }
+
+// ---- vocabulary ------------------------------------------------------------
+
+namespace {
+
+/// Reads a container length and rejects values that could not possibly fit
+/// in the remaining payload (each element is >= min_elem_bytes), so a
+/// corrupted length never triggers a giant allocation.
+std::uint32_t get_len(WireReader& r, std::uint32_t min_elem_bytes = 1) {
+  const std::uint32_t n = r.get_u32();
+  if (n > kMaxWireElems / (min_elem_bytes ? min_elem_bytes : 1)) {
+    r.mark_bad();
+    return 0;
+  }
+  return n;
+}
+
+}  // namespace
+
+void put_inputs(WireWriter& w, const cfsm::ReactionInputs& in) {
+  const auto& all = in.all();
+  w.put_u32(static_cast<std::uint32_t>(all.size()));
+  for (const auto& [e, v] : all) {
+    w.put_i32(e);
+    w.put_i32(v);
+  }
+}
+
+bool get_inputs(WireReader& r, cfsm::ReactionInputs* out) {
+  *out = {};
+  const std::uint32_t n = get_len(r, 8);
+  for (std::uint32_t i = 0; i < n && r.ok(); ++i) {
+    const cfsm::EventId e = r.get_i32();
+    const std::int32_t v = r.get_i32();
+    if (r.ok()) out->set(e, v);
+  }
+  return r.ok();
+}
+
+void put_state(WireWriter& w, const cfsm::CfsmState& st) {
+  w.put_u32(static_cast<std::uint32_t>(st.vars.size()));
+  for (const std::int32_t v : st.vars) w.put_i32(v);
+}
+
+bool get_state(WireReader& r, cfsm::CfsmState* out) {
+  out->vars.clear();
+  const std::uint32_t n = get_len(r, 4);
+  out->vars.reserve(n);
+  for (std::uint32_t i = 0; i < n && r.ok(); ++i)
+    out->vars.push_back(r.get_i32());
+  return r.ok();
+}
+
+void put_trace(WireWriter& w, const std::vector<cfsm::NodeId>& trace) {
+  w.put_u32(static_cast<std::uint32_t>(trace.size()));
+  for (const cfsm::NodeId n : trace) w.put_i32(n);
+}
+
+bool get_trace(WireReader& r, std::vector<cfsm::NodeId>* out) {
+  out->clear();
+  const std::uint32_t n = get_len(r, 4);
+  out->reserve(n);
+  for (std::uint32_t i = 0; i < n && r.ok(); ++i) out->push_back(r.get_i32());
+  return r.ok();
+}
+
+void put_emissions(WireWriter& w, const std::vector<cfsm::EmittedEvent>& ems) {
+  w.put_u32(static_cast<std::uint32_t>(ems.size()));
+  for (const auto& em : ems) {
+    w.put_i32(em.event);
+    w.put_i32(em.value);
+  }
+}
+
+bool get_emissions(WireReader& r, std::vector<cfsm::EmittedEvent>* out) {
+  out->clear();
+  const std::uint32_t n = get_len(r, 8);
+  out->reserve(n);
+  for (std::uint32_t i = 0; i < n && r.ok(); ++i) {
+    cfsm::EmittedEvent em;
+    em.event = r.get_i32();
+    em.value = r.get_i32();
+    out->push_back(em);
+  }
+  return r.ok();
+}
+
+PerRunKnobs knobs_from(const core::CoEstimatorConfig& cfg) {
+  PerRunKnobs k;
+  k.sync_spin = cfg.sync_spin;
+  k.hw_reaction_cycles = cfg.hw_reaction_cycles;
+  k.verify_lowlevel = cfg.verify_lowlevel;
+  k.hw_reaction_cache = cfg.hw_reaction_cache;
+  k.hw_reaction_cache_max_entries = cfg.hw_reaction_cache_max_entries;
+  k.hw_bit_parallel = cfg.hw_bit_parallel;
+  k.hw_packed_lanes = cfg.hw_packed_lanes;
+  return k;
+}
+
+void apply_knobs(const PerRunKnobs& k, core::CoEstimatorConfig* cfg) {
+  cfg->sync_spin = k.sync_spin;
+  cfg->hw_reaction_cycles = k.hw_reaction_cycles;
+  cfg->verify_lowlevel = k.verify_lowlevel;
+  cfg->hw_reaction_cache = k.hw_reaction_cache;
+  cfg->hw_reaction_cache_max_entries =
+      static_cast<std::size_t>(k.hw_reaction_cache_max_entries);
+  cfg->hw_bit_parallel = k.hw_bit_parallel;
+  cfg->hw_packed_lanes = k.hw_packed_lanes;
+}
+
+void put_knobs(WireWriter& w, const PerRunKnobs& k) {
+  w.put_u32(k.sync_spin);
+  w.put_u32(k.hw_reaction_cycles);
+  w.put_u8(k.verify_lowlevel ? 1 : 0);
+  w.put_u8(k.hw_reaction_cache ? 1 : 0);
+  w.put_u64(k.hw_reaction_cache_max_entries);
+  w.put_u8(k.hw_bit_parallel ? 1 : 0);
+  w.put_u32(k.hw_packed_lanes);
+}
+
+bool get_knobs(WireReader& r, PerRunKnobs* out) {
+  out->sync_spin = r.get_u32();
+  out->hw_reaction_cycles = r.get_u32();
+  out->verify_lowlevel = r.get_u8() != 0;
+  out->hw_reaction_cache = r.get_u8() != 0;
+  out->hw_reaction_cache_max_entries = r.get_u64();
+  out->hw_bit_parallel = r.get_u8() != 0;
+  out->hw_packed_lanes = r.get_u32();
+  return r.ok();
+}
+
+void put_chunk(WireWriter& w, const ChunkPayload& c) {
+  w.put_i32(c.task);
+  w.put_u32(c.base_paths);
+  w.put_u32(static_cast<std::uint32_t>(c.new_paths.size()));
+  for (const auto& trace : c.new_paths) put_trace(w, trace);
+  w.put_u32(static_cast<std::uint32_t>(c.entries.size()));
+  for (const auto& e : c.entries) {
+    w.put_u64(e.time);
+    put_inputs(w, e.inputs);
+    w.put_i32(e.path);
+    put_state(w, e.pre);
+  }
+}
+
+bool get_chunk(WireReader& r, ChunkPayload* out) {
+  *out = {};
+  out->task = r.get_i32();
+  out->base_paths = r.get_u32();
+  const std::uint32_t np = get_len(r, 4);
+  out->new_paths.resize(np);
+  for (std::uint32_t i = 0; i < np && r.ok(); ++i)
+    if (!get_trace(r, &out->new_paths[i])) return false;
+  const std::uint32_t ne = get_len(r, 8);
+  out->entries.resize(ne);
+  for (std::uint32_t i = 0; i < ne && r.ok(); ++i) {
+    ChunkPayload::Entry& e = out->entries[i];
+    e.time = r.get_u64();
+    if (!get_inputs(r, &e.inputs)) return false;
+    e.path = r.get_i32();
+    if (!get_state(r, &e.pre)) return false;
+  }
+  return r.ok();
+}
+
+void put_cost(WireWriter& w, const CostPayload& c) {
+  w.put_i32(c.task);
+  w.put_i32(c.path);
+  w.put_u64(c.now);
+  put_inputs(w, c.inputs);
+  put_emissions(w, c.reaction.emissions);
+  put_trace(w, c.reaction.trace);
+  put_state(w, c.post_state);
+}
+
+bool get_cost(WireReader& r, CostPayload* out) {
+  *out = {};
+  out->task = r.get_i32();
+  out->path = r.get_i32();
+  out->now = r.get_u64();
+  return get_inputs(r, &out->inputs) &&
+         get_emissions(r, &out->reaction.emissions) &&
+         get_trace(r, &out->reaction.trace) && get_state(r, &out->post_state);
+}
+
+void put_transition_cost(WireWriter& w, const core::TransitionCost& c) {
+  w.put_f64(c.cycles);
+  w.put_f64(c.energy);
+  w.put_u8(c.simulated ? 1 : 0);
+}
+
+bool get_transition_cost(WireReader& r, core::TransitionCost* out) {
+  out->cycles = r.get_f64();
+  out->energy = r.get_f64();
+  out->simulated = r.get_u8() != 0;
+  return r.ok();
+}
+
+void put_flush_result(WireWriter& w,
+                      const core::ComponentEstimator::FlushResult& fr) {
+  w.put_u64(fr.gate_cycles);
+  w.put_u32(static_cast<std::uint32_t>(fr.entries.size()));
+  for (const auto& e : fr.entries) {
+    w.put_u64(e.time);
+    w.put_i32(e.path);
+    w.put_f64(e.energy);
+  }
+}
+
+bool get_flush_result(WireReader& r,
+                      core::ComponentEstimator::FlushResult* out) {
+  out->entries.clear();
+  out->gate_cycles = r.get_u64();
+  const std::uint32_t n = get_len(r, 20);
+  out->entries.reserve(n);
+  for (std::uint32_t i = 0; i < n && r.ok(); ++i) {
+    core::ComponentEstimator::FlushEntry e;
+    e.time = r.get_u64();
+    e.path = r.get_i32();
+    e.energy = r.get_f64();
+    out->entries.push_back(e);
+  }
+  return r.ok();
+}
+
+void put_run_results(WireWriter& w, const core::RunResults& res) {
+  w.put_f64(res.total_energy);
+  w.put_u32(static_cast<std::uint32_t>(res.process_energy.size()));
+  for (const Joules e : res.process_energy) w.put_f64(e);
+  w.put_f64(res.cpu_energy);
+  w.put_f64(res.hw_energy);
+  w.put_f64(res.bus_energy);
+  w.put_f64(res.cache_energy);
+  w.put_u64(res.end_time);
+  w.put_u64(res.reactions);
+  w.put_u64(res.sw_reactions);
+  w.put_u64(res.hw_reactions);
+  w.put_u64(res.iss_invocations);
+  w.put_u64(res.iss_instructions);
+  w.put_u64(res.gate_sim_cycles);
+  w.put_u64(res.cache_hits_served);
+  w.put_u64(res.icache.accesses);
+  w.put_u64(res.icache.misses);
+  w.put_u64(res.icache.penalty_cycles);
+  w.put_f64(res.icache.energy);
+  w.put_u64(res.bus_totals.transfers);
+  w.put_u64(res.bus_totals.grants);
+  w.put_u64(res.bus_totals.bytes);
+  w.put_u64(res.bus_totals.addr_toggles);
+  w.put_u64(res.bus_totals.data_toggles);
+  w.put_u64(res.bus_totals.wait_cycles);
+  w.put_f64(res.bus_totals.energy);
+  w.put_f64(res.wall_seconds);
+  w.put_u8(res.truncated ? 1 : 0);
+}
+
+bool get_run_results(WireReader& r, core::RunResults* out) {
+  *out = {};
+  out->total_energy = r.get_f64();
+  const std::uint32_t n = get_len(r, 8);
+  out->process_energy.reserve(n);
+  for (std::uint32_t i = 0; i < n && r.ok(); ++i)
+    out->process_energy.push_back(r.get_f64());
+  out->cpu_energy = r.get_f64();
+  out->hw_energy = r.get_f64();
+  out->bus_energy = r.get_f64();
+  out->cache_energy = r.get_f64();
+  out->end_time = r.get_u64();
+  out->reactions = r.get_u64();
+  out->sw_reactions = r.get_u64();
+  out->hw_reactions = r.get_u64();
+  out->iss_invocations = r.get_u64();
+  out->iss_instructions = r.get_u64();
+  out->gate_sim_cycles = r.get_u64();
+  out->cache_hits_served = r.get_u64();
+  out->icache.accesses = r.get_u64();
+  out->icache.misses = r.get_u64();
+  out->icache.penalty_cycles = r.get_u64();
+  out->icache.energy = r.get_f64();
+  out->bus_totals.transfers = r.get_u64();
+  out->bus_totals.grants = r.get_u64();
+  out->bus_totals.bytes = r.get_u64();
+  out->bus_totals.addr_toggles = r.get_u64();
+  out->bus_totals.data_toggles = r.get_u64();
+  out->bus_totals.wait_cycles = r.get_u64();
+  out->bus_totals.energy = r.get_f64();
+  out->wall_seconds = r.get_f64();
+  out->truncated = r.get_u8() != 0;
+  return r.ok();
+}
+
+}  // namespace socpower::dist

@@ -17,6 +17,7 @@
 #include <string>
 
 #include "core/coestimator.hpp"
+#include "dist/wire.hpp"
 #include "systems/tcpip.hpp"
 
 namespace socpower::core {
@@ -265,6 +266,31 @@ TEST(FacadeEquivalence, RunSeparateThenRunOnSameInstance) {
     expect_matches(est.run_separate(sys.stimulus()), sep_g->v);
     expect_matches(est.run(sys.stimulus()), run_g->v);
     expect_matches(est.run_separate(sys.stimulus()), sep_g->v);
+  }
+}
+
+TEST(DistRemote, GoldensBitIdenticalWithRemoteHwBackends) {
+  // Routing every hardware estimator through an out-of-process worker must
+  // not change a single bit of any golden: the wire protocol carries doubles
+  // as IEEE-754 bit patterns and the worker hosts the same backend the
+  // master would. dist_flush_chunk is tiny so chunked eager draining (many
+  // slices per flush) is actually exercised on these small runs.
+  if (!dist::supported()) GTEST_SKIP() << "no fork/socketpair";
+  for (const Golden& golden : kGoldens) {
+    SCOPED_TRACE(golden.tag);
+    const std::string tag = golden.tag;
+    const std::size_t slash = tag.find('/');
+    systems::TcpIpSystem sys(params_for(tag.substr(0, slash)));
+    bool separate = false;
+    CoEstimatorConfig cfg = config_for(tag.substr(slash + 1), &separate);
+    cfg.hw_remote = true;
+    cfg.dist_flush_chunk = 3;
+    CoEstimator est(&sys.network(), cfg);
+    sys.configure(est);
+    est.prepare();
+    const RunResults r = separate ? est.run_separate(sys.stimulus())
+                                  : est.run(sys.stimulus());
+    expect_matches(r, golden.v);
   }
 }
 

@@ -1,0 +1,158 @@
+// explore_sharded() vs explore() equivalence.
+//
+// The sharded explorer forks worker processes but feeds the per-point
+// results into the exact same two-phase reduction as the serial path, so
+// the whole outcome — winner, ranking order, every coarse/exact energy bit,
+// the verification correlation — must be EXPECT_EQ-identical. Checked on
+// both benchmark systems across three stimulus variants each, plus the
+// fault-injection path: a worker that crashes on its first request is
+// dropped and its points re-evaluated in the master, with no effect on the
+// outcome beyond the fallback telemetry.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "core/explorer.hpp"
+#include "dist/wire.hpp"
+#include "systems/prodcons.hpp"
+#include "systems/tcpip.hpp"
+#include "telemetry/registry.hpp"
+#include "telemetry/telemetry.hpp"
+
+namespace socpower::core {
+namespace {
+
+/// TCP/IP design points: sweep the DMA block size, coarse = macro-model,
+/// exact = full co-simulation. `seed` varies the stimulus.
+std::vector<ExplorationPoint> tcpip_points(unsigned seed) {
+  std::vector<ExplorationPoint> pts;
+  for (const unsigned dma : {4u, 8u, 16u, 32u, 64u}) {
+    auto make_run = [dma, seed](bool exact) {
+      return [dma, seed, exact] {
+        systems::TcpIpSystem sys({.num_packets = 3,
+                                  .packet_bytes = 32,
+                                  .dma_block_size = dma,
+                                  .seed = seed});
+        CoEstimatorConfig cfg;
+        if (!exact) cfg.accel = Acceleration::kMacroModel;
+        CoEstimator est(&sys.network(), cfg);
+        sys.configure(est);
+        est.prepare();
+        return est.run(sys.stimulus());
+      };
+    };
+    ExplorationPoint p;
+    p.label = "dma=" + std::to_string(dma) + "/seed=" + std::to_string(seed);
+    p.run_coarse = make_run(false);
+    p.run_exact = make_run(true);
+    pts.push_back(std::move(p));
+  }
+  return pts;
+}
+
+/// Producer/consumer design points: sweep the timer tick period (the
+/// timing-sensitivity knob); `variant` varies the start gap.
+std::vector<ExplorationPoint> prodcons_points(unsigned variant) {
+  std::vector<ExplorationPoint> pts;
+  for (const unsigned tick : {32u, 64u, 128u}) {
+    auto make_run = [tick, variant](bool exact) {
+      return [tick, variant, exact] {
+        systems::ProdConsSystem sys(
+            {.num_packets = 4,
+             .bytes_per_packet = 8,
+             .tick_period = static_cast<sim::SimTime>(tick),
+             .start_gap = static_cast<sim::SimTime>(2 + variant)});
+        CoEstimatorConfig cfg;
+        if (!exact) cfg.accel = Acceleration::kCaching;
+        CoEstimator est(&sys.network(), cfg);
+        sys.configure(est);
+        est.prepare();
+        return est.run(sys.stimulus(20000));
+      };
+    };
+    ExplorationPoint p;
+    p.label =
+        "tick=" + std::to_string(tick) + "/v=" + std::to_string(variant);
+    p.run_coarse = make_run(false);
+    p.run_exact = make_run(true);
+    pts.push_back(std::move(p));
+  }
+  return pts;
+}
+
+/// Full-outcome equality, energies compared bit-for-bit. Wall-clock fields
+/// (coarse_seconds/exact_seconds) are excluded: where the evaluation ran
+/// changes timing, never results.
+void expect_outcomes_equal(const ExplorationOutcome& a,
+                           const ExplorationOutcome& b) {
+  ASSERT_EQ(a.ranked.size(), b.ranked.size());
+  for (std::size_t i = 0; i < a.ranked.size(); ++i) {
+    SCOPED_TRACE(i);
+    EXPECT_EQ(a.ranked[i].label, b.ranked[i].label);
+    EXPECT_EQ(a.ranked[i].coarse_energy, b.ranked[i].coarse_energy);
+    EXPECT_EQ(a.ranked[i].exact_energy, b.ranked[i].exact_energy);
+    EXPECT_EQ(a.ranked[i].coarse_rank, b.ranked[i].coarse_rank);
+  }
+  EXPECT_EQ(a.winner_confirmed, b.winner_confirmed);
+  EXPECT_EQ(a.verification_correlation, b.verification_correlation);
+}
+
+TEST(ShardedExplore, MatchesSerialOnTcpip) {
+  if (!dist::supported()) GTEST_SKIP() << "no fork/socketpair";
+  for (const unsigned seed : {3u, 7u, 11u}) {
+    SCOPED_TRACE(seed);
+    const auto pts = tcpip_points(seed);
+    const ExplorationOutcome serial = explore(pts, /*verify_top=*/2);
+    const ExplorationOutcome sharded =
+        explore_sharded(pts, /*verify_top=*/2, {.workers = 3});
+    expect_outcomes_equal(serial, sharded);
+  }
+}
+
+TEST(ShardedExplore, MatchesSerialOnProdcons) {
+  if (!dist::supported()) GTEST_SKIP() << "no fork/socketpair";
+  for (const unsigned variant : {0u, 1u, 2u}) {
+    SCOPED_TRACE(variant);
+    const auto pts = prodcons_points(variant);
+    const ExplorationOutcome serial = explore(pts, /*verify_top=*/2);
+    const ExplorationOutcome sharded =
+        explore_sharded(pts, /*verify_top=*/2, {.workers = 2});
+    expect_outcomes_equal(serial, sharded);
+  }
+}
+
+TEST(ShardedExplore, CrashedWorkerFallsBackToMaster) {
+  if (!dist::supported()) GTEST_SKIP() << "no fork/socketpair";
+  telemetry::set_enabled(true, false);
+  auto& reg = telemetry::registry();
+  telemetry::Counter& fallbacks = reg.counter("dist.fallbacks");
+  telemetry::Counter& fallback_points =
+      reg.counter("explore.sharded.fallback_points");
+  const std::uint64_t f0 = fallbacks.value();
+  const std::uint64_t p0 = fallback_points.value();
+
+  const auto pts = tcpip_points(/*seed=*/7);
+  const ExplorationOutcome serial = explore(pts, /*verify_top=*/2);
+  ShardedExploreOptions opt;
+  opt.workers = 3;
+  opt.debug_crash_worker = 0;  // shard 0 dies on its first request
+  const ExplorationOutcome sharded = explore_sharded(pts, 2, opt);
+  telemetry::set_enabled(false, false);
+
+  expect_outcomes_equal(serial, sharded);
+  EXPECT_GE(fallbacks.value(), f0 + 1);
+  // Shard 0 owned points {0, 3} of 5 in the coarse phase alone.
+  EXPECT_GE(fallback_points.value(), p0 + 2);
+}
+
+TEST(ShardedExplore, SingleWorkerDegeneratesToSerial) {
+  const auto pts = prodcons_points(0);
+  const ExplorationOutcome serial = explore(pts, /*verify_top=*/1);
+  const ExplorationOutcome one =
+      explore_sharded(pts, /*verify_top=*/1, {.workers = 1});
+  expect_outcomes_equal(serial, one);
+}
+
+}  // namespace
+}  // namespace socpower::core
