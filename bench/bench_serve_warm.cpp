@@ -1,0 +1,158 @@
+// Session server: what the warm caches buy a returning client (E18).
+//
+// A cold request pays the whole pipeline — SW compilation, HW synthesis,
+// macro-op characterization (all inside the server's prepare) plus a run
+// that fills the ISS block cache and the HW reaction tables. A warm request
+// against the same session replays out of those caches. This bench times
+// both through the real AF_UNIX protocol (in-process server, loopback
+// client) and gates on the service's whole value proposition: the warm
+// request must be at least 2x faster, with every energy bit-identical and a
+// strictly higher warm-cache hit rate.
+//
+// The wall-clock gate only applies to optimized builds (-O0 skews the
+// cached/uncached ratio); energy equality is enforced always.
+#include <chrono>
+#include <cstdio>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "dist/wire.hpp"
+#include "serve/client.hpp"
+#include "serve/server.hpp"
+
+using namespace socpower;
+
+namespace {
+
+double now_seconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+double hit_rate(const serve::RequestStats& s) {
+  const std::uint64_t total = s.warm_hits + s.warm_fills;
+  return total == 0 ? 0.0
+                    : static_cast<double>(s.warm_hits) /
+                          static_cast<double>(total);
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header(
+      "Co-estimation as a service: cold prepare+run vs warm-session replay",
+      "one session, real socket round-trips; results must stay bit-identical");
+
+  if (!dist::supported()) {
+    std::printf("fork/socketpair unavailable on this platform; nothing to "
+                "measure\n\nSHAPE CHECK: PASS\n");
+    return 0;
+  }
+
+  serve::ServerConfig scfg;
+  scfg.socket_path = "/tmp/socpower_bench_serve_warm.sock";
+  serve::Server server(scfg);
+  if (!server.start()) {
+    std::printf("cannot bind %s\n\nSHAPE CHECK: FAIL\n",
+                scfg.socket_path.c_str());
+    return 1;
+  }
+  std::string error;
+  serve::Client client = serve::Client::connect(server.socket_path(), &error);
+  if (!client.valid()) {
+    std::printf("connect failed: %s\n\nSHAPE CHECK: FAIL\n", error.c_str());
+    return 1;
+  }
+
+  // A TCP/IP workload big enough that replay time is measurable.
+  serve::SystemParams system;
+  system.name = "tcpip";
+  system.set("num_packets", 6);
+  system.set("packet_bytes", 128);
+  system.set("ip_check_in_hw", 1);
+  system.set("seed", 7);
+  serve::RunRequest rr;  // defaults: batched HW, reaction cache on
+
+  // ---- cold: prepare (inside open_session) + first estimate ----------------
+  double t0 = now_seconds();
+  std::string key;
+  bool ok = client.open_session(system, serve::StructuralConfig{}, &key,
+                                nullptr, &error);
+  core::RunResults cold_res;
+  serve::RequestStats cold_stats;
+  ok = ok && client.estimate(key, rr, &cold_res, &cold_stats, &error);
+  const double cold_s = now_seconds() - t0;
+  if (!ok) {
+    std::printf("cold request failed: %s\n\nSHAPE CHECK: FAIL\n",
+                error.c_str());
+    return 1;
+  }
+
+  // ---- warm: replays against the session's hot caches ----------------------
+  constexpr int kWarmRuns = 5;
+  bool identical = true;
+  double warm_total_s = 0.0;
+  serve::RequestStats warm_stats;
+  for (int i = 0; i < kWarmRuns; ++i) {
+    core::RunResults res;
+    t0 = now_seconds();
+    if (!client.estimate(key, rr, &res, &warm_stats, &error)) {
+      std::printf("warm request failed: %s\n\nSHAPE CHECK: FAIL\n",
+                  error.c_str());
+      return 1;
+    }
+    warm_total_s += now_seconds() - t0;
+    identical = identical && res.total_energy == cold_res.total_energy &&
+                res.cpu_energy == cold_res.cpu_energy &&
+                res.hw_energy == cold_res.hw_energy &&
+                res.end_time == cold_res.end_time &&
+                res.gate_sim_cycles == cold_res.gate_sim_cycles;
+  }
+  const double warm_s = warm_total_s / kWarmRuns;
+  const double speedup = warm_s > 0.0 ? cold_s / warm_s : 0.0;
+
+  std::vector<std::uint8_t> blob;
+  const bool ckpt_ok = client.checkpoint(key, &blob, &error);
+
+  TextTable t({"request", "seconds", "hit rate", "energies"});
+  t.add_row({"cold (prepare + run)", TextTable::fixed(cold_s, 4),
+             TextTable::fixed(100.0 * hit_rate(cold_stats), 1) + "%",
+             "reference"});
+  t.add_row({"warm (avg of 5)", TextTable::fixed(warm_s, 4),
+             TextTable::fixed(100.0 * hit_rate(warm_stats), 1) + "%",
+             identical ? "bit-identical" : "MISMATCH"});
+  std::printf("%s", t.render().c_str());
+  std::printf("\nwarm speedup: %.2fx; checkpoint of the hot session: %zu "
+              "bytes\n",
+              speedup, ckpt_ok ? blob.size() : 0);
+
+  const bool rate_ok = hit_rate(warm_stats) > hit_rate(cold_stats);
+  bool shape_ok = identical && rate_ok && ckpt_ok;
+  if (!rate_ok)
+    std::printf("warm hit rate is not above cold: BAD\n");
+#if defined(__OPTIMIZE__)
+  const bool fast_enough = speedup >= 2.0;
+  std::printf("speedup gate (>=2.00x warm vs cold): %.2fx -> %s\n", speedup,
+              fast_enough ? "ok" : "TOO SLOW");
+  shape_ok = shape_ok && fast_enough;
+#else
+  std::printf("speedup gate skipped (unoptimized build); bit-identity and "
+              "hit-rate gates still enforced\n");
+#endif
+
+  bench::BenchJson json("serve_warm");
+  json.metric("cold_s", cold_s)
+      .metric("warm_s", warm_s)
+      .metric("speedup_x", speedup)
+      .metric("cold_hit_rate", hit_rate(cold_stats))
+      .metric("warm_hit_rate", hit_rate(warm_stats))
+      .metric("checkpoint_bytes", ckpt_ok ? static_cast<double>(blob.size())
+                                          : 0.0)
+      .metric("bit_identical", identical ? 1.0 : 0.0);
+  json.write();
+
+  server.stop();
+  std::printf("\nSHAPE CHECK: %s\n", shape_ok ? "PASS" : "FAIL");
+  return shape_ok ? 0 : 1;
+}

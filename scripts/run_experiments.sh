@@ -11,6 +11,9 @@
 #
 # SOCPOWER_DIST_WORKERS sets the forked-worker count for the distributed
 # paths (sharded exploration, bench_sharded_explore); also bit-identical.
+#
+# SOCPOWER_SERVE_SOCKET / SOCPOWER_SERVE_THREADS place the session-server
+# pass's socket and size its worker pool (defaults below); bit-identical too.
 set -e
 cd "$(dirname "$0")/.."
 
@@ -44,6 +47,27 @@ done
 # sweep: results must match the in-process run above bit for bit.
 SOCPOWER_HW_REMOTE=1 ./build/examples/explore_tcpip 2 64 \
   "$SOCPOWER_THREADS" 2>&1 | tee explore_remote_output.txt
+
+# Session-server pass: a socpower_serve daemon, then the client demo twice
+# against it — the second client's "cold" sweep starts warm because the
+# daemon kept the session alive. The daemon prints its serve.* counter
+# table when it stops.
+SOCPOWER_SERVE_SOCKET="${SOCPOWER_SERVE_SOCKET:-/tmp/socpower_experiments.sock}"
+export SOCPOWER_SERVE_SOCKET
+SOCPOWER_SERVE_THREADS="${SOCPOWER_SERVE_THREADS:-$SOCPOWER_THREADS}"
+export SOCPOWER_SERVE_THREADS
+./build/src/serve/socpower_serve > serve_output.txt 2>&1 &
+SERVE_PID=$!
+trap 'kill "$SERVE_PID" 2>/dev/null || true' EXIT
+i=0
+while [ ! -S "$SOCPOWER_SERVE_SOCKET" ] && [ "$i" -lt 50 ]; do
+  i=$((i + 1)); sleep 0.1
+done
+./build/examples/client_sweep 2>&1 | tee -a serve_output.txt
+./build/examples/client_sweep 2>&1 | tee -a serve_output.txt
+kill "$SERVE_PID" 2>/dev/null || true
+wait "$SERVE_PID" 2>/dev/null || true
+trap - EXIT
 
 echo
 echo "shape checks:"

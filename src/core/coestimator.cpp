@@ -85,4 +85,17 @@ std::vector<const ComponentEstimator*> CoEstimator::backends() const {
   return master_.backends();
 }
 
+CoSimMaster::WarmSnapshot CoEstimator::export_warm_state() const {
+  return master_.export_warm_state();
+}
+
+bool CoEstimator::import_warm_state(const CoSimMaster::WarmSnapshot& snap) {
+  return master_.import_warm_state(snap);
+}
+
+ComponentEstimator::WarmCacheCounters CoEstimator::warm_cache_counters()
+    const {
+  return master_.warm_cache_counters();
+}
+
 }  // namespace socpower::core

@@ -90,6 +90,12 @@ class CoEstimator {
   /// prepare()); see CoSimMaster::backends().
   [[nodiscard]] std::vector<const ComponentEstimator*> backends() const;
 
+  // -- checkpoint/restore (see CoSimMaster) ----------------------------------
+  [[nodiscard]] CoSimMaster::WarmSnapshot export_warm_state() const;
+  [[nodiscard]] bool import_warm_state(const CoSimMaster::WarmSnapshot& snap);
+  [[nodiscard]] ComponentEstimator::WarmCacheCounters warm_cache_counters()
+      const;
+
  private:
   CoSimMaster master_;
 };

@@ -780,4 +780,36 @@ std::vector<const ComponentEstimator*> CoSimMaster::backends() const {
   return out;
 }
 
+CoSimMaster::WarmSnapshot CoSimMaster::export_warm_state() const {
+  WarmSnapshot snap;
+  snap.backends.reserve(owned_backends_.size());
+  for (const auto& b : owned_backends_)
+    snap.backends.push_back(b->export_warm_state());
+  snap.ecache = ecache_.export_entries();
+  snap.ecache_hits = ecache_.hits();
+  snap.ecache_simulations = ecache_.simulations();
+  return snap;
+}
+
+bool CoSimMaster::import_warm_state(const WarmSnapshot& snap) {
+  if (!prepared_ || snap.backends.size() != owned_backends_.size())
+    return false;
+  for (std::size_t i = 0; i < owned_backends_.size(); ++i)
+    owned_backends_[i]->import_warm_state(snap.backends[i]);
+  ecache_.import_entries(snap.ecache, snap.ecache_hits,
+                         snap.ecache_simulations);
+  return true;
+}
+
+ComponentEstimator::WarmCacheCounters CoSimMaster::warm_cache_counters()
+    const {
+  ComponentEstimator::WarmCacheCounters sum;
+  for (const auto& b : owned_backends_) {
+    const ComponentEstimator::WarmCacheCounters c = b->warm_cache_counters();
+    sum.hits += c.hits;
+    sum.fills += c.fills;
+  }
+  return sum;
+}
+
 }  // namespace socpower::core

@@ -90,6 +90,30 @@ class CoSimMaster {
   /// and tests.
   [[nodiscard]] std::vector<const ComponentEstimator*> backends() const;
 
+  // -- checkpoint/restore ----------------------------------------------------
+  /// Warm, run-independent state of a prepared master: the per-backend
+  /// caches (ISS decoded blocks, gate-level reaction tables) plus the energy
+  /// cache as the last run left it. This is what serve/ checkpoints; the
+  /// structural config and mapping are serialized separately and rebuild the
+  /// master itself.
+  struct WarmSnapshot {
+    std::vector<BackendWarmState> backends;  ///< backends() order
+    std::vector<EnergyCache::ExportedEntry> ecache;
+    std::uint64_t ecache_hits = 0;
+    std::uint64_t ecache_simulations = 0;
+  };
+  [[nodiscard]] WarmSnapshot export_warm_state() const;
+  /// Install a snapshot into a freshly prepared master with the same
+  /// structural config and mapping. False (and no state change) when the
+  /// master is unprepared or the backend count disagrees — the caller built
+  /// a different structure than the snapshot describes.
+  [[nodiscard]] bool import_warm_state(const WarmSnapshot& snap);
+
+  /// Sum of the backends' warm-cache hit/fill counters (serve telemetry:
+  /// per-request deltas of these are the cold-vs-warm story).
+  [[nodiscard]] ComponentEstimator::WarmCacheCounters warm_cache_counters()
+      const;
+
  private:
   struct PendingSw {
     sim::SimTime ready_at = 0;

@@ -1,5 +1,7 @@
 #include "core/energy_cache.hpp"
 
+#include <algorithm>
+
 #include "telemetry/registry.hpp"
 
 namespace socpower::core {
@@ -57,6 +59,32 @@ void EnergyCache::clear() {
   table_.clear();
   hits_ = 0;
   simulations_ = 0;
+}
+
+std::vector<EnergyCache::ExportedEntry> EnergyCache::export_entries() const {
+  std::vector<ExportedEntry> out;
+  out.reserve(table_.size());
+  for (const auto& [key, entry] : table_)
+    out.push_back(ExportedEntry{key.task, key.path, entry.cycles.raw(),
+                                entry.energy.raw()});
+  std::sort(out.begin(), out.end(),
+            [](const ExportedEntry& a, const ExportedEntry& b) {
+              return a.task != b.task ? a.task < b.task : a.path < b.path;
+            });
+  return out;
+}
+
+void EnergyCache::import_entries(const std::vector<ExportedEntry>& entries,
+                                 std::uint64_t hits,
+                                 std::uint64_t simulations) {
+  table_.clear();
+  for (const ExportedEntry& e : entries) {
+    Entry& slot = table_[{e.task, e.path}];
+    slot.cycles = RunningStats::from_raw(e.cycles);
+    slot.energy = RunningStats::from_raw(e.energy);
+  }
+  hits_ = hits;
+  simulations_ = simulations;
 }
 
 }  // namespace socpower::core

@@ -20,6 +20,7 @@
 #include <cstdint>
 #include <optional>
 #include <unordered_map>
+#include <vector>
 
 #include "cfsm/cfsm.hpp"
 #include "cfsm/sgraph.hpp"
@@ -69,6 +70,24 @@ class EnergyCache {
                                                  cfsm::PathId path) const;
 
   void clear();
+
+  // -- checkpoint/restore ----------------------------------------------------
+  /// One serialized (task, path) entry. The RunningStats travel raw so a
+  /// restored cache reproduces eligibility decisions and served means bit
+  /// for bit.
+  struct ExportedEntry {
+    cfsm::CfsmId task = cfsm::kNoCfsm;
+    cfsm::PathId path = cfsm::kNoPath;
+    RunningStats::Raw cycles;
+    RunningStats::Raw energy;
+  };
+  /// All entries, sorted by (task, path) so checkpoint bytes are
+  /// deterministic for a given cache state.
+  [[nodiscard]] std::vector<ExportedEntry> export_entries() const;
+  /// Replaces the table and the hit/simulation counters with the exported
+  /// state (the exact inverse of export_entries + hits()/simulations()).
+  void import_entries(const std::vector<ExportedEntry>& entries,
+                      std::uint64_t hits, std::uint64_t simulations);
 
  private:
   struct Entry {

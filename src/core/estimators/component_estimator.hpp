@@ -36,6 +36,7 @@
 #include "cache/cache_sim.hpp"
 #include "cfsm/cfsm.hpp"
 #include "core/coestimator_config.hpp"
+#include "hw/reaction_cache.hpp"
 #include "hwsyn/synth.hpp"
 #include "swsyn/codegen.hpp"
 
@@ -74,6 +75,24 @@ struct EstimatorContext {
   /// Master-owned per-process path tables (stable storage; flush jobs read
   /// them concurrently, so they must not be mutated during a flush).
   const std::vector<cfsm::PathTable>* path_tables = nullptr;
+};
+
+/// Warm, run-independent state one backend can hand to the serve layer's
+/// checkpoint writer and accept back after a restore: the caches that make
+/// a backend's Nth run cheaper than its first, in a transport-neutral form
+/// (plain structs — the wire/disk encoding lives in serve/, not here).
+/// Importing never changes results, only hit rates: block entries re-decode
+/// deterministically and reaction entries are content-keyed bit-exact
+/// replays.
+struct BackendWarmState {
+  /// Entry PCs of pre-decoded ISS blocks (SW backends).
+  std::vector<std::uint32_t> block_entries;
+  /// Memoized gate-level reaction tables, one per owned hardware unit.
+  struct UnitReactions {
+    cfsm::CfsmId task = cfsm::kNoCfsm;
+    std::vector<hw::ExportedReaction> entries;
+  };
+  std::vector<UnitReactions> reactions;
 };
 
 class ComponentEstimator {
@@ -124,6 +143,28 @@ class ComponentEstimator {
 
   /// CFSM processes this backend prices (resource backends return {}).
   [[nodiscard]] virtual std::vector<cfsm::CfsmId> component_ids() const = 0;
+
+  // -- checkpoint/restore ----------------------------------------------------
+  /// Warm cache state worth carrying across processes; backends with none
+  /// (bus, cache) return the empty default.
+  [[nodiscard]] virtual BackendWarmState export_warm_state() const {
+    return {};
+  }
+  /// Install previously exported warm state into a freshly prepared backend
+  /// of the same structural config. Unknown tasks/entries are ignored.
+  virtual void import_warm_state(const BackendWarmState& /*state*/) {}
+
+  /// Cumulative hit/fill counters of this backend's internal warm caches
+  /// (ISS block cache, per-unit reaction caches) since prepare(). The serve
+  /// layer reports the per-request delta, which is what makes warm-vs-cold
+  /// hit rates observable per estimation request.
+  struct WarmCacheCounters {
+    std::uint64_t hits = 0;
+    std::uint64_t fills = 0;  ///< decodes / misses (cache-populating work)
+  };
+  [[nodiscard]] virtual WarmCacheCounters warm_cache_counters() const {
+    return {};
+  }
 };
 
 // ---- role refinements ------------------------------------------------------

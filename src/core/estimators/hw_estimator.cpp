@@ -239,4 +239,31 @@ hw::ReactionCacheStats HwEstimatorBase::reaction_cache_stats() const {
   return sum;
 }
 
+BackendWarmState HwEstimatorBase::export_warm_state() const {
+  BackendWarmState state;
+  for (const cfsm::CfsmId task : components_) {
+    const auto& u = units_[static_cast<std::size_t>(task)];
+    if (!u || !u->rcache) continue;
+    BackendWarmState::UnitReactions ur;
+    ur.task = task;
+    ur.entries = u->rcache->export_entries();
+    state.reactions.push_back(std::move(ur));
+  }
+  return state;
+}
+
+void HwEstimatorBase::import_warm_state(const BackendWarmState& state) {
+  for (const BackendWarmState::UnitReactions& ur : state.reactions) {
+    const auto idx = static_cast<std::size_t>(ur.task);
+    if (idx >= units_.size() || !units_[idx] || !units_[idx]->rcache) continue;
+    units_[idx]->rcache->import_entries(ur.entries);
+  }
+}
+
+ComponentEstimator::WarmCacheCounters HwEstimatorBase::warm_cache_counters()
+    const {
+  const hw::ReactionCacheStats s = reaction_cache_stats();
+  return WarmCacheCounters{s.hits, s.misses};
+}
+
 }  // namespace socpower::core

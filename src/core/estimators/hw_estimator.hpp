@@ -54,6 +54,10 @@ class HwEstimatorBase : public HwBackend {
   /// "estimator.<name>.rcache.*").
   [[nodiscard]] hw::ReactionCacheStats reaction_cache_stats() const;
 
+  [[nodiscard]] BackendWarmState export_warm_state() const override;
+  void import_warm_state(const BackendWarmState& state) override;
+  [[nodiscard]] WarmCacheCounters warm_cache_counters() const override;
+
   /// Incrementally price and clear `task`'s currently buffered batch slice.
   /// `first` marks the first slice of a run's batch: it pays the one batch
   /// hand-off sync and resets the gate simulator, exactly like the top of a

@@ -100,4 +100,27 @@ const swsyn::SwImage* SwIssEstimator::image(cfsm::CfsmId task) const {
   return images_.at(static_cast<std::size_t>(task)).get();
 }
 
+BackendWarmState SwIssEstimator::export_warm_state() const {
+  BackendWarmState state;
+  if (iss_) state.block_entries = iss_->cached_block_entries();
+  return state;
+}
+
+void SwIssEstimator::import_warm_state(const BackendWarmState& state) {
+  if (!iss_) return;
+  for (const std::uint32_t entry : state.block_entries)
+    iss_->warm_block(entry);
+}
+
+ComponentEstimator::WarmCacheCounters SwIssEstimator::warm_cache_counters()
+    const {
+  WarmCacheCounters c;
+  if (iss_) {
+    const iss::BlockCacheStats& s = iss_->block_cache_stats();
+    c.hits = s.hits;
+    c.fills = s.decodes;
+  }
+  return c;
+}
+
 }  // namespace socpower::core

@@ -44,6 +44,10 @@ class SwIssEstimator final : public SwBackend {
   Joules replay(cfsm::CfsmId task, const cfsm::ReactionInputs& inputs,
                 const cfsm::CfsmState& pre_state) override;
 
+  [[nodiscard]] BackendWarmState export_warm_state() const override;
+  void import_warm_state(const BackendWarmState& state) override;
+  [[nodiscard]] WarmCacheCounters warm_cache_counters() const override;
+
  private:
   /// One staged ISS invocation: run the task's compiled code to HALT.
   iss::RunResult invoke(cfsm::CfsmId task, const cfsm::ReactionInputs& inputs,

@@ -2,12 +2,14 @@
 
 #include <algorithm>
 #include <cerrno>
+#include <cstring>
 #include <mutex>
 #include <vector>
 
 #if !defined(_WIN32)
 #include <poll.h>
 #include <sys/socket.h>
+#include <sys/un.h>
 #include <unistd.h>
 #endif
 
@@ -82,6 +84,26 @@ bool Channel::make_pair(Channel* a, Channel* b) {
   *a = Channel(fds[0]);
   *b = Channel(fds[1]);
   return true;
+#endif
+}
+
+Channel Channel::connect_unix(const std::string& path) {
+#if defined(_WIN32)
+  (void)path;
+  return Channel();
+#else
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path.empty() || path.size() >= sizeof addr.sun_path) return Channel();
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) return Channel();
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                sizeof addr) != 0) {
+    ::close(fd);
+    return Channel();
+  }
+  return Channel(fd);
 #endif
 }
 

@@ -14,6 +14,7 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 
 #include "dist/wire.hpp"
 
@@ -32,6 +33,15 @@ class Channel {
   /// Creates a connected pair. Returns false (with both ends invalid) when
   /// the platform has no socketpair or the call fails.
   static bool make_pair(Channel* a, Channel* b);
+
+  /// Wraps an already-connected stream-socket fd (the serve/ layer's
+  /// accepted AF_UNIX connections). Takes ownership of the fd.
+  [[nodiscard]] static Channel adopt(int fd) { return Channel(fd); }
+
+  /// Connects to the listening AF_UNIX socket at `path`. Returns an invalid
+  /// channel on failure (no such socket, path too long, unsupported
+  /// platform).
+  [[nodiscard]] static Channel connect_unix(const std::string& path);
 
   [[nodiscard]] bool valid() const { return fd_ >= 0; }
   void close();

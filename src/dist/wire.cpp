@@ -20,6 +20,13 @@ bool expects_reply(MsgType t) {
     case MsgType::kSeparateStep:
     case MsgType::kStats:
     case MsgType::kEvalPoint:
+    case MsgType::kServeHello:
+    case MsgType::kServeOpen:
+    case MsgType::kServeEstimate:
+    case MsgType::kServeCheckpoint:
+    case MsgType::kServeRestore:
+    case MsgType::kServeStats:
+    case MsgType::kServeShutdown:
       return true;
     default:
       return false;
@@ -94,6 +101,21 @@ std::uint32_t get_len(WireReader& r, std::uint32_t min_elem_bytes = 1) {
 }
 
 }  // namespace
+
+void put_string(WireWriter& w, const std::string& s) {
+  w.put_u32(static_cast<std::uint32_t>(s.size()));
+  for (const char c : s) w.put_u8(static_cast<std::uint8_t>(c));
+}
+
+bool get_string(WireReader& r, std::string* out) {
+  out->clear();
+  const std::uint32_t n = get_len(r, 1);
+  out->reserve(n);
+  for (std::uint32_t i = 0; i < n && r.ok(); ++i)
+    out->push_back(static_cast<char>(r.get_u8()));
+  if (!r.ok()) out->clear();
+  return r.ok();
+}
 
 void put_inputs(WireWriter& w, const cfsm::ReactionInputs& in) {
   const auto& all = in.all();

@@ -42,8 +42,17 @@ enum class MsgType : std::uint8_t {
   kShutdown = 11,      // worker exits cleanly
   // master -> sharded-exploration worker
   kEvalPoint = 12,     // phase + point index (RPC)
+  // client -> session server (src/serve). All are request/reply.
+  kServeHello = 32,      // protocol-version handshake (RPC)
+  kServeOpen = 33,       // system + structural config -> session key (RPC)
+  kServeEstimate = 34,   // session key + per-run request -> results (RPC)
+  kServeCheckpoint = 35, // session key -> serialized checkpoint (RPC)
+  kServeRestore = 36,    // checkpoint blob -> rebuilt warm session (RPC)
+  kServeStats = 37,      // server-wide serve.* counters + latency (RPC)
+  kServeShutdown = 38,   // stop the server after replying (RPC)
   // worker -> master
   kReply = 64,         // RPC reply (payload shape depends on the request)
+  kServeError = 65,    // serve-layer error reply (payload: message string)
 };
 
 /// Does a request of this type produce a kReply frame?
@@ -112,6 +121,11 @@ class WireReader {
 // Sanity bound on decoded container lengths: a corrupted length field must
 // not allocate unbounded memory before the bounds check trips.
 inline constexpr std::uint32_t kMaxWireElems = 1u << 24;
+
+/// Length-prefixed UTF-8-agnostic byte string (the serve layer's system
+/// names and error messages).
+void put_string(WireWriter& w, const std::string& s);
+[[nodiscard]] bool get_string(WireReader& r, std::string* out);
 
 void put_inputs(WireWriter& w, const cfsm::ReactionInputs& in);
 [[nodiscard]] bool get_inputs(WireReader& r, cfsm::ReactionInputs* out);

@@ -1,5 +1,6 @@
 #include "hw/reaction_cache.hpp"
 
+#include <algorithm>
 #include <utility>
 
 #include "telemetry/registry.hpp"
@@ -64,6 +65,35 @@ void ReactionCache::configure(const ReactionCacheConfig& cfg) {
 }
 
 void ReactionCache::clear() { table_.clear(); }
+
+std::vector<ExportedReaction> ReactionCache::export_entries() const {
+  std::vector<ExportedReaction> out;
+  out.reserve(table_.size());
+  for (const auto& [key, e] : table_)
+    out.push_back(
+        ExportedReaction{key, e.energy, e.toggles, e.latch_begin, e.gate_evals});
+  std::sort(out.begin(), out.end(),
+            [](const ExportedReaction& a, const ExportedReaction& b) {
+              return a.key < b.key;
+            });
+  return out;
+}
+
+void ReactionCache::import_entries(std::vector<ExportedReaction> entries) {
+  table_.clear();
+  for (ExportedReaction& x : entries) {
+    if (table_.size() >= cfg_.max_entries) {
+      stats_.evicted_entries += entries.size() - table_.size();
+      break;
+    }
+    Entry e;
+    e.energy = x.energy;
+    e.toggles = std::move(x.toggles);
+    e.latch_begin = x.latch_begin;
+    e.gate_evals = x.gate_evals;
+    table_.emplace(std::move(x.key), std::move(e));
+  }
+}
 
 ReactionCache::TelemetryCounters* ReactionCache::counters() {
   // Handles resolved once per prefix and cached (registry entries are

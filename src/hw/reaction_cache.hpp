@@ -63,6 +63,19 @@ struct ReactionCacheConfig {
   std::string telemetry_prefix;
 };
 
+/// One serialized reaction-table entry (serve checkpoints): the key words
+/// plus the memoized replay. Keys are pure content — (post-reset flag,
+/// applied PIs, previous-entry registers, staged inputs) — so an exported
+/// entry is valid to import into any cache wrapping a simulator of the same
+/// netlist, in any process.
+struct ExportedReaction {
+  std::vector<std::uint64_t> key;
+  Joules energy = 0.0;
+  std::vector<NetId> toggles;
+  std::uint32_t latch_begin = 0;
+  std::uint64_t gate_evals = 0;
+};
+
 struct ReactionCacheStats {
   std::uint64_t hits = 0;
   std::uint64_t misses = 0;    ///< anchored steps simulated and memoized
@@ -96,6 +109,16 @@ class ReactionCache {
   [[nodiscard]] bool enabled() const { return cfg_.enabled; }
   [[nodiscard]] std::size_t size() const { return table_.size(); }
   [[nodiscard]] const ReactionCacheStats& stats() const { return stats_; }
+
+  /// All memoized entries, sorted by key words so checkpoint bytes are
+  /// deterministic for a given table state.
+  [[nodiscard]] std::vector<ExportedReaction> export_entries() const;
+  /// Replaces the table with `entries` (capped at max_entries; excess
+  /// entries are dropped, counted as evictions). Tracking state is left
+  /// alone: the cache re-anchors at the owner's next reset(), which is when
+  /// the imported entries become servable — exactly the warm-across-runs
+  /// lifecycle a live table already has.
+  void import_entries(std::vector<ExportedReaction> entries);
 
  private:
   struct KeyHash {

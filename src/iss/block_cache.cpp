@@ -46,6 +46,14 @@ const DecodedBlock* BlockCache::insert(DecodedBlock block) {
   return out;
 }
 
+std::vector<std::uint32_t> BlockCache::entry_pcs() const {
+  std::vector<std::uint32_t> pcs;
+  pcs.reserve(blocks_.size());
+  for (const auto& [entry, block] : blocks_) pcs.push_back(entry);
+  std::sort(pcs.begin(), pcs.end());
+  return pcs;
+}
+
 void BlockCache::invalidate() {
   if (!blocks_.empty()) {
     blocks_.clear();

@@ -113,6 +113,16 @@ class BlockCache {
   [[nodiscard]] const BlockCacheStats& stats() const { return stats_; }
   [[nodiscard]] std::size_t size() const { return blocks_.size(); }
 
+  /// True when a block entered at `entry` is cached; counts nothing.
+  [[nodiscard]] bool contains(std::uint32_t entry) const {
+    return entry < index_.size() && index_[entry] != nullptr;
+  }
+  /// Entry PCs of every cached block, ascending. Serve checkpoints export
+  /// only these keys: decode_block() is a pure function of instruction
+  /// memory and the power model, so re-decoding on restore reproduces
+  /// identical blocks (and identical replay energies).
+  [[nodiscard]] std::vector<std::uint32_t> entry_pcs() const;
+
  private:
   std::vector<const DecodedBlock*> index_;  // direct-mapped view of blocks_
   std::unordered_map<std::uint32_t, std::unique_ptr<DecodedBlock>> blocks_;

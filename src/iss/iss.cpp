@@ -63,6 +63,12 @@ void Iss::load_program(std::span<const Instruction> prog,
   telemetry::registry().counter("iss.block_cache.invalidations").add();
 }
 
+void Iss::warm_block(std::uint32_t entry) {
+  if (!config_.block_cache || entry >= imem_.size()) return;
+  if (blocks_.contains(entry)) return;
+  blocks_.insert(decode_block(imem_, entry, model_, config_.block_cache_max_ops));
+}
+
 std::int32_t Iss::reg(unsigned r) const {
   assert(r < kNumRegisters);
   return r == 0 || r >= kNumRegisters ? 0 : regs_[r];

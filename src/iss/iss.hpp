@@ -102,6 +102,17 @@ class Iss {
     return blocks_.stats();
   }
 
+  // -- checkpoint/restore ----------------------------------------------------
+  /// Entry PCs of every cached decoded block, ascending.
+  [[nodiscard]] std::vector<std::uint32_t> cached_block_entries() const {
+    return blocks_.entry_pcs();
+  }
+  /// Pre-decode the block entered at `entry` into the cache: exactly the
+  /// insert run() would perform on that PC's first execution, so a restored
+  /// process replays warm without changing any replayed energy. Ignores
+  /// out-of-range or already-cached entries; no-op with the cache disabled.
+  void warm_block(std::uint32_t entry);
+
  private:
   /// Delay-slot bookkeeping. Deliberately local to each run() call, exactly
   /// as in the original interpreter: a budget that expires between a taken

@@ -1,0 +1,151 @@
+#include "serve/client.hpp"
+
+#include <utility>
+
+namespace socpower::serve {
+
+using dist::Frame;
+using dist::MsgType;
+using dist::WireReader;
+using dist::WireWriter;
+
+Client Client::connect(const std::string& socket_path, std::string* error) {
+  Client c;
+  c.ch_ = dist::Channel::connect_unix(socket_path);
+  if (!c.ch_.valid()) {
+    if (error) *error = "cannot connect to '" + socket_path + "'";
+    return c;
+  }
+  WireWriter w;
+  w.put_u32(kServeProtocolVersion);
+  Frame reply;
+  if (!c.rpc(MsgType::kServeHello, w.bytes(), &reply, error)) c.ch_.close();
+  return c;
+}
+
+bool Client::rpc(MsgType type, const std::vector<std::uint8_t>& payload,
+                 Frame* reply, std::string* error) {
+  if (!ch_.valid()) {
+    if (error) *error = "not connected";
+    return false;
+  }
+  if (!ch_.send_frame(type, payload, timeout_ms_)) {
+    if (error) *error = "send failed (server gone?)";
+    return false;
+  }
+  const dist::Channel::RecvStatus st = ch_.recv_frame(reply, timeout_ms_);
+  if (st != dist::Channel::RecvStatus::kOk) {
+    if (error)
+      *error = st == dist::Channel::RecvStatus::kTimeout ? "request timed out"
+                                                         : "connection lost";
+    return false;
+  }
+  if (reply->type == MsgType::kServeError) {
+    WireReader r(reply->payload);
+    std::string message;
+    if (!dist::get_string(r, &message)) message = "malformed error reply";
+    if (error) *error = std::move(message);
+    return false;
+  }
+  if (reply->type != MsgType::kReply) {
+    if (error) *error = "unexpected reply type";
+    return false;
+  }
+  return true;
+}
+
+bool Client::open_session(const SystemParams& system,
+                          const StructuralConfig& structural,
+                          std::string* key, bool* created,
+                          std::string* error) {
+  WireWriter w;
+  put_system(w, system);
+  put_structural(w, structural);
+  Frame reply;
+  if (!rpc(MsgType::kServeOpen, w.bytes(), &reply, error)) return false;
+  WireReader r(reply.payload);
+  std::string k;
+  if (!dist::get_string(r, &k)) {
+    if (error) *error = "malformed open reply";
+    return false;
+  }
+  const bool fresh = r.get_u8() != 0;
+  if (!r.ok() || !r.at_end()) {
+    if (error) *error = "malformed open reply";
+    return false;
+  }
+  if (key) *key = std::move(k);
+  if (created) *created = fresh;
+  return true;
+}
+
+bool Client::estimate(const std::string& key, const RunRequest& req,
+                      core::RunResults* res, RequestStats* stats,
+                      std::string* error) {
+  WireWriter w;
+  dist::put_string(w, key);
+  put_run_request(w, req);
+  Frame reply;
+  if (!rpc(MsgType::kServeEstimate, w.bytes(), &reply, error)) return false;
+  WireReader r(reply.payload);
+  core::RunResults decoded;
+  RequestStats st;
+  if (!dist::get_run_results(r, &decoded) || !get_request_stats(r, &st) ||
+      !r.at_end()) {
+    if (error) *error = "malformed estimate reply";
+    return false;
+  }
+  if (res) *res = std::move(decoded);
+  if (stats) *stats = st;
+  return true;
+}
+
+bool Client::checkpoint(const std::string& key,
+                        std::vector<std::uint8_t>* blob, std::string* error) {
+  WireWriter w;
+  dist::put_string(w, key);
+  Frame reply;
+  if (!rpc(MsgType::kServeCheckpoint, w.bytes(), &reply, error)) return false;
+  if (blob) *blob = std::move(reply.payload);
+  return true;
+}
+
+bool Client::restore(const std::vector<std::uint8_t>& blob, std::string* key,
+                     bool* restored, std::string* error) {
+  Frame reply;
+  if (!rpc(MsgType::kServeRestore, blob, &reply, error)) return false;
+  WireReader r(reply.payload);
+  std::string k;
+  if (!dist::get_string(r, &k)) {
+    if (error) *error = "malformed restore reply";
+    return false;
+  }
+  const bool fresh = r.get_u8() != 0;
+  if (!r.ok() || !r.at_end()) {
+    if (error) *error = "malformed restore reply";
+    return false;
+  }
+  if (key) *key = std::move(k);
+  if (restored) *restored = fresh;
+  return true;
+}
+
+bool Client::stats(ServeStatsReply* out, std::string* error) {
+  Frame reply;
+  if (!rpc(MsgType::kServeStats, {}, &reply, error)) return false;
+  WireReader r(reply.payload);
+  ServeStatsReply s;
+  if (!get_stats_reply(r, &s) || !r.at_end()) {
+    if (error) *error = "malformed stats reply";
+    return false;
+  }
+  if (out) *out = std::move(s);
+  return true;
+}
+
+bool Client::shutdown(std::string* error) {
+  Frame reply;
+  return rpc(MsgType::kServeShutdown, {}, &reply, error);
+}
+
+}  // namespace socpower::serve

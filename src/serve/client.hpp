@@ -1,0 +1,73 @@
+// Client side of the session-server protocol: one blocking RPC per public
+// method, over an AF_UNIX connection. Used by the examples, benches, tests,
+// and scripts/run_experiments.sh (through examples/client_sweep).
+//
+// Error handling: every method returns false and fills `*error` on a
+// transport failure or a kServeError reply; the connection stays usable
+// after a server-side (kServeError) rejection but not after a transport
+// error.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/coestimator_config.hpp"
+#include "dist/channel.hpp"
+#include "serve/protocol.hpp"
+
+namespace socpower::serve {
+
+class Client {
+ public:
+  Client() = default;
+
+  /// Connects and performs the kServeHello version handshake.
+  [[nodiscard]] static Client connect(const std::string& socket_path,
+                                      std::string* error);
+
+  [[nodiscard]] bool valid() const { return ch_.valid(); }
+
+  /// Find-or-create the session for (system, structural). `*created` tells
+  /// whether this call prepared a fresh estimator (cold) or joined a warm
+  /// one.
+  [[nodiscard]] bool open_session(const SystemParams& system,
+                                  const StructuralConfig& structural,
+                                  std::string* key, bool* created,
+                                  std::string* error);
+
+  [[nodiscard]] bool estimate(const std::string& key, const RunRequest& req,
+                              core::RunResults* res, RequestStats* stats,
+                              std::string* error);
+
+  /// Fetches the session's serialized checkpoint blob.
+  [[nodiscard]] bool checkpoint(const std::string& key,
+                                std::vector<std::uint8_t>* blob,
+                                std::string* error);
+
+  /// Rebuilds a session from a checkpoint blob. `*restored` is false when a
+  /// session with that identity already lived on the server (its warm state
+  /// wins; the checkpoint is ignored).
+  [[nodiscard]] bool restore(const std::vector<std::uint8_t>& blob,
+                             std::string* key, bool* restored,
+                             std::string* error);
+
+  [[nodiscard]] bool stats(ServeStatsReply* out, std::string* error);
+
+  /// Asks the server to stop (it replies first, then winds down).
+  [[nodiscard]] bool shutdown(std::string* error);
+
+  /// Per-RPC timeout; estimation requests can legitimately take a while
+  /// (a cold prepare synthesizes netlists and characterizes macro-ops).
+  void set_timeout_ms(int ms) { timeout_ms_ = ms; }
+
+ private:
+  [[nodiscard]] bool rpc(dist::MsgType type,
+                         const std::vector<std::uint8_t>& payload,
+                         dist::Frame* reply, std::string* error);
+
+  dist::Channel ch_;
+  int timeout_ms_ = 120'000;
+};
+
+}  // namespace socpower::serve

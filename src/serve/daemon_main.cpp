@@ -1,0 +1,75 @@
+// socpower_serve: the co-estimation session-server daemon.
+//
+//   socpower_serve [--socket PATH] [--threads N]
+//
+// Knobs (flags win over environment):
+//   --socket PATH / SOCPOWER_SERVE_SOCKET   AF_UNIX listening socket path
+//                                           (default /tmp/socpower_serve.sock)
+//   --threads N  / SOCPOWER_SERVE_THREADS   estimation worker threads
+//                                           (default 0 = one per hw thread)
+//
+// The daemon runs until SIGINT/SIGTERM or a kServeShutdown request, then
+// prints the serve.* stats table and exits 0. Exit 1 = bad usage or the
+// socket could not be bound (a live server already owns the path, or the
+// platform has no AF_UNIX support).
+#include <atomic>
+#include <chrono>
+#include <csignal>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <thread>
+
+#include "serve/server.hpp"
+#include "util/env.hpp"
+
+namespace {
+
+std::atomic<bool> g_signalled{false};
+
+void on_signal(int) { g_signalled.store(true); }
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using socpower::serve::Server;
+  using socpower::serve::ServerConfig;
+
+  ServerConfig config;
+  config.socket_path = socpower::util::env_str("SOCPOWER_SERVE_SOCKET",
+                                               "/tmp/socpower_serve.sock");
+  config.threads = static_cast<unsigned>(
+      socpower::util::env_int("SOCPOWER_SERVE_THREADS", 0));
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--socket" && i + 1 < argc) {
+      config.socket_path = argv[++i];
+    } else if (arg == "--threads" && i + 1 < argc) {
+      config.threads = static_cast<unsigned>(std::atoi(argv[++i]));
+    } else {
+      std::fprintf(stderr, "usage: %s [--socket PATH] [--threads N]\n",
+                   argv[0]);
+      return 1;
+    }
+  }
+
+  Server server(config);
+  if (!server.start()) {
+    std::fprintf(stderr, "socpower_serve: cannot listen on '%s'\n",
+                 config.socket_path.c_str());
+    return 1;
+  }
+  std::printf("socpower_serve: listening on %s\n",
+              config.socket_path.c_str());
+  std::fflush(stdout);
+
+  std::signal(SIGINT, on_signal);
+  std::signal(SIGTERM, on_signal);
+  while (server.running() && !g_signalled.load())
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  server.stop();
+
+  std::printf("%s", server.stats_snapshot().rendered.c_str());
+  return 0;
+}

@@ -1,0 +1,110 @@
+#include "serve/session.hpp"
+
+#include <chrono>
+#include <utility>
+
+namespace socpower::serve {
+
+std::unique_ptr<Session> Session::create(const SystemParams& system,
+                                         const StructuralConfig& structural,
+                                         std::string* error) {
+  std::unique_ptr<SystemInstance> sys = make_system(system, error);
+  if (!sys) return nullptr;
+
+  core::CoEstimatorConfig cfg;
+  structural.apply(&cfg);
+  auto est = std::make_unique<core::CoEstimator>(&sys->network(), cfg);
+  sys->configure(*est);
+  // prepare() aborts the whole process on an invalid config — a server must
+  // turn that into an error reply instead.
+  const std::vector<std::string> problems = est->config().validate();
+  if (!problems.empty()) {
+    if (error) *error = "invalid configuration: " + problems.front();
+    return nullptr;
+  }
+  est->prepare();
+
+  auto session = std::unique_ptr<Session>(new Session());
+  session->key_ = session_key(system, structural);
+  session->system_ = system;
+  session->structural_ = structural;
+  session->sys_ = std::move(sys);
+  session->est_ = std::move(est);
+  return session;
+}
+
+std::unique_ptr<Session> Session::restore(const Checkpoint& ckpt,
+                                          std::string* error) {
+  std::unique_ptr<Session> session =
+      create(ckpt.system, ckpt.structural, error);
+  if (!session) return nullptr;
+  if (!session->est_->import_warm_state(ckpt.warm)) {
+    if (error)
+      *error = "checkpoint warm state does not match the prepared session";
+    return nullptr;
+  }
+  session->restored_ = true;
+  return session;
+}
+
+bool Session::estimate(const RunRequest& req, core::RunResults* res,
+                       RequestStats* stats, std::string* error) {
+  std::lock_guard<std::mutex> lk(mu_);
+  req.apply(&est_->config());
+  const std::vector<std::string> problems = est_->config().validate();
+  if (!problems.empty()) {
+    if (error) *error = "invalid run request: " + problems.front();
+    return false;
+  }
+
+  const core::ComponentEstimator::WarmCacheCounters before =
+      est_->warm_cache_counters();
+  const auto t0 = std::chrono::steady_clock::now();
+  const sim::Stimulus stim = sys_->stimulus();
+  *res = req.separate ? est_->run_separate(stim) : est_->run(stim);
+  const auto t1 = std::chrono::steady_clock::now();
+  const core::ComponentEstimator::WarmCacheCounters after =
+      est_->warm_cache_counters();
+
+  if (stats) {
+    stats->wall_ms =
+        std::chrono::duration<double, std::milli>(t1 - t0).count();
+    stats->run_index = runs_;
+    stats->restored_session = restored_;
+    stats->ecache_hits = res->cache_hits_served;
+    stats->warm_hits = after.hits - before.hits;
+    stats->warm_fills = after.fills - before.fills;
+  }
+  ++runs_;
+  return true;
+}
+
+Checkpoint Session::checkpoint() {
+  std::lock_guard<std::mutex> lk(mu_);
+  Checkpoint c;
+  c.system = system_;
+  c.structural = structural_;
+  c.warm = est_->export_warm_state();
+  return c;
+}
+
+std::shared_ptr<Session> SessionTable::find(const std::string& key) const {
+  std::lock_guard<std::mutex> lk(mu_);
+  const auto it = map_.find(key);
+  return it == map_.end() ? nullptr : it->second;
+}
+
+std::shared_ptr<Session> SessionTable::adopt(
+    std::shared_ptr<Session> session) {
+  std::lock_guard<std::mutex> lk(mu_);
+  auto [it, inserted] = map_.emplace(session->key(), std::move(session));
+  (void)inserted;
+  return it->second;
+}
+
+std::size_t SessionTable::size() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return map_.size();
+}
+
+}  // namespace socpower::serve

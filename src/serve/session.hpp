@@ -1,0 +1,79 @@
+// One server session: a prepared CoEstimator plus the system it simulates,
+// keyed by the structural-freeze snapshot (serve::session_key).
+//
+// Concurrency: the server may run many sessions at once, but requests
+// against ONE session serialize on its mutex — the CoEstimator is stateful
+// (its caches are the whole point) and a run mutates them. Two concurrent
+// requests for the same (system, structural) pair therefore queue, and the
+// second one enjoys the caches the first just warmed.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "core/coestimator.hpp"
+#include "serve/checkpoint.hpp"
+#include "serve/protocol.hpp"
+#include "serve/system_factory.hpp"
+
+namespace socpower::serve {
+
+class Session {
+ public:
+  /// Builds the system, applies the structural config, validates it
+  /// (config().validate() — prepare() aborts the process on an invalid
+  /// config, so the server must reject first), and prepares. nullptr with
+  /// `*error` set on any failure.
+  [[nodiscard]] static std::unique_ptr<Session> create(
+      const SystemParams& system, const StructuralConfig& structural,
+      std::string* error);
+
+  /// create() from the checkpoint's identity, then import its warm state.
+  [[nodiscard]] static std::unique_ptr<Session> restore(const Checkpoint& ckpt,
+                                                        std::string* error);
+
+  [[nodiscard]] const std::string& key() const { return key_; }
+  [[nodiscard]] bool restored() const { return restored_; }
+
+  /// Applies the per-run knobs and runs the session's canonical stimulus
+  /// (run_separate when req.separate). Serializes on the session mutex.
+  /// False with `*error` set when the knobs fail config validation.
+  [[nodiscard]] bool estimate(const RunRequest& req, core::RunResults* res,
+                              RequestStats* stats, std::string* error);
+
+  /// Snapshot of the session identity + warm caches, taken under the mutex
+  /// (never mid-run).
+  [[nodiscard]] Checkpoint checkpoint();
+
+ private:
+  Session() = default;
+
+  std::mutex mu_;
+  std::string key_;
+  SystemParams system_;
+  StructuralConfig structural_;
+  std::unique_ptr<SystemInstance> sys_;
+  std::unique_ptr<core::CoEstimator> est_;
+  std::uint64_t runs_ = 0;
+  bool restored_ = false;
+};
+
+/// Key -> session map shared by all server connections. find-or-insert is
+/// atomic so two clients opening the same structural config race to one
+/// session, never two.
+class SessionTable {
+ public:
+  [[nodiscard]] std::shared_ptr<Session> find(const std::string& key) const;
+  /// Inserts `session` under its key unless one exists; returns the winner.
+  std::shared_ptr<Session> adopt(std::shared_ptr<Session> session);
+  [[nodiscard]] std::size_t size() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::shared_ptr<Session>> map_;
+};
+
+}  // namespace socpower::serve

@@ -1,0 +1,115 @@
+#include "serve/system_factory.hpp"
+
+#include <set>
+#include <utility>
+
+#include "systems/prodcons.hpp"
+#include "systems/tcpip.hpp"
+
+namespace socpower::serve {
+
+namespace {
+
+/// Rejects any kv key outside `known`; the factory's strictness contract.
+bool check_keys(const SystemParams& params, const std::set<std::string>& known,
+                std::string* error) {
+  for (const auto& [k, v] : params.kv) {
+    (void)v;
+    if (known.count(k) == 0) {
+      if (error)
+        *error = "unknown parameter '" + k + "' for system '" + params.name +
+                 "'";
+      return false;
+    }
+  }
+  return true;
+}
+
+class TcpIpInstance final : public SystemInstance {
+ public:
+  explicit TcpIpInstance(systems::TcpIpParams p) : sys_(p) {}
+
+  [[nodiscard]] const cfsm::Network& network() const override {
+    return sys_.network();
+  }
+  void configure(core::CoEstimator& est) override { sys_.configure(est); }
+  [[nodiscard]] sim::Stimulus stimulus() const override {
+    return sys_.stimulus();
+  }
+
+ private:
+  systems::TcpIpSystem sys_;
+};
+
+class ProdConsInstance final : public SystemInstance {
+ public:
+  ProdConsInstance(systems::ProdConsParams p, sim::SimTime horizon)
+      : sys_(p), horizon_(horizon) {}
+
+  [[nodiscard]] const cfsm::Network& network() const override {
+    return sys_.network();
+  }
+  void configure(core::CoEstimator& est) override { sys_.configure(est); }
+  [[nodiscard]] sim::Stimulus stimulus() const override {
+    return sys_.stimulus(horizon_);
+  }
+
+ private:
+  systems::ProdConsSystem sys_;
+  sim::SimTime horizon_;
+};
+
+}  // namespace
+
+std::unique_ptr<SystemInstance> make_system(const SystemParams& params,
+                                            std::string* error) {
+  if (params.name == "tcpip") {
+    static const std::set<std::string> known = {
+        "num_packets",    "packet_bytes",
+        "packet_gap",     "dma_block_size",
+        "ip_check_in_hw", "checksum_rtl_estimator",
+        "seed",           "rtos_prio_create",
+        "rtos_prio_ipcheck"};
+    if (!check_keys(params, known, error)) return nullptr;
+    systems::TcpIpParams p;
+    p.num_packets = static_cast<int>(params.get("num_packets", p.num_packets));
+    p.packet_bytes =
+        static_cast<int>(params.get("packet_bytes", p.packet_bytes));
+    p.packet_gap = static_cast<sim::SimTime>(
+        params.get("packet_gap", static_cast<std::int64_t>(p.packet_gap)));
+    p.dma_block_size = static_cast<unsigned>(
+        params.get("dma_block_size", p.dma_block_size));
+    p.ip_check_in_hw = params.get("ip_check_in_hw", 0) != 0;
+    p.checksum_rtl_estimator = params.get("checksum_rtl_estimator", 0) != 0;
+    p.seed = static_cast<std::uint64_t>(
+        params.get("seed", static_cast<std::int64_t>(p.seed)));
+    p.rtos_prio_create = static_cast<int>(
+        params.get("rtos_prio_create", p.rtos_prio_create));
+    p.rtos_prio_ipcheck = static_cast<int>(
+        params.get("rtos_prio_ipcheck", p.rtos_prio_ipcheck));
+    return std::make_unique<TcpIpInstance>(p);
+  }
+  if (params.name == "prodcons") {
+    static const std::set<std::string> known = {
+        "num_packets", "bytes_per_packet",         "tick_period",
+        "start_gap",   "consumer_base_iterations", "horizon"};
+    if (!check_keys(params, known, error)) return nullptr;
+    systems::ProdConsParams p;
+    p.num_packets = static_cast<int>(params.get("num_packets", p.num_packets));
+    p.bytes_per_packet =
+        static_cast<int>(params.get("bytes_per_packet", p.bytes_per_packet));
+    p.tick_period = static_cast<sim::SimTime>(
+        params.get("tick_period", static_cast<std::int64_t>(p.tick_period)));
+    p.start_gap = static_cast<sim::SimTime>(
+        params.get("start_gap", static_cast<std::int64_t>(p.start_gap)));
+    p.consumer_base_iterations = static_cast<int>(params.get(
+        "consumer_base_iterations", p.consumer_base_iterations));
+    const auto horizon =
+        static_cast<sim::SimTime>(params.get("horizon", 4096));
+    return std::make_unique<ProdConsInstance>(p, horizon);
+  }
+  if (error) *error = "unknown system '" + params.name + "'";
+  return nullptr;
+}
+
+}  // namespace socpower::serve

@@ -1,0 +1,46 @@
+// Server-side construction of the benchmark systems from wire-shipped
+// SystemParams.
+//
+// A SystemInstance owns the behavioral system (CFSM network, hooks, packet
+// contents) for the lifetime of its session: the network must outlive the
+// CoEstimator that simulates it, and the environment hooks capture the
+// system object. The factory is strict — an unknown system name or
+// parameter key is an error, not a default — because SystemParams is half
+// of the session identity and a silently-dropped key would alias two
+// different workloads onto one session.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "core/coestimator.hpp"
+#include "serve/protocol.hpp"
+#include "sim/event_queue.hpp"
+
+namespace socpower::serve {
+
+class SystemInstance {
+ public:
+  virtual ~SystemInstance() = default;
+
+  [[nodiscard]] virtual const cfsm::Network& network() const = 0;
+  /// Maps processes and installs hooks; call before est.prepare().
+  virtual void configure(core::CoEstimator& est) = 0;
+  /// The canonical stimulus of this system configuration. Deterministic:
+  /// every estimate request of a session replays the same occurrences.
+  [[nodiscard]] virtual sim::Stimulus stimulus() const = 0;
+};
+
+/// Builds the named system. Returns nullptr with `*error` set on an unknown
+/// name or parameter key.
+///
+/// Recognized parameters (all integers; booleans as 0/1):
+///   tcpip:    num_packets, packet_bytes, packet_gap, dma_block_size,
+///             ip_check_in_hw, checksum_rtl_estimator, seed,
+///             rtos_prio_create, rtos_prio_ipcheck
+///   prodcons: num_packets, bytes_per_packet, tick_period, start_gap,
+///             consumer_base_iterations, horizon
+[[nodiscard]] std::unique_ptr<SystemInstance> make_system(
+    const SystemParams& params, std::string* error);
+
+}  // namespace socpower::serve

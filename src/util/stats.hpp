@@ -12,8 +12,35 @@ namespace socpower {
 /// Single-pass mean / variance accumulator (Welford).
 class RunningStats {
  public:
+  /// The complete accumulator state, exposed for bit-exact serialization
+  /// (serve checkpoints carry each double as its IEEE-754 bit pattern).
+  /// Restoring a Raw reproduces every future mean()/variance() — and every
+  /// eligibility decision derived from them — bit for bit.
+  struct Raw {
+    std::uint64_t n = 0;
+    double mean = 0.0;
+    double m2 = 0.0;
+    double min = 0.0;
+    double max = 0.0;
+    double sum = 0.0;
+  };
+
   void add(double x);
   void reset();
+
+  [[nodiscard]] Raw raw() const {
+    return Raw{n_, mean_, m2_, min_, max_, sum_};
+  }
+  [[nodiscard]] static RunningStats from_raw(const Raw& r) {
+    RunningStats s;
+    s.n_ = static_cast<std::size_t>(r.n);
+    s.mean_ = r.mean;
+    s.m2_ = r.m2;
+    s.min_ = r.min;
+    s.max_ = r.max;
+    s.sum_ = r.sum;
+    return s;
+  }
 
   [[nodiscard]] std::size_t count() const { return n_; }
   [[nodiscard]] double mean() const { return n_ ? mean_ : 0.0; }

@@ -116,6 +116,23 @@ unsigned ThreadPool::size() const {
 
 bool ThreadPool::on_worker_thread() { return t_on_worker; }
 
+void ThreadPool::submit(std::function<void()> job) {
+  if (!job) return;
+  if (on_worker_thread() || impl_->workers.empty()) {
+    job();
+    return;
+  }
+  {
+    static telemetry::Gauge& depth =
+        telemetry::registry().gauge("pool.queue_depth");
+    std::lock_guard<std::mutex> lk(impl_->queue_mu);
+    if (impl_->stopping) return;  // racing the destructor: drop, don't crash
+    impl_->queue.emplace_back(std::move(job));
+    depth.set(static_cast<std::int64_t>(impl_->queue.size()));
+  }
+  impl_->queue_cv.notify_one();
+}
+
 void ThreadPool::parallel_for(std::size_t n,
                               const std::function<void(std::size_t)>& fn) {
   if (n == 0) return;

@@ -46,6 +46,13 @@ class ThreadPool {
   /// inside a pool task (runs inline) and with n == 0 (no-op).
   void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn);
 
+  /// Enqueues one independent job and returns immediately; some worker runs
+  /// it eventually (the destructor drains queued jobs before joining). The
+  /// session server multiplexes concurrent estimation requests through this.
+  /// From a pool worker (or an empty pool) the job runs inline — the same
+  /// no-deadlock rule as nested parallel_for.
+  void submit(std::function<void()> job);
+
   /// True when the current thread is one of this process's pool workers.
   [[nodiscard]] static bool on_worker_thread();
 

@@ -1,0 +1,293 @@
+// Checkpoint/restore correctness.
+//
+// The core contract: interrupting a session at ANY point — snapshot the
+// warm state, rebuild a cold estimator in a child process, import, continue
+// the workload — must reproduce the uninterrupted session's remaining
+// results bit-identically (energies compared as IEEE-754 bit patterns).
+// Fuzzed over seeds, system parameters, snapshot points, and a cycling mix
+// of acceleration modes.
+//
+// Plus the rejection paths: wrong magic, unknown version, truncation,
+// payload corruption (every failure mode with a distinct message), and an
+// unknown-system checkpoint that decodes fine but cannot restore.
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "dist/wire.hpp"
+#include "serve/checkpoint.hpp"
+#include "serve/session.hpp"
+
+#if !defined(_WIN32)
+#include <sys/wait.h>
+#include <unistd.h>
+#endif
+
+namespace socpower::serve {
+namespace {
+
+/// The fuzz workload: six runs cycling through acceleration modes, with the
+/// reaction cache on so there is real warm state to carry.
+std::vector<RunRequest> workload() {
+  std::vector<RunRequest> reqs;
+  for (int i = 0; i < 6; ++i) {
+    RunRequest rr;
+    rr.accel = static_cast<std::uint8_t>(i % 4);  // none..sampling
+    if (static_cast<core::Acceleration>(rr.accel) ==
+        core::Acceleration::kCaching)
+      rr.ecache_thresh_variance = 0.5;
+    rr.hw_batch = i % 2 == 0;
+    rr.hw_flush_threads = 1;
+    reqs.push_back(rr);
+  }
+  return reqs;
+}
+
+SystemParams fuzz_system(std::uint64_t seed) {
+  SystemParams sp;
+  sp.name = "tcpip";
+  sp.set("num_packets", 2 + static_cast<std::int64_t>(seed % 3));
+  sp.set("packet_bytes", seed % 2 == 0 ? 32 : 64);
+  sp.set("ip_check_in_hw", seed % 2 == 0 ? 1 : 0);
+  sp.set("checksum_rtl_estimator", seed % 3 == 0 ? 1 : 0);
+  sp.set("seed", static_cast<std::int64_t>(seed));
+  return sp;
+}
+
+/// The result fields the continuation must reproduce, as raw bit patterns.
+std::vector<std::uint64_t> result_bits(const core::RunResults& r) {
+  return {std::bit_cast<std::uint64_t>(r.total_energy),
+          std::bit_cast<std::uint64_t>(r.cpu_energy),
+          std::bit_cast<std::uint64_t>(r.hw_energy),
+          std::bit_cast<std::uint64_t>(r.bus_energy),
+          std::bit_cast<std::uint64_t>(r.cache_energy),
+          r.end_time,
+          r.reactions,
+          r.iss_invocations,
+          r.iss_instructions,
+          r.gate_sim_cycles,
+          r.cache_hits_served};
+}
+
+#if !defined(_WIN32)
+TEST(Checkpoint, MidWorkloadRestoreInChildIsBitIdentical) {
+  if (!dist::supported()) GTEST_SKIP() << "no fork/socketpair";
+  const std::vector<RunRequest> reqs = workload();
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    SCOPED_TRACE("seed " + std::to_string(seed));
+    const SystemParams sp = fuzz_system(seed);
+    const StructuralConfig sc;
+
+    // Reference: the uninterrupted session.
+    std::string error;
+    std::unique_ptr<Session> ref = Session::create(sp, sc, &error);
+    ASSERT_NE(ref, nullptr) << error;
+    std::vector<std::vector<std::uint64_t>> ref_bits;
+    for (const RunRequest& rr : reqs) {
+      core::RunResults res;
+      ASSERT_TRUE(ref->estimate(rr, &res, nullptr, &error)) << error;
+      ref_bits.push_back(result_bits(res));
+    }
+
+    // Interrupted: run to `snap`, checkpoint, restore in a forked child,
+    // run the remainder there, ship the raw bits back over a pipe.
+    const std::size_t snap = 1 + seed % (reqs.size() - 1);
+    std::unique_ptr<Session> hot = Session::create(sp, sc, &error);
+    ASSERT_NE(hot, nullptr) << error;
+    for (std::size_t i = 0; i < snap; ++i) {
+      core::RunResults res;
+      ASSERT_TRUE(hot->estimate(reqs[i], &res, nullptr, &error)) << error;
+      EXPECT_EQ(result_bits(res), ref_bits[i]);
+    }
+    const std::vector<std::uint8_t> blob =
+        encode_checkpoint(hot->checkpoint());
+
+    int pipefd[2];
+    ASSERT_EQ(::pipe(pipefd), 0);
+    const pid_t pid = ::fork();
+    ASSERT_GE(pid, 0);
+    if (pid == 0) {
+      ::close(pipefd[0]);
+      Checkpoint ckpt;
+      std::string child_error;
+      bool ok = decode_checkpoint(blob, &ckpt, &child_error);
+      std::unique_ptr<Session> restored =
+          ok ? Session::restore(ckpt, &child_error) : nullptr;
+      ok = restored != nullptr;
+      std::vector<std::uint64_t> out;
+      for (std::size_t i = snap; ok && i < reqs.size(); ++i) {
+        core::RunResults res;
+        ok = restored->estimate(reqs[i], &res, nullptr, &child_error);
+        if (ok)
+          for (const std::uint64_t b : result_bits(res)) out.push_back(b);
+      }
+      const std::uint8_t flag = ok ? 1 : 0;
+      (void)!::write(pipefd[1], &flag, 1);
+      if (ok)
+        (void)!::write(pipefd[1], out.data(), out.size() * sizeof out[0]);
+      ::close(pipefd[1]);
+      ::_exit(0);
+    }
+    ::close(pipefd[1]);
+    std::uint8_t flag = 0;
+    ASSERT_EQ(::read(pipefd[0], &flag, 1), 1);
+    ASSERT_EQ(flag, 1) << "child failed to restore/continue";
+    std::vector<std::uint64_t> expect;
+    for (std::size_t i = snap; i < reqs.size(); ++i)
+      for (const std::uint64_t b : ref_bits[i]) expect.push_back(b);
+    std::vector<std::uint64_t> got(expect.size(), 0);
+    std::size_t off = 0;
+    const std::size_t want = got.size() * sizeof got[0];
+    while (off < want) {
+      const ssize_t n = ::read(
+          pipefd[0], reinterpret_cast<std::uint8_t*>(got.data()) + off,
+          want - off);
+      ASSERT_GT(n, 0);
+      off += static_cast<std::size_t>(n);
+    }
+    ::close(pipefd[0]);
+    int status = 0;
+    ::waitpid(pid, &status, 0);
+    EXPECT_EQ(got, expect) << "restored continuation diverged";
+  }
+}
+#endif
+
+TEST(Checkpoint, RoundTripPreservesEveryField) {
+  std::string error;
+  const SystemParams sp = fuzz_system(2);
+  const StructuralConfig sc;
+  std::unique_ptr<Session> session = Session::create(sp, sc, &error);
+  ASSERT_NE(session, nullptr) << error;
+  RunRequest rr;
+  rr.accel = static_cast<std::uint8_t>(core::Acceleration::kCaching);
+  rr.ecache_thresh_variance = 0.5;
+  core::RunResults res;
+  ASSERT_TRUE(session->estimate(rr, &res, nullptr, &error)) << error;
+
+  const Checkpoint before = session->checkpoint();
+  const std::vector<std::uint8_t> blob = encode_checkpoint(before);
+  Checkpoint after;
+  ASSERT_TRUE(decode_checkpoint(blob, &after, &error)) << error;
+
+  EXPECT_EQ(after.system.name, before.system.name);
+  EXPECT_EQ(after.system.kv, before.system.kv);
+  ASSERT_EQ(after.warm.backends.size(), before.warm.backends.size());
+  for (std::size_t b = 0; b < before.warm.backends.size(); ++b) {
+    EXPECT_EQ(after.warm.backends[b].block_entries,
+              before.warm.backends[b].block_entries);
+    ASSERT_EQ(after.warm.backends[b].reactions.size(),
+              before.warm.backends[b].reactions.size());
+    for (std::size_t u = 0; u < before.warm.backends[b].reactions.size();
+         ++u) {
+      const auto& bu = before.warm.backends[b].reactions[u];
+      const auto& au = after.warm.backends[b].reactions[u];
+      EXPECT_EQ(au.task, bu.task);
+      ASSERT_EQ(au.entries.size(), bu.entries.size());
+      for (std::size_t e = 0; e < bu.entries.size(); ++e) {
+        EXPECT_EQ(au.entries[e].key, bu.entries[e].key);
+        EXPECT_EQ(std::bit_cast<std::uint64_t>(au.entries[e].energy),
+                  std::bit_cast<std::uint64_t>(bu.entries[e].energy));
+        EXPECT_EQ(au.entries[e].toggles, bu.entries[e].toggles);
+        EXPECT_EQ(au.entries[e].latch_begin, bu.entries[e].latch_begin);
+        EXPECT_EQ(au.entries[e].gate_evals, bu.entries[e].gate_evals);
+      }
+    }
+  }
+  ASSERT_EQ(after.warm.ecache.size(), before.warm.ecache.size());
+  for (std::size_t i = 0; i < before.warm.ecache.size(); ++i) {
+    EXPECT_EQ(after.warm.ecache[i].task, before.warm.ecache[i].task);
+    EXPECT_EQ(after.warm.ecache[i].path, before.warm.ecache[i].path);
+    EXPECT_EQ(std::bit_cast<std::uint64_t>(after.warm.ecache[i].energy.mean),
+              std::bit_cast<std::uint64_t>(before.warm.ecache[i].energy.mean));
+    EXPECT_EQ(std::bit_cast<std::uint64_t>(after.warm.ecache[i].energy.m2),
+              std::bit_cast<std::uint64_t>(before.warm.ecache[i].energy.m2));
+    EXPECT_EQ(after.warm.ecache[i].cycles.n, before.warm.ecache[i].cycles.n);
+  }
+  EXPECT_EQ(after.warm.ecache_hits, before.warm.ecache_hits);
+  EXPECT_EQ(after.warm.ecache_simulations, before.warm.ecache_simulations);
+}
+
+TEST(Checkpoint, RejectsBadMagicVersionTruncationAndCorruption) {
+  std::string error;
+  std::unique_ptr<Session> session =
+      Session::create(fuzz_system(1), StructuralConfig{}, &error);
+  ASSERT_NE(session, nullptr) << error;
+  const std::vector<std::uint8_t> good = encode_checkpoint(
+      session->checkpoint());
+  Checkpoint out;
+  ASSERT_TRUE(decode_checkpoint(good, &out, &error)) << error;
+
+  {  // bad magic
+    std::vector<std::uint8_t> bad = good;
+    bad[0] ^= 0xff;
+    EXPECT_FALSE(decode_checkpoint(bad, &out, &error));
+    EXPECT_NE(error.find("magic"), std::string::npos) << error;
+  }
+  {  // unknown version
+    std::vector<std::uint8_t> bad = good;
+    bad[4] = 0x7f;
+    EXPECT_FALSE(decode_checkpoint(bad, &out, &error));
+    EXPECT_NE(error.find("version"), std::string::npos) << error;
+  }
+  {  // truncated: shorter than the header
+    std::vector<std::uint8_t> bad(good.begin(), good.begin() + 10);
+    EXPECT_FALSE(decode_checkpoint(bad, &out, &error));
+    EXPECT_NE(error.find("truncated"), std::string::npos) << error;
+  }
+  {  // truncated: payload cut short
+    std::vector<std::uint8_t> bad(good.begin(), good.end() - 7);
+    EXPECT_FALSE(decode_checkpoint(bad, &out, &error));
+    EXPECT_NE(error.find("truncated"), std::string::npos) << error;
+  }
+  {  // every single-byte payload corruption trips the hash
+    for (const std::size_t at : {std::size_t{24}, good.size() / 2,
+                                 good.size() - 1}) {
+      std::vector<std::uint8_t> bad = good;
+      bad[at] ^= 0x01;
+      EXPECT_FALSE(decode_checkpoint(bad, &out, &error)) << "offset " << at;
+      EXPECT_NE(error.find("hash"), std::string::npos) << error;
+    }
+  }
+  {  // trailing garbage changes the length
+    std::vector<std::uint8_t> bad = good;
+    bad.push_back(0);
+    EXPECT_FALSE(decode_checkpoint(bad, &out, &error));
+    EXPECT_NE(error.find("length"), std::string::npos) << error;
+  }
+}
+
+TEST(Checkpoint, UnknownSystemDecodesButCannotRestore) {
+  // A well-formed checkpoint whose system this build does not know: the
+  // container layer accepts it, the session layer rejects it.
+  Checkpoint c;
+  c.system.name = "warp-drive";
+  const std::vector<std::uint8_t> blob = encode_checkpoint(c);
+  Checkpoint out;
+  std::string error;
+  ASSERT_TRUE(decode_checkpoint(blob, &out, &error)) << error;
+  EXPECT_EQ(Session::restore(out, &error), nullptr);
+  EXPECT_NE(error.find("unknown system"), std::string::npos) << error;
+}
+
+TEST(Checkpoint, FileRoundTrip) {
+  std::string error;
+  std::unique_ptr<Session> session =
+      Session::create(fuzz_system(3), StructuralConfig{}, &error);
+  ASSERT_NE(session, nullptr) << error;
+  const Checkpoint c = session->checkpoint();
+  const std::string path = ::testing::TempDir() + "socpower_ckpt_test.bin";
+  ASSERT_TRUE(write_checkpoint_file(path, c));
+  Checkpoint out;
+  ASSERT_TRUE(read_checkpoint_file(path, &out, &error)) << error;
+  EXPECT_EQ(out.system.name, c.system.name);
+  EXPECT_EQ(session_key(out.system, out.structural),
+            session_key(c.system, c.structural));
+  EXPECT_FALSE(read_checkpoint_file(path + ".missing", &out, &error));
+}
+
+}  // namespace
+}  // namespace socpower::serve

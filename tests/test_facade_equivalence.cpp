@@ -1,7 +1,7 @@
 // Facade-equivalence goldens: the master/backend split must be a pure
-// refactor. Every row below was captured from the pre-refactor monolithic
-// CoEstimator (same systems, same configs, hexfloat so no digits are lost),
-// and the split implementation must reproduce it BIT-identically — energies
+// refactor. Every row of facade_goldens.hpp was captured from the
+// pre-refactor monolithic CoEstimator (same systems, same configs, hexfloat
+// so no digits are lost), and the split must reproduce it BIT-identically —
 // compared with EXPECT_EQ on doubles, not a tolerance. The matrix covers
 // both benchmark systems (all-gate HW and mixed gate+RTL), all four
 // acceleration modes, hw_batch on/off, flush threads 1 and 4, plus the
@@ -13,153 +13,15 @@
 // per-run state provably resets completely.
 #include <gtest/gtest.h>
 
-#include <cstdint>
 #include <string>
 
 #include "core/coestimator.hpp"
 #include "dist/wire.hpp"
+#include "facade_goldens.hpp"
 #include "systems/tcpip.hpp"
 
 namespace socpower::core {
 namespace {
-
-struct GoldenValues {
-  double total = 0.0;
-  double cpu = 0.0;
-  double hw = 0.0;
-  double bus = 0.0;
-  double cache = 0.0;
-  std::uint64_t end_time = 0;
-  std::uint64_t reactions = 0;
-  std::uint64_t sw_reactions = 0;
-  std::uint64_t hw_reactions = 0;
-  std::uint64_t iss_invocations = 0;
-  std::uint64_t iss_instructions = 0;
-  std::uint64_t gate_sim_cycles = 0;
-  std::uint64_t cache_hits_served = 0;
-  std::uint64_t icache_accesses = 0;
-  std::uint64_t icache_misses = 0;
-  std::uint64_t bus_transfers = 0;
-};
-
-struct Golden {
-  const char* tag;  // "<system>/<mode...>"
-  GoldenValues v;
-};
-
-// Captured from the pre-refactor build (commit 7ff29aa) with %a formatting.
-const Golden kGoldens[] = {
-    {"gate/none/batch1/t1", {0x1.5e11f43b6f892p-12, 0x1.0f2eb59e64401p-13, 0x1.979ff9f720b63p-28, 0x1.aaba4e261af5p-13, 0x1.1bdab935f77e5p-20, 15208ull, 164ull, 68ull, 96ull, 68ull, 7532ull, 96ull, 0ull, 7532ull, 64ull, 100ull}},
-    {"gate/none/batch1/t4", {0x1.5e11f43b6f892p-12, 0x1.0f2eb59e64401p-13, 0x1.979ff9f720b63p-28, 0x1.aaba4e261af5p-13, 0x1.1bdab935f77e5p-20, 15208ull, 164ull, 68ull, 96ull, 68ull, 7532ull, 96ull, 0ull, 7532ull, 64ull, 100ull}},
-    {"gate/none/batch0/t1", {0x1.5e11f43b6f892p-12, 0x1.0f2eb59e64401p-13, 0x1.979ff9f720b64p-28, 0x1.aaba4e261af5p-13, 0x1.1bdab935f77e5p-20, 15208ull, 164ull, 68ull, 96ull, 68ull, 7532ull, 96ull, 0ull, 7532ull, 64ull, 100ull}},
-    {"gate/none/batch0/t4", {0x1.5e11f43b6f892p-12, 0x1.0f2eb59e64401p-13, 0x1.979ff9f720b64p-28, 0x1.aaba4e261af5p-13, 0x1.1bdab935f77e5p-20, 15208ull, 164ull, 68ull, 96ull, 68ull, 7532ull, 96ull, 0ull, 7532ull, 64ull, 100ull}},
-    {"gate/caching/batch1/t1", {0x1.5e11f43b6f892p-12, 0x1.0f2eb59e64401p-13, 0x1.979ff9f720b63p-28, 0x1.aaba4e261af5p-13, 0x1.1bdab935f77e5p-20, 15208ull, 164ull, 68ull, 96ull, 11ull, 1262ull, 96ull, 57ull, 7532ull, 64ull, 100ull}},
-    {"gate/caching/batch1/t4", {0x1.5e11f43b6f892p-12, 0x1.0f2eb59e64401p-13, 0x1.979ff9f720b63p-28, 0x1.aaba4e261af5p-13, 0x1.1bdab935f77e5p-20, 15208ull, 164ull, 68ull, 96ull, 11ull, 1262ull, 96ull, 57ull, 7532ull, 64ull, 100ull}},
-    {"gate/caching/batch0/t1", {0x1.5e11f43b6f892p-12, 0x1.0f2eb59e64401p-13, 0x1.979ff9f720b64p-28, 0x1.aaba4e261af5p-13, 0x1.1bdab935f77e5p-20, 15208ull, 164ull, 68ull, 96ull, 11ull, 1262ull, 96ull, 57ull, 7532ull, 64ull, 100ull}},
-    {"gate/caching/batch0/t4", {0x1.5e11f43b6f892p-12, 0x1.0f2eb59e64401p-13, 0x1.979ff9f720b64p-28, 0x1.aaba4e261af5p-13, 0x1.1bdab935f77e5p-20, 15208ull, 164ull, 68ull, 96ull, 11ull, 1262ull, 96ull, 57ull, 7532ull, 64ull, 100ull}},
-    {"gate/macromodel/batch1/t1", {0x1.7fa137b7c5254p-12, 0x1.524d3c970f784p-13, 0x1.979ff9f720b63p-28, 0x1.aaba4e261af5p-13, 0x1.1bdab935f77e5p-20, 18696ull, 164ull, 68ull, 96ull, 0ull, 0ull, 96ull, 68ull, 7532ull, 64ull, 100ull}},
-    {"gate/macromodel/batch1/t4", {0x1.7fa137b7c5254p-12, 0x1.524d3c970f784p-13, 0x1.979ff9f720b63p-28, 0x1.aaba4e261af5p-13, 0x1.1bdab935f77e5p-20, 18696ull, 164ull, 68ull, 96ull, 0ull, 0ull, 96ull, 68ull, 7532ull, 64ull, 100ull}},
-    {"gate/macromodel/batch0/t1", {0x1.7fa137b7c5254p-12, 0x1.524d3c970f784p-13, 0x1.979ff9f720b64p-28, 0x1.aaba4e261af5p-13, 0x1.1bdab935f77e5p-20, 18696ull, 164ull, 68ull, 96ull, 0ull, 0ull, 96ull, 68ull, 7532ull, 64ull, 100ull}},
-    {"gate/macromodel/batch0/t4", {0x1.7fa137b7c5254p-12, 0x1.524d3c970f784p-13, 0x1.979ff9f720b64p-28, 0x1.aaba4e261af5p-13, 0x1.1bdab935f77e5p-20, 18696ull, 164ull, 68ull, 96ull, 0ull, 0ull, 96ull, 68ull, 7532ull, 64ull, 100ull}},
-    {"gate/sampling/batch1/t1", {0x1.5e11f43b6f892p-12, 0x1.0f2eb59e64401p-13, 0x1.979ff9f720b63p-28, 0x1.aaba4e261af5p-13, 0x1.1bdab935f77e5p-20, 15208ull, 164ull, 68ull, 96ull, 65ull, 7202ull, 96ull, 3ull, 7532ull, 64ull, 100ull}},
-    {"gate/sampling/batch1/t4", {0x1.5e11f43b6f892p-12, 0x1.0f2eb59e64401p-13, 0x1.979ff9f720b63p-28, 0x1.aaba4e261af5p-13, 0x1.1bdab935f77e5p-20, 15208ull, 164ull, 68ull, 96ull, 65ull, 7202ull, 96ull, 3ull, 7532ull, 64ull, 100ull}},
-    {"gate/sampling/batch0/t1", {0x1.5e11f43b6f892p-12, 0x1.0f2eb59e64401p-13, 0x1.979ff9f720b64p-28, 0x1.aaba4e261af5p-13, 0x1.1bdab935f77e5p-20, 15208ull, 164ull, 68ull, 96ull, 65ull, 7202ull, 96ull, 3ull, 7532ull, 64ull, 100ull}},
-    {"gate/sampling/batch0/t4", {0x1.5e11f43b6f892p-12, 0x1.0f2eb59e64401p-13, 0x1.979ff9f720b64p-28, 0x1.aaba4e261af5p-13, 0x1.1bdab935f77e5p-20, 15208ull, 164ull, 68ull, 96ull, 65ull, 7202ull, 96ull, 3ull, 7532ull, 64ull, 100ull}},
-    {"gate/accelerate_hw", {0x1.5e125ffe7269cp-12, 0x1.0f2eb59e64401p-13, 0x1.01b17e6bdb6a9p-27, 0x1.aaba4e261af5p-13, 0x1.1bdab935f77e5p-20, 15208ull, 164ull, 68ull, 96ull, 11ull, 1262ull, 37ull, 116ull, 7532ull, 64ull, 100ull}},
-    {"gate/verify", {0x1.5e11f43b6f892p-12, 0x1.0f2eb59e64401p-13, 0x1.979ff9f720b64p-28, 0x1.aaba4e261af5p-13, 0x1.1bdab935f77e5p-20, 15208ull, 164ull, 68ull, 96ull, 68ull, 7532ull, 96ull, 0ull, 7532ull, 64ull, 100ull}},
-    {"gate/separate", {0x1.0d55ef0d30e37p-13, 0x1.0d52bfcd3cf53p-13, 0x1.979ff9f720b64p-28, 0x0p+0, 0x0p+0, 0ull, 164ull, 68ull, 96ull, 68ull, 7532ull, 96ull, 0ull, 0ull, 0ull, 0ull}},
-    {"mixed/none/batch1/t1", {0x1.0a77ad6ddd856p-13, 0x1.ac0415acdf92cp-15, 0x1.6356f18559ad2p-30, 0x1.3cc34a8518dffp-14, 0x1.145114a06e0b8p-21, 6331ull, 69ull, 27ull, 42ull, 27ull, 3009ull, 15ull, 0ull, 3009ull, 64ull, 39ull}},
-    {"mixed/none/batch1/t4", {0x1.0a77ad6ddd856p-13, 0x1.ac0415acdf92cp-15, 0x1.6356f18559ad2p-30, 0x1.3cc34a8518dffp-14, 0x1.145114a06e0b8p-21, 6331ull, 69ull, 27ull, 42ull, 27ull, 3009ull, 15ull, 0ull, 3009ull, 64ull, 39ull}},
-    {"mixed/none/batch0/t1", {0x1.0a77ad6ddd856p-13, 0x1.ac0415acdf92cp-15, 0x1.6356f18559ad2p-30, 0x1.3cc34a8518dffp-14, 0x1.145114a06e0b8p-21, 6331ull, 69ull, 27ull, 42ull, 27ull, 3009ull, 15ull, 0ull, 3009ull, 64ull, 39ull}},
-    {"mixed/none/batch0/t4", {0x1.0a77ad6ddd856p-13, 0x1.ac0415acdf92cp-15, 0x1.6356f18559ad2p-30, 0x1.3cc34a8518dffp-14, 0x1.145114a06e0b8p-21, 6331ull, 69ull, 27ull, 42ull, 27ull, 3009ull, 15ull, 0ull, 3009ull, 64ull, 39ull}},
-    {"mixed/caching/batch1/t1", {0x1.0a77ad6ddd856p-13, 0x1.ac0415acdf92cp-15, 0x1.6356f18559ad2p-30, 0x1.3cc34a8518dffp-14, 0x1.145114a06e0b8p-21, 6331ull, 69ull, 27ull, 42ull, 9ull, 1029ull, 15ull, 18ull, 3009ull, 64ull, 39ull}},
-    {"mixed/caching/batch1/t4", {0x1.0a77ad6ddd856p-13, 0x1.ac0415acdf92cp-15, 0x1.6356f18559ad2p-30, 0x1.3cc34a8518dffp-14, 0x1.145114a06e0b8p-21, 6331ull, 69ull, 27ull, 42ull, 9ull, 1029ull, 15ull, 18ull, 3009ull, 64ull, 39ull}},
-    {"mixed/caching/batch0/t1", {0x1.0a77ad6ddd856p-13, 0x1.ac0415acdf92cp-15, 0x1.6356f18559ad2p-30, 0x1.3cc34a8518dffp-14, 0x1.145114a06e0b8p-21, 6331ull, 69ull, 27ull, 42ull, 9ull, 1029ull, 15ull, 18ull, 3009ull, 64ull, 39ull}},
-    {"mixed/caching/batch0/t4", {0x1.0a77ad6ddd856p-13, 0x1.ac0415acdf92cp-15, 0x1.6356f18559ad2p-30, 0x1.3cc34a8518dffp-14, 0x1.145114a06e0b8p-21, 6331ull, 69ull, 27ull, 42ull, 9ull, 1029ull, 15ull, 18ull, 3009ull, 64ull, 39ull}},
-    {"mixed/macromodel/batch1/t1", {0x1.25b24b1d3e0a1p-13, 0x1.0c77463530d2bp-14, 0x1.6356f18559ad2p-30, 0x1.3cc34a8518dffp-14, 0x1.145114a06e0b8p-21, 7747ull, 69ull, 27ull, 42ull, 0ull, 0ull, 15ull, 27ull, 3009ull, 64ull, 39ull}},
-    {"mixed/macromodel/batch1/t4", {0x1.25b24b1d3e0a1p-13, 0x1.0c77463530d2bp-14, 0x1.6356f18559ad2p-30, 0x1.3cc34a8518dffp-14, 0x1.145114a06e0b8p-21, 7747ull, 69ull, 27ull, 42ull, 0ull, 0ull, 15ull, 27ull, 3009ull, 64ull, 39ull}},
-    {"mixed/macromodel/batch0/t1", {0x1.25b24b1d3e0a1p-13, 0x1.0c77463530d2bp-14, 0x1.6356f18559ad2p-30, 0x1.3cc34a8518dffp-14, 0x1.145114a06e0b8p-21, 7747ull, 69ull, 27ull, 42ull, 0ull, 0ull, 15ull, 27ull, 3009ull, 64ull, 39ull}},
-    {"mixed/macromodel/batch0/t4", {0x1.25b24b1d3e0a1p-13, 0x1.0c77463530d2bp-14, 0x1.6356f18559ad2p-30, 0x1.3cc34a8518dffp-14, 0x1.145114a06e0b8p-21, 7747ull, 69ull, 27ull, 42ull, 0ull, 0ull, 15ull, 27ull, 3009ull, 64ull, 39ull}},
-    {"mixed/sampling/batch1/t1", {0x1.0a77ad6ddd856p-13, 0x1.ac0415acdf92cp-15, 0x1.6356f18559ad2p-30, 0x1.3cc34a8518dffp-14, 0x1.145114a06e0b8p-21, 6331ull, 69ull, 27ull, 42ull, 27ull, 3009ull, 15ull, 0ull, 3009ull, 64ull, 39ull}},
-    {"mixed/sampling/batch1/t4", {0x1.0a77ad6ddd856p-13, 0x1.ac0415acdf92cp-15, 0x1.6356f18559ad2p-30, 0x1.3cc34a8518dffp-14, 0x1.145114a06e0b8p-21, 6331ull, 69ull, 27ull, 42ull, 27ull, 3009ull, 15ull, 0ull, 3009ull, 64ull, 39ull}},
-    {"mixed/sampling/batch0/t1", {0x1.0a77ad6ddd856p-13, 0x1.ac0415acdf92cp-15, 0x1.6356f18559ad2p-30, 0x1.3cc34a8518dffp-14, 0x1.145114a06e0b8p-21, 6331ull, 69ull, 27ull, 42ull, 27ull, 3009ull, 15ull, 0ull, 3009ull, 64ull, 39ull}},
-    {"mixed/sampling/batch0/t4", {0x1.0a77ad6ddd856p-13, 0x1.ac0415acdf92cp-15, 0x1.6356f18559ad2p-30, 0x1.3cc34a8518dffp-14, 0x1.145114a06e0b8p-21, 6331ull, 69ull, 27ull, 42ull, 27ull, 3009ull, 15ull, 0ull, 3009ull, 64ull, 39ull}},
-    {"mixed/accelerate_hw", {0x1.0a77ad9ea2917p-13, 0x1.ac0415acdf92cp-15, 0x1.63b87b9d782d7p-30, 0x1.3cc34a8518dffp-14, 0x1.145114a06e0b8p-21, 6331ull, 69ull, 27ull, 42ull, 9ull, 1029ull, 15ull, 33ull, 3009ull, 64ull, 39ull}},
-    {"mixed/verify", {0x1.0a77ad6ddd856p-13, 0x1.ac0415acdf92cp-15, 0x1.6356f18559ad2p-30, 0x1.3cc34a8518dffp-14, 0x1.145114a06e0b8p-21, 6331ull, 69ull, 27ull, 42ull, 27ull, 3009ull, 15ull, 0ull, 3009ull, 64ull, 39ull}},
-    {"mixed/separate", {0x1.a9402b6102808p-15, 0x1.a93a74521e337p-15, 0x1.6dc3b91345c92p-29, 0x0p+0, 0x0p+0, 0ull, 69ull, 27ull, 42ull, 27ull, 3009ull, 42ull, 0ull, 0ull, 0ull, 0ull}},
-};
-
-systems::TcpIpParams params_for(const std::string& system) {
-  systems::TcpIpParams p;
-  if (system == "gate") {
-    p.num_packets = 4;
-    p.packet_bytes = 64;
-    p.ip_check_in_hw = true;
-    p.seed = 7;
-  } else {  // "mixed": gate-level + RT-level hardware units
-    p.num_packets = 3;
-    p.packet_bytes = 32;
-    p.ip_check_in_hw = true;
-    p.checksum_rtl_estimator = true;
-    p.seed = 3;
-  }
-  return p;
-}
-
-Acceleration accel_from(const std::string& name) {
-  if (name == "none") return Acceleration::kNone;
-  if (name == "caching") return Acceleration::kCaching;
-  if (name == "macromodel") return Acceleration::kMacroModel;
-  if (name == "sampling") return Acceleration::kSampling;
-  ADD_FAILURE() << "unknown acceleration " << name;
-  return Acceleration::kNone;
-}
-
-/// Reconstructs the capture-time configuration from the golden tag.
-/// `separate` reports whether the row measures run_separate().
-CoEstimatorConfig config_for(const std::string& mode, bool* separate) {
-  CoEstimatorConfig cfg;
-  *separate = false;
-  if (mode == "accelerate_hw") {
-    cfg.accel = Acceleration::kCaching;
-    cfg.accelerate_hw = true;
-    cfg.energy_cache.thresh_variance = 0.5;
-  } else if (mode == "verify") {
-    cfg.verify_lowlevel = true;
-  } else if (mode == "separate") {
-    *separate = true;
-  } else {
-    // "<accel>/batch<0|1>/t<threads>"
-    const std::size_t slash1 = mode.find('/');
-    const std::size_t slash2 = mode.find('/', slash1 + 1);
-    cfg.accel = accel_from(mode.substr(0, slash1));
-    cfg.hw_batch = mode[slash1 + 6] == '1';
-    const unsigned threads =
-        static_cast<unsigned>(std::stoul(mode.substr(slash2 + 2)));
-    // Flush threads need the batch; with batch off the capture used 1.
-    cfg.hw_flush_threads = cfg.hw_batch ? threads : 1;
-  }
-  return cfg;
-}
-
-void expect_matches(const RunResults& r, const GoldenValues& g) {
-  EXPECT_EQ(r.total_energy, g.total);
-  EXPECT_EQ(r.cpu_energy, g.cpu);
-  EXPECT_EQ(r.hw_energy, g.hw);
-  EXPECT_EQ(r.bus_energy, g.bus);
-  EXPECT_EQ(r.cache_energy, g.cache);
-  EXPECT_EQ(r.end_time, g.end_time);
-  EXPECT_EQ(r.reactions, g.reactions);
-  EXPECT_EQ(r.sw_reactions, g.sw_reactions);
-  EXPECT_EQ(r.hw_reactions, g.hw_reactions);
-  EXPECT_EQ(r.iss_invocations, g.iss_invocations);
-  EXPECT_EQ(r.iss_instructions, g.iss_instructions);
-  EXPECT_EQ(r.gate_sim_cycles, g.gate_sim_cycles);
-  EXPECT_EQ(r.cache_hits_served, g.cache_hits_served);
-  EXPECT_EQ(r.icache.accesses, g.icache_accesses);
-  EXPECT_EQ(r.icache.misses, g.icache_misses);
-  EXPECT_EQ(r.bus_totals.transfers, g.bus_transfers);
-}
 
 TEST(FacadeEquivalence, BitIdenticalToPreRefactorGoldens) {
   for (const Golden& golden : kGoldens) {
