@@ -48,6 +48,14 @@ done
 SOCPOWER_HW_REMOTE=1 ./build/examples/explore_tcpip 2 64 \
   "$SOCPOWER_THREADS" 2>&1 | tee explore_remote_output.txt
 
+# Multicore pass: the N-core scenario family over 1/2/4 cores on both
+# interconnects (co- vs separate-estimated energy, then the two-phase
+# (cores, interconnect) exploration). bench_noc_contention already ran in
+# the bench loop above and persisted BENCH_noc_contention.json; this run
+# exercises the same family through the explorer surface, process-sharded.
+./build/examples/multicore_sweep 6 "$SOCPOWER_THREADS" 2>&1 \
+  | tee multicore_output.txt
+
 # Session-server pass: a socpower_serve daemon, then the client demo twice
 # against it — the second client's "cold" sweep starts warm because the
 # daemon kept the session alive. The daemon prints its serve.* counter

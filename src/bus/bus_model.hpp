@@ -18,6 +18,7 @@
 #include <span>
 #include <vector>
 
+#include "bus/interconnect.hpp"
 #include "util/units.hpp"
 
 namespace socpower::bus {
@@ -42,33 +43,8 @@ struct BusParams {
   ElectricalParams electrical;
 };
 
-struct BusRequest {
-  int master = 0;
-  int priority = 0;  // larger wins simultaneous arbitration
-  bool write = false;
-  std::uint32_t addr = 0;
-  std::vector<std::uint8_t> data;  // payload bytes (values drive activity)
-};
-
-struct BusResult {
-  std::uint64_t start = 0;  // cycle the first grant is issued
-  std::uint64_t end = 0;    // cycle the last beat completes
-  Cycles wait_cycles = 0;   // arbitration queueing delay
-  Cycles busy_cycles = 0;   // handshakes + beats
-  unsigned grants = 0;
-  Joules energy = 0.0;      // interconnect + arbiter energy of this transfer
-};
-
-struct BusTotals {
-  std::uint64_t transfers = 0;
-  std::uint64_t grants = 0;
-  std::uint64_t bytes = 0;
-  std::uint64_t addr_toggles = 0;
-  std::uint64_t data_toggles = 0;
-  /// Arbitration queueing delay summed over transfers (contention measure).
-  std::uint64_t wait_cycles = 0;
-  Joules energy = 0.0;
-};
+// BusRequest / BusResult / BusTotals — the transfer vocabulary shared by
+// every interconnect implementation — live in bus/interconnect.hpp.
 
 class BusModel {
  public:
@@ -117,36 +93,29 @@ class BusModel {
 /// knob in the paper's Figure 7 exploration. Used by the co-estimation
 /// master, which advances it in simulated-time order; BusModel above stays
 /// as the simple atomic-transfer model.
-class BusScheduler {
+class BusScheduler : public Interconnect {
  public:
-  using JobId = std::uint64_t;
-
   explicit BusScheduler(BusParams params = {});
 
   /// Enqueue a transfer at cycle `now` (must be >= the last advance time).
-  JobId submit(std::uint64_t now, BusRequest request);
+  JobId submit(std::uint64_t now, BusRequest request) override;
 
   /// Next cycle at which scheduler state changes (a grant completes or a
   /// pending job could start); 0 when fully idle with nothing pending.
-  [[nodiscard]] bool has_work() const;
-  [[nodiscard]] std::uint64_t next_boundary() const;
+  [[nodiscard]] bool has_work() const override;
+  [[nodiscard]] std::uint64_t next_boundary() const override;
 
-  struct Completion {
-    JobId id = 0;
-    int master = 0;
-    BusResult result;
-  };
   /// Advance simulated time to `t`, processing every grant boundary up to
   /// and including it; returns the transfers that completed.
-  std::vector<Completion> advance(std::uint64_t t);
+  std::vector<Completion> advance(std::uint64_t t) override;
 
-  [[nodiscard]] const BusTotals& totals() const { return totals_; }
+  [[nodiscard]] const BusTotals& totals() const override { return totals_; }
   [[nodiscard]] const BusParams& params() const { return params_; }
   void set_keep_grant_times(bool keep) { keep_grant_times_ = keep; }
   [[nodiscard]] const std::vector<std::uint64_t>& grant_times() const {
     return grant_times_;
   }
-  void reset();
+  void reset() override;
 
  private:
   struct Job {

@@ -1,0 +1,82 @@
+// The interconnect abstraction the co-estimation master schedules against,
+// and the transfer vocabulary (request/result/totals) every implementation
+// shares.
+//
+// The master's discrete-event loop only ever needs four operations from the
+// integration architecture: enqueue a transfer, ask whether anything is in
+// flight, ask for the next cycle at which interconnect state changes, and
+// advance simulated time collecting completions. The arbitrated shared bus
+// (BusScheduler, bus_model.hpp) and the XY-routed mesh NoC (NocModel,
+// noc_model.hpp) both implement this interface, so "one bus" generalizes to
+// "one routed interconnect" without the scheduler caring which. Energy
+// accounting stays per-implementation: both apply the paper's
+// P = 1/2 * Vdd^2 * f * sum Ceff * A line model, the bus over its shared
+// address/data lines, the NoC per traversed link.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/units.hpp"
+
+namespace socpower::bus {
+
+struct BusRequest {
+  int master = 0;
+  int priority = 0;  // larger wins simultaneous arbitration
+  bool write = false;
+  std::uint32_t addr = 0;
+  std::vector<std::uint8_t> data;  // payload bytes (values drive activity)
+};
+
+struct BusResult {
+  std::uint64_t start = 0;  // cycle the first grant is issued
+  std::uint64_t end = 0;    // cycle the last beat completes
+  Cycles wait_cycles = 0;   // arbitration queueing delay
+  Cycles busy_cycles = 0;   // handshakes + beats
+  unsigned grants = 0;
+  Joules energy = 0.0;      // interconnect + arbiter energy of this transfer
+};
+
+struct BusTotals {
+  std::uint64_t transfers = 0;
+  std::uint64_t grants = 0;
+  std::uint64_t bytes = 0;
+  std::uint64_t addr_toggles = 0;
+  std::uint64_t data_toggles = 0;
+  /// Arbitration queueing delay summed over transfers (contention measure).
+  std::uint64_t wait_cycles = 0;
+  Joules energy = 0.0;
+};
+
+class Interconnect {
+ public:
+  using JobId = std::uint64_t;
+
+  struct Completion {
+    JobId id = 0;
+    int master = 0;
+    BusResult result;
+  };
+
+  virtual ~Interconnect() = default;
+
+  /// Enqueue a transfer at cycle `now` (must be >= the last advance time).
+  virtual JobId submit(std::uint64_t now, BusRequest request) = 0;
+
+  /// Whether any transfer is pending or in flight.
+  [[nodiscard]] virtual bool has_work() const = 0;
+  /// Next cycle at which interconnect state changes (a grant/packet
+  /// completes or a pending transfer could start); meaningful only while
+  /// has_work().
+  [[nodiscard]] virtual std::uint64_t next_boundary() const = 0;
+
+  /// Advance simulated time to `t`, processing every boundary up to and
+  /// including it; returns the transfers that completed.
+  virtual std::vector<Completion> advance(std::uint64_t t) = 0;
+
+  [[nodiscard]] virtual const BusTotals& totals() const = 0;
+  virtual void reset() = 0;
+};
+
+}  // namespace socpower::bus

@@ -1,0 +1,215 @@
+#include "bus/noc_model.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cassert>
+
+namespace socpower::bus {
+
+namespace {
+
+enum Dir : unsigned { kEast = 0, kWest = 1, kSouth = 2, kNorth = 3 };
+
+}  // namespace
+
+NocModel::NocModel(NocParams params) : params_(params) {
+  assert(params_.mesh_cols > 0 && params_.mesh_rows > 0);
+  assert(params_.flit_bits >= 1 && params_.flit_bits <= 64);
+  assert(params_.resolved_memory_node() < params_.nodes());
+  link_state_.resize(static_cast<std::size_t>(params_.nodes()) * 4);
+}
+
+unsigned NocModel::master_node(int master) const {
+  const unsigned n = params_.nodes();
+  const unsigned m = static_cast<unsigned>(master < 0 ? -master : master);
+  return m % n;
+}
+
+std::vector<std::pair<unsigned, unsigned>> NocModel::route(unsigned from,
+                                                           unsigned to) const {
+  std::vector<std::pair<unsigned, unsigned>> path;
+  const unsigned cols = params_.mesh_cols;
+  unsigned x = from % cols, y = from / cols;
+  const unsigned tx = to % cols, ty = to / cols;
+  unsigned cur = from;
+  while (x != tx) {
+    x = x < tx ? x + 1 : x - 1;
+    const unsigned next = y * cols + x;
+    path.emplace_back(cur, next);
+    cur = next;
+  }
+  while (y != ty) {
+    y = y < ty ? y + 1 : y - 1;
+    const unsigned next = y * cols + x;
+    path.emplace_back(cur, next);
+    cur = next;
+  }
+  return path;
+}
+
+std::size_t NocModel::link_index(unsigned from, unsigned to) const {
+  const unsigned cols = params_.mesh_cols;
+  unsigned dir;
+  if (to == from + 1) {
+    dir = kEast;
+  } else if (from > 0 && to == from - 1) {
+    dir = kWest;
+  } else if (to == from + cols) {
+    dir = kSouth;
+  } else {
+    assert(from >= cols && to == from - cols && "non-adjacent NoC hop");
+    dir = kNorth;
+  }
+  return static_cast<std::size_t>(from) * 4 + dir;
+}
+
+NocModel::Link& NocModel::link_state(unsigned from, unsigned to) {
+  Link& l = link_state_[link_index(from, to)];
+  if (l.stats_index == SIZE_MAX) {
+    l.stats_index = links_.size();
+    LinkStats s;
+    s.from = static_cast<int>(from);
+    s.to = static_cast<int>(to);
+    links_.push_back(s);
+  }
+  return l;
+}
+
+std::string NocModel::link_name(const LinkStats& l) {
+  return std::to_string(l.from) + "->" + std::to_string(l.to);
+}
+
+std::uint64_t NocModel::send_packet(
+    const std::vector<std::pair<unsigned, unsigned>>& path,
+    std::uint64_t depart, std::uint64_t header,
+    const std::vector<std::uint8_t>& payload, BusResult* result) {
+  const unsigned flit_bytes = params_.flit_bytes();
+  const std::uint64_t mask = params_.flit_bits >= 64
+                                 ? ~std::uint64_t{0}
+                                 : (std::uint64_t{1} << params_.flit_bits) - 1;
+
+  // Flit words: header first, then the payload packed little-endian.
+  std::vector<std::uint64_t> words;
+  words.push_back(header & mask);
+  for (std::size_t off = 0; off < payload.size(); off += flit_bytes) {
+    std::uint64_t w = 0;
+    const std::size_t n = std::min<std::size_t>(flit_bytes,
+                                                payload.size() - off);
+    for (std::size_t k = 0; k < n; ++k)
+      w |= static_cast<std::uint64_t>(payload[off + k]) << (8 * k);
+    words.push_back(w & mask);
+  }
+
+  const Joules e_toggle = params_.electrical.switch_energy(params_.link_cap_f);
+  const std::uint64_t serialize =
+      static_cast<std::uint64_t>(words.size()) * params_.cycles_per_flit;
+
+  std::uint64_t arrive = depart;
+  if (path.empty()) {
+    // Master co-located with the memory node: local delivery, one router
+    // traversal, no link switching.
+    return arrive + params_.router_cycles;
+  }
+  bool first_hop = true;
+  for (const auto& [from, to] : path) {
+    Link& l = link_state(from, to);
+    LinkStats& s = links_[l.stats_index];
+    const std::uint64_t start = std::max(arrive, l.free_at);
+    result->wait_cycles += start - arrive;
+    if (first_hop) {
+      result->start = start;
+      first_hop = false;
+    }
+    l.free_at = start + serialize;
+    arrive = start + params_.router_cycles + serialize;
+    result->busy_cycles += params_.router_cycles + serialize;
+    ++result->grants;  // one router grant per hop
+
+    std::uint64_t addr_toggles = 0, data_toggles = 0;
+    for (std::size_t i = 0; i < words.size(); ++i) {
+      const std::uint64_t t = static_cast<std::uint64_t>(
+          std::popcount((l.prev_word ^ words[i]) & mask));
+      (i == 0 ? addr_toggles : data_toggles) += t;
+      l.prev_word = words[i];
+    }
+    const double hop_toggles = static_cast<double>(addr_toggles) +
+                               static_cast<double>(data_toggles) +
+                               params_.handshake_toggles;
+    const Joules e = e_toggle * hop_toggles;
+    ++s.packets;
+    s.flits += words.size();
+    s.toggles += addr_toggles + data_toggles;
+    s.energy += e;
+    result->energy += e;
+    totals_.addr_toggles += addr_toggles;
+    totals_.data_toggles += data_toggles;
+    totals_.energy += e;
+  }
+  return arrive;
+}
+
+Interconnect::JobId NocModel::submit(std::uint64_t now, BusRequest request) {
+  const unsigned src = master_node(request.master);
+  const unsigned mem = params_.resolved_memory_node();
+
+  InFlight f;
+  f.id = next_id_++;
+  f.master = request.master;
+  f.result.start = now;
+
+  // Request packet: header flit (address + R/W marker) plus, for writes,
+  // the payload being stored.
+  const std::uint64_t header =
+      static_cast<std::uint64_t>(request.addr) |
+      (request.write ? (std::uint64_t{1} << 31) : 0);
+  static const std::vector<std::uint8_t> kEmpty;
+  std::uint64_t end = send_packet(route(src, mem), now, header,
+                                  request.write ? request.data : kEmpty,
+                                  &f.result);
+  if (!request.write) {
+    // Read reply: the fetched data returns on the mem -> src path.
+    end = send_packet(route(mem, src), end, header, request.data, &f.result);
+  }
+  f.result.end = end;
+
+  ++totals_.transfers;
+  totals_.grants += f.result.grants;
+  totals_.bytes += request.data.size();
+  totals_.wait_cycles += f.result.wait_cycles;
+
+  in_flight_.push_back(std::move(f));
+  return in_flight_.back().id;
+}
+
+bool NocModel::has_work() const { return !in_flight_.empty(); }
+
+std::uint64_t NocModel::next_boundary() const {
+  std::uint64_t t = ~std::uint64_t{0};
+  for (const InFlight& f : in_flight_) t = std::min(t, f.result.end);
+  return t;
+}
+
+std::vector<Interconnect::Completion> NocModel::advance(std::uint64_t t) {
+  std::vector<Completion> done;
+  std::size_t w = 0;
+  for (std::size_t i = 0; i < in_flight_.size(); ++i) {
+    if (in_flight_[i].result.end <= t) {
+      done.push_back({in_flight_[i].id, in_flight_[i].master,
+                      in_flight_[i].result});
+    } else {
+      in_flight_[w++] = std::move(in_flight_[i]);
+    }
+  }
+  in_flight_.resize(w);
+  return done;
+}
+
+void NocModel::reset() {
+  link_state_.assign(static_cast<std::size_t>(params_.nodes()) * 4, {});
+  links_.clear();
+  in_flight_.clear();
+  next_id_ = 1;
+  totals_ = {};
+}
+
+}  // namespace socpower::bus

@@ -1,0 +1,119 @@
+// XY-routed mesh network-on-chip interconnect model.
+//
+// Generalizes the paper's shared-bus power model to a routed mesh: the same
+// P = 1/2 * Vdd^2 * f * sum Ceff * A switching model is applied *per link*,
+// with activity computed from the Hamming distance between consecutive flit
+// words on each link's wires. A transfer becomes a packet (one header flit
+// carrying the address plus payload flits), routed dimension-ordered (X
+// first, then Y) from the requesting master's node to the memory node;
+// reads additionally bill the reply packet on the return path. Hops are
+// store-and-forward: each traversed link serializes the packet's flits and
+// adds the router's per-hop latency, and links are FIFO resources — a
+// packet queues behind earlier traffic on each link, which is how mesh
+// contention shows up in both timing and (through wait-state feedback in
+// the master) software energy.
+//
+// Per-link telemetry (flits, toggles, energy) is kept per run and exposed
+// for the NoC estimator's counters and the contention benchmarks.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "bus/interconnect.hpp"
+#include "util/units.hpp"
+
+namespace socpower::bus {
+
+struct NocParams {
+  unsigned mesh_cols = 2;
+  unsigned mesh_rows = 2;
+  /// Link width in bits; one flit moves flit_bits of payload per
+  /// cycles_per_flit cycles.
+  unsigned flit_bits = 32;
+  /// Effective capacitance per link wire (shorter than the global bus the
+  /// mesh replaces, hence the smaller default).
+  double link_cap_f = 2e-9;
+  unsigned router_cycles = 1;      // per-hop routing/arbitration latency
+  unsigned cycles_per_flit = 1;    // link serialization per flit
+  double handshake_toggles = 2.0;  // control-wire toggles per packet per link
+  /// Node index the shared memory / L2 attaches to; -1 means the last node
+  /// (mesh corner opposite node 0). Masters map to node (master % nodes()).
+  int memory_node = -1;
+  ElectricalParams electrical;
+
+  [[nodiscard]] unsigned nodes() const { return mesh_cols * mesh_rows; }
+  [[nodiscard]] unsigned flit_bytes() const {
+    return flit_bits <= 8 ? 1u : flit_bits / 8u;
+  }
+  [[nodiscard]] unsigned resolved_memory_node() const {
+    return memory_node < 0 ? nodes() - 1
+                           : static_cast<unsigned>(memory_node);
+  }
+};
+
+class NocModel final : public Interconnect {
+ public:
+  explicit NocModel(NocParams params = {});
+
+  JobId submit(std::uint64_t now, BusRequest request) override;
+  [[nodiscard]] bool has_work() const override;
+  [[nodiscard]] std::uint64_t next_boundary() const override;
+  std::vector<Completion> advance(std::uint64_t t) override;
+  [[nodiscard]] const BusTotals& totals() const override { return totals_; }
+  void reset() override;
+
+  [[nodiscard]] const NocParams& params() const { return params_; }
+  [[nodiscard]] unsigned master_node(int master) const;
+
+  /// Per-directed-link counters of this run (only links with traffic have
+  /// non-zero packets). Indexed densely; from/to identify the link.
+  struct LinkStats {
+    int from = -1;
+    int to = -1;
+    std::uint64_t packets = 0;
+    std::uint64_t flits = 0;
+    std::uint64_t toggles = 0;
+    Joules energy = 0.0;
+  };
+  [[nodiscard]] const std::vector<LinkStats>& links() const { return links_; }
+  /// "3->7" — stable key for telemetry counter names.
+  [[nodiscard]] static std::string link_name(const LinkStats& l);
+
+  /// Dimension-ordered route (sequence of traversed directed links as
+  /// (from, to) node pairs); exposed for tests.
+  [[nodiscard]] std::vector<std::pair<unsigned, unsigned>> route(
+      unsigned from, unsigned to) const;
+
+ private:
+  struct Link {
+    std::uint64_t free_at = 0;
+    std::uint64_t prev_word = 0;  // last flit word on the wires
+    std::size_t stats_index = SIZE_MAX;
+  };
+  struct InFlight {
+    JobId id = 0;
+    int master = 0;
+    BusResult result;
+  };
+
+  [[nodiscard]] std::size_t link_index(unsigned from, unsigned to) const;
+  Link& link_state(unsigned from, unsigned to);
+  /// Send one packet (header word + payload) along `path` starting at
+  /// `depart`; returns arrival time at the destination and accumulates
+  /// energy/waits into `result`.
+  std::uint64_t send_packet(
+      const std::vector<std::pair<unsigned, unsigned>>& path,
+      std::uint64_t depart, std::uint64_t header,
+      const std::vector<std::uint8_t>& payload, BusResult* result);
+
+  NocParams params_;
+  std::vector<Link> link_state_;    // nodes * 4, direction-major
+  std::vector<LinkStats> links_;    // dense, discovery order
+  std::vector<InFlight> in_flight_;
+  JobId next_id_ = 1;
+  BusTotals totals_;
+};
+
+}  // namespace socpower::bus

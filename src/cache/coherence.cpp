@@ -1,0 +1,188 @@
+#include "cache/coherence.hpp"
+
+#include <cassert>
+
+namespace socpower::cache {
+
+CoherentMemoryModel::CoherentMemoryModel(CoherenceConfig config,
+                                         unsigned cores)
+    : config_(config), cores_(cores) {
+  assert(cores_ > 0);
+  assert(config_.l1.num_sets() > 0 && "L1 geometry invalid");
+  const std::size_t lines = static_cast<std::size_t>(config_.l1.num_sets()) *
+                            config_.l1.associativity;
+  l1_.assign(cores_, std::vector<Line>(lines));
+}
+
+CoherentMemoryModel::Line* CoherentMemoryModel::find(
+    unsigned core, std::uint32_t line_addr) {
+  const std::uint32_t set =
+      (line_addr / config_.l1.line_bytes) % config_.l1.num_sets();
+  const std::uint32_t tag = line_addr / config_.l1.line_bytes;
+  Line* base = &l1_[core][static_cast<std::size_t>(set) *
+                          config_.l1.associativity];
+  for (std::uint32_t w = 0; w < config_.l1.associativity; ++w) {
+    if (base[w].state != LineState::kInvalid && base[w].tag == tag)
+      return &base[w];
+  }
+  return nullptr;
+}
+
+const CoherentMemoryModel::Line* CoherentMemoryModel::find(
+    unsigned core, std::uint32_t line_addr) const {
+  return const_cast<CoherentMemoryModel*>(this)->find(core, line_addr);
+}
+
+CoherentMemoryModel::Line& CoherentMemoryModel::victim(
+    unsigned core, std::uint32_t line_addr) {
+  const std::uint32_t set =
+      (line_addr / config_.l1.line_bytes) % config_.l1.num_sets();
+  Line* base = &l1_[core][static_cast<std::size_t>(set) *
+                          config_.l1.associativity];
+  Line* v = &base[0];
+  for (std::uint32_t w = 1; w < config_.l1.associativity; ++w) {
+    if (base[w].state == LineState::kInvalid) return base[w];
+    if (base[w].lru < v->lru) v = &base[w];
+  }
+  return *v;
+}
+
+CoherentMemoryModel::LineState CoherentMemoryModel::state(
+    unsigned core, std::uint32_t line_addr) const {
+  const Line* l = find(core, line_addr);
+  return l ? l->state : LineState::kInvalid;
+}
+
+void CoherentMemoryModel::emit_writeback(std::uint32_t line_addr,
+                                         CoherentAccessResult* out) {
+  bus::BusRequest wb;
+  wb.master = config_.traffic_master;
+  wb.priority = config_.traffic_priority;
+  wb.write = true;
+  wb.addr = line_addr;
+  // Deterministic payload standing in for the dirty line's contents: the
+  // model tracks states, not values, but the interconnect's switching
+  // activity needs bytes — derive them from the line address.
+  wb.data.resize(config_.l1.line_bytes);
+  for (std::uint32_t k = 0; k < config_.l1.line_bytes; ++k)
+    wb.data[k] = static_cast<std::uint8_t>(line_addr >> (8 * (k % 4)));
+  out->traffic.push_back(std::move(wb));
+  ++out->writebacks;
+  ++totals_.writebacks;
+}
+
+void CoherentMemoryModel::emit_invalidate(std::uint32_t line_addr,
+                                          CoherentAccessResult* out) {
+  bus::BusRequest inv;
+  inv.master = config_.traffic_master;
+  inv.priority = config_.traffic_priority;
+  inv.write = true;
+  inv.addr = line_addr;
+  inv.data = {0};  // single control beat
+  out->traffic.push_back(std::move(inv));
+}
+
+void CoherentMemoryModel::invalidate_remote(int core,
+                                            std::uint32_t line_addr,
+                                            CoherentAccessResult* out) {
+  for (unsigned c = 0; c < cores_; ++c) {
+    if (static_cast<int>(c) == core) continue;
+    Line* l = find(c, line_addr);
+    if (!l) continue;
+    if (l->state == LineState::kModified) emit_writeback(line_addr, out);
+    l->state = LineState::kInvalid;
+    ++out->invalidations;
+    ++totals_.invalidations;
+    out->energy += config_.invalidate_energy;
+    emit_invalidate(line_addr, out);
+  }
+}
+
+bool CoherentMemoryModel::flush_remote_dirty(int core,
+                                             std::uint32_t line_addr,
+                                             CoherentAccessResult* out) {
+  for (unsigned c = 0; c < cores_; ++c) {
+    if (static_cast<int>(c) == core) continue;
+    Line* l = find(c, line_addr);
+    if (l && l->state == LineState::kModified) {
+      emit_writeback(line_addr, out);
+      l->state = LineState::kShared;
+      return true;
+    }
+  }
+  return false;
+}
+
+void CoherentMemoryModel::line_access(int core, bool write,
+                                      std::uint32_t line_addr,
+                                      CoherentAccessResult* out) {
+  ++totals_.accesses;
+  ++tick_;
+
+  if (core < 0) {
+    // Uncached agent (hardware DMA): no L1, but the directory still acts.
+    if (write) {
+      invalidate_remote(core, line_addr, out);
+    } else if (flush_remote_dirty(core, line_addr, out)) {
+      out->penalty_cycles += config_.dirty_fetch_cycles;
+    }
+    return;
+  }
+
+  const auto c = static_cast<unsigned>(core);
+  out->energy += config_.l1.hit_energy;  // L1 probe
+  Line* l = find(c, line_addr);
+
+  if (l && (l->state == LineState::kModified ||
+            (!write && l->state == LineState::kShared))) {
+    // Plain hit: M serves both, S serves reads.
+    l->lru = tick_;
+    ++totals_.l1_hits;
+    return;
+  }
+
+  if (l && write && l->state == LineState::kShared) {
+    // Upgrade: invalidate the other sharers, then own the line.
+    ++totals_.l1_hits;
+    ++totals_.upgrades;
+    invalidate_remote(core, line_addr, out);
+    out->energy += config_.l2_access_energy;  // directory/L2 transaction
+    out->penalty_cycles += config_.l1.miss_penalty_cycles;
+    l->state = LineState::kModified;
+    l->lru = tick_;
+    return;
+  }
+
+  // Miss: fetch through the shared L2.
+  ++totals_.l1_misses;
+  out->energy += config_.l2_access_energy + config_.l1.miss_energy;
+  out->penalty_cycles += config_.l1.miss_penalty_cycles;
+  if (write) {
+    invalidate_remote(core, line_addr, out);
+  } else if (flush_remote_dirty(core, line_addr, out)) {
+    out->penalty_cycles += config_.dirty_fetch_cycles;
+  }
+
+  Line& v = victim(c, line_addr);
+  if (v.state == LineState::kModified)  // evicted dirty line goes down first
+    emit_writeback(v.tag * config_.l1.line_bytes, out);
+  v.tag = line_addr / config_.l1.line_bytes;
+  v.state = write ? LineState::kModified : LineState::kShared;
+  v.lru = tick_;
+}
+
+CoherentAccessResult CoherentMemoryModel::access(int core, bool write,
+                                                 std::uint32_t addr,
+                                                 std::uint32_t bytes) {
+  CoherentAccessResult out;
+  if (bytes == 0) bytes = 1;
+  const std::uint32_t lb = config_.l1.line_bytes;
+  const std::uint32_t first = addr / lb;
+  const std::uint32_t last = (addr + bytes - 1) / lb;
+  for (std::uint32_t line = first; line <= last; ++line)
+    line_access(core, write, line * lb, &out);
+  totals_.energy += out.energy;
+  return out;
+}
+
+}  // namespace socpower::cache

@@ -1,0 +1,122 @@
+// Directory-style MSI coherence over private per-core L1 data caches backed
+// by a shared L2.
+//
+// The multicore generalization of the paper's memory-hierarchy story: each
+// core's shared-data accesses first probe a private L1 (set-associative,
+// true LRU, same geometry vocabulary as the instruction cache in
+// cache_sim.hpp); misses and upgrades run an MSI transaction against the
+// other cores' copies. Every transition that moves a line — an upgrade
+// invalidating remote sharers, a dirty fetch forcing the owner's writeback,
+// an LRU eviction of a Modified line — bills its control/writeback message
+// as a BusRequest the caller submits to the interconnect, so coherence
+// traffic pays real switching energy and real arbitration/routing delay
+// (and, through the master's wait-state feedback, shifts software energy —
+// the paper's co-estimation argument, sharpened by sharing).
+//
+// Non-core agents (hardware DMA masters) access with core < 0: they have no
+// L1 but still interact with the directory — a device write invalidates
+// cached copies, a device read forces a dirty owner's writeback.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "bus/interconnect.hpp"
+#include "cache/cache_sim.hpp"
+#include "util/units.hpp"
+
+namespace socpower::cache {
+
+struct CoherenceConfig {
+  bool enabled = false;
+  /// Private per-core L1 data-cache geometry and array energies
+  /// (hit_energy per probe, miss_energy per line fill,
+  /// miss_penalty_cycles per L2-served miss).
+  CacheConfig l1;
+  /// Extra stall when the line is Modified in another L1 (writeback before
+  /// the fetch can be served).
+  unsigned dirty_fetch_cycles = 10;
+  /// Shared-L2 array access energy per miss/upgrade transaction.
+  Joules l2_access_energy = 0.6e-9;
+  /// Tag-array energy per remote L1 line invalidated.
+  Joules invalidate_energy = 0.05e-9;
+  /// Master id / priority the coherence control and writeback messages bill
+  /// under on the interconnect.
+  int traffic_master = 30;
+  int traffic_priority = 7;
+};
+
+/// Outcome of one coherent access: what the core stalls for, what the cache
+/// arrays burned, and the messages the caller must put on the interconnect.
+struct CoherentAccessResult {
+  Cycles penalty_cycles = 0;
+  Joules energy = 0.0;
+  std::uint64_t invalidations = 0;
+  std::uint64_t writebacks = 0;
+  std::vector<bus::BusRequest> traffic;
+};
+
+struct CoherenceTotals {
+  std::uint64_t accesses = 0;
+  std::uint64_t l1_hits = 0;
+  std::uint64_t l1_misses = 0;
+  std::uint64_t upgrades = 0;      // S -> M on a write hit to a shared line
+  std::uint64_t invalidations = 0;  // remote lines dropped
+  std::uint64_t writebacks = 0;     // dirty lines pushed down
+  Joules energy = 0.0;
+
+  [[nodiscard]] double hit_rate() const {
+    return accesses ? static_cast<double>(l1_hits) /
+                          static_cast<double>(accesses)
+                    : 0.0;
+  }
+};
+
+class CoherentMemoryModel {
+ public:
+  CoherentMemoryModel(CoherenceConfig config, unsigned cores);
+
+  /// One access of `bytes` bytes at `addr` by `core` (line-crossing
+  /// accesses run the protocol per touched line). core < 0 = uncached
+  /// agent.
+  CoherentAccessResult access(int core, bool write, std::uint32_t addr,
+                              std::uint32_t bytes);
+
+  [[nodiscard]] const CoherenceTotals& totals() const { return totals_; }
+  [[nodiscard]] unsigned cores() const { return cores_; }
+  [[nodiscard]] const CoherenceConfig& config() const { return config_; }
+
+  enum class LineState : std::uint8_t { kInvalid, kShared, kModified };
+  /// State of `line_addr` (line-aligned) in `core`'s L1; for tests.
+  [[nodiscard]] LineState state(unsigned core, std::uint32_t line_addr) const;
+
+ private:
+  struct Line {
+    std::uint32_t tag = 0;
+    LineState state = LineState::kInvalid;
+    std::uint64_t lru = 0;
+  };
+
+  [[nodiscard]] Line* find(unsigned core, std::uint32_t line_addr);
+  [[nodiscard]] const Line* find(unsigned core, std::uint32_t line_addr) const;
+  Line& victim(unsigned core, std::uint32_t line_addr);
+  void line_access(int core, bool write, std::uint32_t line_addr,
+                   CoherentAccessResult* out);
+  /// Drop every remote copy of the line; Modified owners write back first.
+  void invalidate_remote(int core, std::uint32_t line_addr,
+                         CoherentAccessResult* out);
+  /// If a remote core owns the line Modified, write it back and downgrade
+  /// the owner to Shared. Returns true when a writeback happened.
+  bool flush_remote_dirty(int core, std::uint32_t line_addr,
+                          CoherentAccessResult* out);
+  void emit_writeback(std::uint32_t line_addr, CoherentAccessResult* out);
+  void emit_invalidate(std::uint32_t line_addr, CoherentAccessResult* out);
+
+  CoherenceConfig config_;
+  unsigned cores_ = 1;
+  std::vector<std::vector<Line>> l1_;  // [core][set * assoc + way]
+  std::uint64_t tick_ = 0;
+  CoherenceTotals totals_;
+};
+
+}  // namespace socpower::cache

@@ -11,6 +11,10 @@ void CoEstimator::map_sw(cfsm::CfsmId task, int rtos_priority) {
   master_.map_sw(task, rtos_priority);
 }
 
+void CoEstimator::map_sw(cfsm::CfsmId task, unsigned core, int rtos_priority) {
+  master_.map_sw(task, core, rtos_priority);
+}
+
 void CoEstimator::map_hw(cfsm::CfsmId task, HwEstimatorKind kind) {
   master_.map_hw(task, kind);
 }

@@ -46,6 +46,9 @@ class CoEstimator {
 
   // -- implementation mapping (before prepare) -------------------------------
   void map_sw(cfsm::CfsmId task, int rtos_priority = 0);
+  /// Multicore mapping: run `task` as software on CPU `core` (0-based).
+  /// Aborts when core >= config.cores.
+  void map_sw(cfsm::CfsmId task, unsigned core, int rtos_priority);
   void map_hw(cfsm::CfsmId task,
               HwEstimatorKind kind = HwEstimatorKind::kGateLevel);
   [[nodiscard]] bool is_sw(cfsm::CfsmId task) const;

@@ -26,6 +26,14 @@ std::vector<cfsm::EmittedEvent> effective_emissions(
   return ems;
 }
 
+const char* interconnect_name(InterconnectKind k) {
+  switch (k) {
+    case InterconnectKind::kBus: return "bus";
+    case InterconnectKind::kNoc: return "noc";
+  }
+  return "?";
+}
+
 const char* acceleration_name(Acceleration a) {
   switch (a) {
     case Acceleration::kNone: return "none";
@@ -76,6 +84,43 @@ std::vector<std::string> CoEstimatorConfig::validate() const {
 
   if (iss.memory_bytes == 0)
     err("iss.memory_bytes must be > 0 — the ISS needs code and data room");
+
+  if (cores == 0)
+    err("cores must be > 0 — the software tasks need at least one CPU");
+  if (cores > 64)
+    err("cores must be <= 64 (got %u) — each core instantiates its own ISS "
+        "and L1",
+        cores);
+
+  if (interconnect == InterconnectKind::kNoc) {
+    if (noc.link_cap_f <= 0.0)
+      err("noc.link_cap_f must be > 0 (got %g) — a zero-capacitance link "
+          "makes every NoC transfer free and the energy model vacuous",
+          noc.link_cap_f);
+    if (noc.mesh_cols == 0 || noc.mesh_rows == 0)
+      err("noc mesh geometry invalid (cols=%u rows=%u): both must be > 0",
+          noc.mesh_cols, noc.mesh_rows);
+    if (noc.flit_bits == 0 || noc.flit_bits > 64)
+      err("noc.flit_bits must be in [1, 64] (got %u) — flits pack into one "
+          "uint64_t link word",
+          noc.flit_bits);
+    if (noc.mesh_cols > 0 && noc.mesh_rows > 0 &&
+        noc.memory_node >= static_cast<int>(noc.nodes()))
+      err("noc.memory_node=%d is outside the %ux%u mesh", noc.memory_node,
+          noc.mesh_cols, noc.mesh_rows);
+  }
+
+  if (coherence.enabled) {
+    if (coherence.l1.line_bytes == 0 || coherence.l1.size_bytes == 0 ||
+        coherence.l1.associativity == 0 || coherence.l1.num_sets() == 0)
+      err("coherence.l1 geometry invalid (size=%u line=%u assoc=%u): all "
+          "must be > 0 with size >= line * associativity",
+          coherence.l1.size_bytes, coherence.l1.line_bytes,
+          coherence.l1.associativity);
+    if (coherence.l2_access_energy < 0.0 || coherence.invalidate_energy < 0.0)
+      err("coherence energies must be >= 0 (l2=%g invalidate=%g)",
+          coherence.l2_access_energy, coherence.invalidate_energy);
+  }
 
   if (bus.addr_bits == 0)
     err("bus.addr_bits must be > 0 — a zero-width address bus cannot "
@@ -156,6 +201,10 @@ std::vector<std::string> CoEstimatorConfig::validate() const {
       err("estimators.%s backend \"%s\" is not registered (known: %s)", role,
           name->c_str(), reg.joined_names().c_str());
   }
+  if (interconnect == InterconnectKind::kNoc &&
+      !reg.contains(estimators.noc))
+    err("estimators.noc backend \"%s\" is not registered (known: %s)",
+        estimators.noc.c_str(), reg.joined_names().c_str());
   if (hw_remote) {
     for (const auto& [role, name] :
          {std::pair<const char*, const std::string*>{"hw_gate",
@@ -190,11 +239,14 @@ const char* structural_mismatch(const CoEstimatorConfig& a,
       a.rtos.dispatch_current_ma != b.rtos.dispatch_current_ma)
     return "rtos";
   if (a.hw_remote != b.hw_remote) return "hw_remote";
+  if (a.cores != b.cores) return "cores";
+  if (a.interconnect != b.interconnect) return "interconnect";
   if (a.estimators.sw != b.estimators.sw ||
       a.estimators.hw_gate != b.estimators.hw_gate ||
       a.estimators.hw_rtl != b.estimators.hw_rtl ||
       a.estimators.cache != b.estimators.cache ||
-      a.estimators.bus != b.estimators.bus)
+      a.estimators.bus != b.estimators.bus ||
+      a.estimators.noc != b.estimators.noc)
     return "estimators";
   return nullptr;
 }

@@ -13,7 +13,9 @@
 #include <vector>
 
 #include "bus/bus_model.hpp"
+#include "bus/noc_model.hpp"
 #include "cache/cache_sim.hpp"
+#include "cache/coherence.hpp"
 #include "cfsm/cfsm.hpp"
 #include "core/compactor.hpp"
 #include "core/energy_cache.hpp"
@@ -39,6 +41,13 @@ enum class Acceleration { kNone, kCaching, kMacroModel, kSampling };
 /// on the accuracy/efficiency requirements").
 enum class HwEstimatorKind { kGateLevel, kRtl };
 
+/// Which interconnect implementation carries the shared-memory traffic:
+/// the arbitrated shared bus of the paper's Section 3 (default), or the
+/// XY-routed mesh NoC that generalizes its line model per hop.
+enum class InterconnectKind { kBus, kNoc };
+
+[[nodiscard]] const char* interconnect_name(InterconnectKind k);
+
 /// Which registered ComponentEstimator backend fills each role of the
 /// paper's Figure 2(b). The defaults are the built-in in-process backends;
 /// alternate implementations (an emulated HW estimator, a remote ISS over
@@ -50,6 +59,8 @@ struct EstimatorSelection {
   std::string hw_rtl = "hw.rtl";
   std::string cache = "cache.icache";
   std::string bus = "bus.arbiter";
+  /// Interconnect backend used when interconnect == InterconnectKind::kNoc.
+  std::string noc = "bus.noc";
 };
 
 // Configuration of one co-estimation setup.
@@ -69,10 +80,26 @@ struct CoEstimatorConfig {
   /// default 0 models the SPARClite (data-independent, caching is exact).
   double data_nj_per_toggle = 0.0;  // [structural]
 
+  /// Number of embedded CPU cores. Software tasks are mapped to a core via
+  /// map_sw(task, core, priority); each core gets its own RTOS ready queue,
+  /// its own SW estimator instance (ISS + block cache + macro library) and
+  /// its own instruction cache. 1 reproduces the paper's single-CPU setup
+  /// exactly.
+  unsigned cores = 1;             // [structural]
+
   bool enable_icache = true;
   cache::CacheConfig icache;
 
+  /// Which interconnect carries shared-memory traffic (frozen at prepare():
+  /// it selects the bus backend instance).
+  InterconnectKind interconnect = InterconnectKind::kBus;  // [structural]
   bus::BusParams bus;
+  /// Mesh geometry/energy knobs, consumed when interconnect == kNoc.
+  /// Per-run like `bus`: the NoC model is rebuilt at every begin_run().
+  bus::NocParams noc;
+  /// MSI-coherent private-L1/shared-L2 model for the cores' shared-data
+  /// traffic. Off by default (single-CPU configs don't pay for it); per-run.
+  cache::CoherenceConfig coherence;
   swsyn::RtosConfig rtos;         // [structural]
   unsigned hw_reaction_cycles = 1;  // latency of a HW transition, pre-bus
   /// Supply current (mA) the CPU draws while blocked on its shared-memory
@@ -237,6 +264,9 @@ struct RunResults {
   std::uint64_t cache_hits_served = 0;  // energy-cache hits
   cache::AccessStats icache;
   bus::BusTotals bus_totals;
+  /// MSI protocol activity of the coherent L1/L2 model (all-zero when
+  /// coherence is off).
+  cache::CoherenceTotals coherence;
   double wall_seconds = 0.0;
   bool truncated = false;  // max_reactions guard fired
 

@@ -54,13 +54,26 @@ CoSimMaster::CoSimMaster(const cfsm::Network* network, CoEstimatorConfig config)
       rtos_(config_.rtos, config_.electrical),
       ecache_(config_.energy_cache) {
   impl_is_sw_.resize(net_->cfsm_count());
+  core_of_.assign(net_->cfsm_count(), 0);
 }
 
 CoSimMaster::~CoSimMaster() = default;
 
 void CoSimMaster::map_sw(cfsm::CfsmId task, int rtos_priority) {
+  map_sw(task, 0, rtos_priority);
+}
+
+void CoSimMaster::map_sw(cfsm::CfsmId task, unsigned core, int rtos_priority) {
   assert(!prepared_);
+  if (core >= config_.cores) {
+    std::fprintf(stderr,
+                 "CoSimMaster: map_sw: core %u is out of range for a %u-core "
+                 "configuration (config.cores)\n",
+                 core, config_.cores);
+    std::abort();
+  }
   impl_is_sw_.at(static_cast<std::size_t>(task)) = true;
+  core_of_.at(static_cast<std::size_t>(task)) = core;
   rtos_.set_priority(task, rtos_priority);
 }
 
@@ -91,11 +104,14 @@ void CoSimMaster::prepare() {
 
   // Partition the processes by implementation, in ascending id order (the
   // order everything downstream — image layout, flush merging — relies on).
-  std::vector<cfsm::CfsmId> sw_ids, gate_ids, rtl_ids;
+  // Software additionally partitions per core: each core that runs software
+  // gets its own SwBackend instance (its own ISS + images).
+  std::vector<std::vector<cfsm::CfsmId>> sw_by_core(config_.cores);
+  std::vector<cfsm::CfsmId> gate_ids, rtl_ids;
   for (std::size_t c = 0; c < net_->cfsm_count(); ++c) {
     const auto task = static_cast<cfsm::CfsmId>(c);
     if (is_sw(task)) {
-      sw_ids.push_back(task);
+      sw_by_core[core_of_[c]].push_back(task);
     } else {
       const HwEstimatorKind kind = c < hw_kind_.size()
                                        ? hw_kind_[c]
@@ -121,9 +137,15 @@ void CoSimMaster::prepare() {
     b->prepare(ctx);
     owned_backends_.push_back(std::move(b));
   };
-  if (!sw_ids.empty())
-    add_backend(create_role_backend(config_.estimators.sw, "sw", &sw_),
-                sw_ids);
+  sw_for_core_.assign(config_.cores, nullptr);
+  for (unsigned core = 0; core < config_.cores; ++core) {
+    if (sw_by_core[core].empty()) continue;
+    SwBackend* sw = nullptr;
+    add_backend(create_role_backend(config_.estimators.sw, "sw", &sw),
+                sw_by_core[core]);
+    sw_for_core_[core] = sw;
+    sw_backends_.push_back(sw);
+  }
   // hw_remote swaps in the out-of-process proxies by name suffix, so any
   // registered hardware backend gains a remote deployment for free.
   const std::string hw_suffix = config_.hw_remote ? ".remote" : "";
@@ -143,7 +165,12 @@ void CoSimMaster::prepare() {
   }
   add_backend(create_role_backend(config_.estimators.cache, "cache", &cache_),
               {});
-  add_backend(create_role_backend(config_.estimators.bus, "bus", &bus_), {});
+  // The interconnect kind selects between the arbitrated-bus and routed-NoC
+  // backend names; both satisfy the BusBackend role.
+  const std::string& bus_name = config_.interconnect == InterconnectKind::kNoc
+                                    ? config_.estimators.noc
+                                    : config_.estimators.bus;
+  add_backend(create_role_backend(bus_name, "bus", &bus_), {});
 
   // Power-trace components: one per process, plus bus and cache.
   trace_ = sim::PowerTrace(config_.electrical);
@@ -186,10 +213,7 @@ void CoSimMaster::reset_runtime_state() {
     state_.push_back(net_->cfsm(static_cast<cfsm::CfsmId>(c)).make_state());
   latched_.assign(net_->event_count(), std::nullopt);
   queue_.clear();
-  sw_pending_.clear();
-  sw_bus_ = {};
-  cpu_blocked_ = false;
-  cpu_free_at_ = 0;
+  cores_.assign(config_.cores, CoreState{});
   job_to_wait_.clear();
   bus_waits_.clear();
   flush_gate_cycles_ = 0;
@@ -288,7 +312,8 @@ TransitionCost CoSimMaster::sw_transition_cost(
   req.pre_state = &pre_state;
   req.reaction = &reaction;
   req.post_state = &state_[static_cast<std::size_t>(task)];
-  auto simulate = [&]() -> TransitionCost { return sw_->cost(req); };
+  SwBackend* sw = sw_backend_of(task);
+  auto simulate = [&]() -> TransitionCost { return sw->cost(req); };
   return measured_or_accelerated(task, path, simulate, nullptr);
 }
 
@@ -344,15 +369,29 @@ RunResults CoSimMaster::run(const sim::Stimulus& stimulus) {
       break;
     }
     const sim::SimTime t_queue = queue_.empty() ? kInfTime : queue_.next_time();
-    const sim::SimTime t_bus = sw_bus_.active ? sw_bus_.issue_at : kInfTime;
     const sim::SimTime t_sched =
         bus_->has_work() ? bus_->next_boundary() : kInfTime;
+    // Per-core minima; ties resolve to the lowest core id (strict <), which
+    // reduces to the original single-CPU schedule when cores == 1.
+    sim::SimTime t_bus = kInfTime;
+    unsigned bus_core = 0;
     sim::SimTime t_cpu = kInfTime;
-    if (!sw_pending_.empty() && !sw_bus_.active && !cpu_blocked_) {
+    unsigned cpu_core = 0;
+    for (unsigned c = 0; c < cores_.size(); ++c) {
+      const CoreState& cs = cores_[c];
+      if (cs.bus.active && cs.bus.issue_at < t_bus) {
+        t_bus = cs.bus.issue_at;
+        bus_core = c;
+      }
+      if (cs.pending.empty() || cs.bus.active || cs.blocked) continue;
       sim::SimTime earliest = kInfTime;
-      for (const auto& p : sw_pending_)
+      for (const auto& p : cs.pending)
         earliest = std::min(earliest, p.ready_at);
-      t_cpu = std::max(cpu_free_at_, earliest);
+      const sim::SimTime t = std::max(cs.free_at, earliest);
+      if (t < t_cpu) {
+        t_cpu = t;
+        cpu_core = c;
+      }
     }
     if (t_queue == kInfTime && t_cpu == kInfTime && t_bus == kInfTime &&
         t_sched == kInfTime)
@@ -383,8 +422,9 @@ RunResults CoSimMaster::run(const sim::Stimulus& stimulus) {
                                   config_.electrical.clock_hz;
             charge_process(w.task, w.cpu_issue, wait_e);
           }
-          cpu_blocked_ = false;
-          cpu_free_at_ = done;
+          CoreState& cs = cores_[w.core];
+          cs.blocked = false;
+          cs.free_at = done;
         }
         for (const auto& em : w.emissions)
           queue_.post(done, em.event, em.value, w.task);
@@ -393,21 +433,23 @@ RunResults CoSimMaster::run(const sim::Stimulus& stimulus) {
     }
 
     if (t_bus < t_queue && t_bus <= t_cpu) {
-      // ---- issue the blocked CPU's shared-memory traffic --------------------
-      now = sw_bus_.issue_at;
+      // ---- issue a blocked CPU's shared-memory traffic ----------------------
+      CoreState& cs = cores_[bus_core];
+      now = cs.bus.issue_at;
       BusWait w;
-      w.task = sw_bus_.task;
+      w.task = cs.bus.task;
       w.is_cpu = true;
-      w.emissions = std::move(sw_bus_.emissions);
-      w.remaining = sw_bus_.requests.size();
+      w.core = bus_core;
+      w.emissions = std::move(cs.bus.emissions);
+      w.remaining = cs.bus.requests.size();
       w.earliest_done = now;
       w.cpu_issue = now;
       bus_waits_.push_back(std::move(w));
-      for (auto& rq : sw_bus_.requests)
+      for (auto& rq : cs.bus.requests)
         job_to_wait_[bus_->submit(now, std::move(rq))] =
             bus_waits_.size() - 1;
-      cpu_blocked_ = true;
-      sw_bus_ = {};
+      cs.blocked = true;
+      cs.bus = {};
       continue;
     }
 
@@ -436,7 +478,8 @@ RunResults CoSimMaster::run(const sim::Stimulus& stimulus) {
       for (const cfsm::CfsmId task : triggered) {
         const auto& trig = trig_inputs[static_cast<std::size_t>(task)];
         if (is_sw(task)) {
-          sw_pending_.push_back({now, task, trig});
+          cores_[core_of_[static_cast<std::size_t>(task)]].pending.push_back(
+              {now, task, trig});
           continue;
         }
         // Hardware reaction at this instant.
@@ -489,11 +532,18 @@ RunResults CoSimMaster::run(const sim::Stimulus& stimulus) {
                               cost.simulated});
         }
 
-        // Traffic goes to the grant-level arbiter; the reaction's emissions
-        // wait for its last transfer when it has any.
+        // Traffic goes to the interconnect; the reaction's emissions wait
+        // for its last transfer when it has any.
         std::vector<bus::BusRequest> reqs;
         if (traffic_hook_) reqs = traffic_hook_(task, reaction, pre_state);
-        const sim::SimTime latency = now + config_.hw_reaction_cycles;
+        sim::SimTime latency = now + config_.hw_reaction_cycles;
+        if (config_.coherence.enabled && !reqs.empty()) {
+          // Hardware masters are uncached agents: their accesses invalidate
+          // (writes) or flush (reads) matching dirty lines in the cores'
+          // private L1s, and the resulting control messages ride the
+          // interconnect alongside the data transfer.
+          latency += coherence_traffic(-1, now, reqs, res);
+        }
         if (reqs.empty()) {
           for (const auto& em : reaction.emissions)
             queue_.post(latency, em.event, em.value, task);
@@ -512,20 +562,21 @@ RunResults CoSimMaster::run(const sim::Stimulus& stimulus) {
       continue;
     }
 
-    // ---- dispatch one software transition on the CPU ------------------------
+    // ---- dispatch one software transition on the chosen core ----------------
     now = t_cpu;
+    CoreState& cpu = cores_[cpu_core];
     std::vector<cfsm::CfsmId> ready_tasks;
     std::vector<std::size_t> ready_idx;
-    for (std::size_t i = 0; i < sw_pending_.size(); ++i) {
-      if (sw_pending_[i].ready_at <= now) {
-        ready_tasks.push_back(sw_pending_[i].task);
+    for (std::size_t i = 0; i < cpu.pending.size(); ++i) {
+      if (cpu.pending[i].ready_at <= now) {
+        ready_tasks.push_back(cpu.pending[i].task);
         ready_idx.push_back(i);
       }
     }
     assert(!ready_tasks.empty());
     const std::size_t pick = rtos_.pick_next(ready_tasks);
-    const PendingSw pending = sw_pending_[ready_idx[pick]];
-    sw_pending_.erase(sw_pending_.begin() +
+    const PendingSw pending = cpu.pending[ready_idx[pick]];
+    cpu.pending.erase(cpu.pending.begin() +
                       static_cast<std::ptrdiff_t>(ready_idx[pick]));
 
     ++res.reactions;
@@ -566,11 +617,12 @@ RunResults CoSimMaster::run(const sim::Stimulus& stimulus) {
                           cost.simulated});
 
       // Instruction-cache references come from the behavioral model's path
-      // (Section 3), so they are issued whether or not the ISS ran.
+      // (Section 3), so they are issued whether or not the ISS ran. Each
+      // core references its own private instruction cache.
       if (config_.enable_icache) {
-        const auto addrs =
-            swsyn::address_trace(*sw_->image(task), reaction.trace);
-        const cache::AccessStats cs = cache_->access(addrs);
+        const auto addrs = swsyn::address_trace(
+            *sw_for_core_[cpu_core]->image(task), reaction.trace);
+        const cache::AccessStats cs = cache_->access_core(cpu_core, addrs);
         cycles += static_cast<double>(cs.penalty_cycles);
         trace_.record(cache_component_, now, cs.energy);
         res.cache_energy += cs.energy;
@@ -585,25 +637,33 @@ RunResults CoSimMaster::run(const sim::Stimulus& stimulus) {
     std::vector<bus::BusRequest> reqs;
     if (traffic_hook_ && !reaction.trace.empty())
       reqs = traffic_hook_(task, reaction, pre_state);
+    if (config_.coherence.enabled && !reqs.empty()) {
+      // Data side: the core's shared-memory traffic runs through its
+      // MSI-coherent private L1; misses/upgrades stall the core and the
+      // coherence control messages join the core's bus phase.
+      end += coherence_traffic(static_cast<int>(cpu_core), now, reqs, res);
+    }
     if (reqs.empty()) {
-      cpu_free_at_ = end;
+      cpu.free_at = end;
       for (const auto& em : reaction.emissions)
         queue_.post(end, em.event, em.value, task);
     } else {
       // Defer the bus phase so it arbitrates in simulated-time order with
-      // the hardware masters' traffic; the CPU blocks until completion.
-      sw_bus_.active = true;
-      sw_bus_.issue_at = end;
-      sw_bus_.task = task;
-      sw_bus_.requests = std::move(reqs);
-      sw_bus_.emissions = reaction.emissions;
-      cpu_free_at_ = end;  // refined to the transfer end when it is served
+      // the other masters' traffic; the core blocks until completion.
+      cpu.bus.active = true;
+      cpu.bus.issue_at = end;
+      cpu.bus.task = task;
+      cpu.bus.requests = std::move(reqs);
+      cpu.bus.emissions = reaction.emissions;
+      cpu.free_at = end;  // refined to the transfer end when it is served
     }
   }
 
   if (!hw_online()) flush_hw_batches(res);
 
-  res.end_time = std::max(now, cpu_free_at_);
+  res.end_time = now;
+  for (const CoreState& cs : cores_)
+    res.end_time = std::max(res.end_time, cs.free_at);
   res.total_energy =
       res.cpu_energy + res.hw_energy + res.bus_energy + res.cache_energy;
   for (const auto& b : owned_backends_) b->stats(res);
@@ -657,6 +717,32 @@ void CoSimMaster::flush_hw_batches(RunResults& res) {
     }
     flush_gate_cycles_ += flushed[i].gate_cycles;
   }
+}
+
+sim::SimTime CoSimMaster::coherence_traffic(int core, sim::SimTime now,
+                                            std::vector<bus::BusRequest>& reqs,
+                                            RunResults& res) {
+  Cycles penalty = 0;
+  Joules energy = 0.0;
+  std::vector<bus::BusRequest> control;
+  for (const bus::BusRequest& rq : reqs) {
+    const auto bytes =
+        static_cast<std::uint32_t>(rq.data.empty() ? 4u : rq.data.size());
+    const cache::CoherentAccessResult co =
+        cache_->data_access(core, rq.write, rq.addr, bytes);
+    penalty += co.penalty_cycles;
+    energy += co.energy;
+    control.insert(control.end(), co.traffic.begin(), co.traffic.end());
+  }
+  if (energy > 0.0) {
+    trace_.record(cache_component_, now, energy);
+    res.cache_energy += energy;
+  }
+  // Invalidation/writeback messages ride the interconnect with the data
+  // transfer they were caused by.
+  reqs.insert(reqs.end(), std::make_move_iterator(control.begin()),
+              std::make_move_iterator(control.end()));
+  return static_cast<sim::SimTime>(penalty);
 }
 
 RunResults CoSimMaster::run_separate(const sim::Stimulus& stimulus) {
@@ -720,7 +806,8 @@ RunResults CoSimMaster::run_separate(const sim::Stimulus& stimulus) {
         const cfsm::CfsmState pre = st;
         const cfsm::Reaction reaction = net_->cfsm(task).react(inputs, st);
         if (reaction.trace.empty()) continue;
-        e += sw_->replay(task, inputs, pre) + rtos_.dispatch_energy();
+        e += sw_backend_of(task)->replay(task, inputs, pre) +
+             rtos_.dispatch_energy();
         ++res.sw_reactions;
       }
       res.cpu_energy += e;
@@ -741,7 +828,7 @@ RunResults CoSimMaster::run_separate(const sim::Stimulus& stimulus) {
     res.process_energy[c] = e;
   }
   res.total_energy = res.cpu_energy + res.hw_energy;
-  if (sw_) sw_->stats(res);
+  for (SwBackend* sw : sw_backends_) sw->stats(res);
   if (hw_gate_) hw_gate_->stats(res);
   if (hw_rtl_) hw_rtl_->stats(res);
   res.wall_seconds =
@@ -764,8 +851,18 @@ cfsm::PathTable& CoSimMaster::path_table(cfsm::CfsmId task) {
   return path_tables_.at(static_cast<std::size_t>(task));
 }
 
+SwBackend* CoSimMaster::sw_backend_of(cfsm::CfsmId task) const {
+  if (sw_for_core_.empty()) return nullptr;
+  if (SwBackend* b = sw_for_core_[core_of_.at(static_cast<std::size_t>(task))])
+    return b;
+  // Hardware tasks sit on core 0 by default; fall back to any software
+  // backend so image lookups keep their "nullptr when unmapped" semantics.
+  return sw_backends_.empty() ? nullptr : sw_backends_.front();
+}
+
 const swsyn::SwImage* CoSimMaster::sw_image(cfsm::CfsmId task) const {
-  return sw_ ? sw_->image(task) : nullptr;
+  SwBackend* sw = sw_backend_of(task);
+  return sw ? sw->image(task) : nullptr;
 }
 
 const hwsyn::HwImage* CoSimMaster::hw_image(cfsm::CfsmId task) const {

@@ -1,21 +1,29 @@
-// The simulation master of the paper's Figure 2(b).
+// The simulation master of the paper's Figure 2(b), generalized to N-core
+// SoCs.
 //
 // CoSimMaster simulates the discrete-event behavioral model of the whole
 // system (the golden CFSM network) and owns nothing but scheduling state:
-// the event queue and value latches, the RTOS serialization of software
-// transitions on the single CPU, the pending-software and bus-wait
+// the event queue and value latches, the per-core RTOS serialization of
+// software transitions, the per-core pending-software and bus-wait
 // bookkeeping, and the acceleration policy of Section 4 (energy cache,
 // macro-op library, sequence-compaction sampling). Component *pricing* is
 // delegated to ComponentEstimator backends created by name from the
-// EstimatorRegistry (CoEstimatorConfig::estimators), one per role:
+// EstimatorRegistry (CoEstimatorConfig::estimators): one SwBackend per core
+// that runs software, one HwBackend per hardware flavor, a cache backend
+// (per-core private icaches, optionally an MSI-coherent data side) and one
+// interconnect backend (arbitrated bus or routed mesh):
 //
-//          ┌──────────────── CoSimMaster ────────────────┐
-//          │ event queue · latches · RTOS · bus waits    │
-//          │ energy cache / macro-model / sampling       │
-//          └──┬──────┬─────────┬─────────┬─────────┬─────┘
-//             ▼      ▼         ▼         ▼         ▼
-//          SwBackend HwBackend HwBackend CacheB.  BusBackend
-//          (sw.iss)  (hw.gate) (hw.rtl)  (cache.*)(bus.*)
+//          ┌───────────────── CoSimMaster ───────────────────┐
+//          │ event queue · latches · RTOS · per-core state   │
+//          │ energy cache / macro-model / sampling           │
+//          └──┬────────┬──────────┬─────────┬─────────┬──────┘
+//             ▼        ▼          ▼         ▼         ▼
+//          SwBackend×N HwBackend  HwBackend CacheB.  BusBackend
+//          (sw.iss)    (hw.gate)  (hw.rtl)  (cache.*)(bus.* / bus.noc)
+//
+// With cores == 1 (the default) the schedule, floating-point accumulation
+// order and backend list are bit-identical to the original single-CPU
+// master — the facade goldens pin this down.
 //
 // The unit of synchronization is a CFSM transition, exactly as in POLIS.
 // The public entry point is the CoEstimator facade (coestimator.hpp); this
@@ -50,8 +58,14 @@ class CoSimMaster {
 
   // -- implementation mapping (before prepare) -------------------------------
   void map_sw(cfsm::CfsmId task, int rtos_priority);
+  /// Map a task onto a specific CPU core (0-based). Aborts when `core` is
+  /// outside [0, config.cores) — a mapping error no run can recover from.
+  void map_sw(cfsm::CfsmId task, unsigned core, int rtos_priority);
   void map_hw(cfsm::CfsmId task, HwEstimatorKind kind);
   [[nodiscard]] bool is_sw(cfsm::CfsmId task) const;
+  [[nodiscard]] unsigned core_of(cfsm::CfsmId task) const {
+    return core_of_.at(static_cast<std::size_t>(task));
+  }
 
   void set_traffic_hook(TrafficHook hook) { traffic_hook_ = std::move(hook); }
   void set_transition_hook(TransitionHook hook) {
@@ -132,16 +146,25 @@ class CoSimMaster {
     std::vector<cfsm::EmittedEvent> emissions;
   };
   /// Emissions gated on outstanding bus transfers (a HW reaction's DMA
-  /// block reads, or the blocked CPU's writes). Released when the last of
-  /// the reaction's jobs completes on the grant-level scheduler.
+  /// block reads, or a blocked CPU's writes). Released when the last of
+  /// the reaction's jobs completes on the interconnect.
   struct BusWait {
     cfsm::CfsmId task = cfsm::kNoCfsm;
     bool is_cpu = false;
+    unsigned core = 0;  // which CPU is blocked (is_cpu only)
     std::vector<cfsm::EmittedEvent> emissions;
     std::size_t remaining = 0;
     sim::SimTime earliest_done = 0;  // reaction-latency floor
     sim::SimTime last_end = 0;
     sim::SimTime cpu_issue = 0;      // wait-energy accounting
+  };
+  /// Per-core scheduling state: the core's ready queue, its deferred bus
+  /// phase, and whether/until when the core is busy.
+  struct CoreState {
+    std::vector<PendingSw> pending;
+    PendingSwBus bus;
+    bool blocked = false;  // stalled on an in-flight transfer
+    sim::SimTime free_at = 0;
   };
 
   void check_structural_config() const;
@@ -151,6 +174,14 @@ class CoSimMaster {
            config_.accelerate_hw;
   }
   void flush_hw_batches(RunResults& res);
+  /// MSI data side of a reaction's shared-memory traffic: run each request
+  /// through the coherent model as agent `core` (-1: uncached hardware
+  /// master), bill the cache energy at `now`, append the resulting
+  /// invalidation/writeback messages to `reqs`, and return the stall
+  /// penalty in cycles. No-op (0) when coherence is disabled.
+  sim::SimTime coherence_traffic(int core, sim::SimTime now,
+                                 std::vector<bus::BusRequest>& reqs,
+                                 RunResults& res);
   [[nodiscard]] cfsm::ReactionInputs merge_inputs(
       cfsm::CfsmId task, const cfsm::ReactionInputs& trigger) const;
   void latch_occurrence(const sim::EventOccurrence& occ);
@@ -177,15 +208,22 @@ class CoSimMaster {
   CoEstimatorConfig structural_baseline_;
   std::vector<std::optional<bool>> impl_is_sw_;  // per CfsmId; nullopt unmapped
   std::vector<HwEstimatorKind> hw_kind_;         // per CfsmId
+  std::vector<unsigned> core_of_;  // per CfsmId (0 unless map_sw says else)
   swsyn::RtosModel rtos_;
   TrafficHook traffic_hook_;
   TransitionHook transition_hook_;
   std::vector<EnvironmentHook> environment_hooks_;
 
+  /// The software backend serving a task's core (nullptr when no software
+  /// backend exists at all; a per-backend image lookup of an unmapped task
+  /// yields nullptr as before).
+  [[nodiscard]] SwBackend* sw_backend_of(cfsm::CfsmId task) const;
+
   bool prepared_ = false;
   /// Owned backends; the typed pointers below alias into this list.
   std::vector<std::unique_ptr<ComponentEstimator>> owned_backends_;
-  SwBackend* sw_ = nullptr;
+  std::vector<SwBackend*> sw_backends_;  // creation order (ascending core)
+  std::vector<SwBackend*> sw_for_core_;  // per core (nullptr: no SW there)
   HwBackend* hw_gate_ = nullptr;
   HwBackend* hw_rtl_ = nullptr;
   CacheBackend* cache_ = nullptr;
@@ -211,10 +249,7 @@ class CoSimMaster {
   std::vector<cfsm::CfsmState> state_;
   std::vector<std::optional<std::int32_t>> latched_;  // last value per event
   sim::EventQueue queue_;
-  std::vector<PendingSw> sw_pending_;
-  PendingSwBus sw_bus_;
-  bool cpu_blocked_ = false;
-  sim::SimTime cpu_free_at_ = 0;
+  std::vector<CoreState> cores_;  // one slot per CPU core
   std::unordered_map<std::uint64_t, std::size_t> job_to_wait_;  // job -> slot
   std::vector<BusWait> bus_waits_;
   /// Gate cycles contributed by the offline batch flush (merged from the

@@ -11,7 +11,14 @@ void CacheEstimator::prepare(const EstimatorContext& ctx) {
 }
 
 void CacheEstimator::begin_run() {
-  sim_ = std::make_unique<cache::CacheSim>(config_->icache);
+  const unsigned cores = config_->cores > 0 ? config_->cores : 1;
+  sims_.clear();
+  for (unsigned c = 0; c < cores; ++c)
+    sims_.push_back(std::make_unique<cache::CacheSim>(config_->icache));
+  coherent_.reset();
+  if (config_->coherence.enabled)
+    coherent_ = std::make_unique<cache::CoherentMemoryModel>(
+        config_->coherence, cores);
 }
 
 TransitionCost CacheEstimator::cost(const TransitionRequest&) {
@@ -22,18 +29,46 @@ TransitionCost CacheEstimator::cost(const TransitionRequest&) {
 
 cache::AccessStats CacheEstimator::access(
     std::span<const std::uint32_t> addresses) {
+  return access_core(0, addresses);
+}
+
+cache::AccessStats CacheEstimator::access_core(
+    unsigned core, std::span<const std::uint32_t> addresses) {
   static telemetry::Counter& accesses =
       telemetry::registry().counter("estimator.cache.icache.accesses");
   static telemetry::Counter& misses =
       telemetry::registry().counter("estimator.cache.icache.misses");
-  const cache::AccessStats stats = sim_->access_stream(addresses);
+  const cache::AccessStats stats =
+      sims_.at(core)->access_stream(addresses);
   accesses.add(stats.accesses);
   misses.add(stats.misses);
   return stats;
 }
 
+cache::CoherentAccessResult CacheEstimator::data_access(int core, bool write,
+                                                        std::uint32_t addr,
+                                                        std::uint32_t bytes) {
+  if (!coherent_) return {};
+  static telemetry::Counter& accesses =
+      telemetry::registry().counter("estimator.cache.coherent.accesses");
+  static telemetry::Counter& invalidations =
+      telemetry::registry().counter("estimator.cache.coherent.invalidations");
+  static telemetry::Counter& writebacks =
+      telemetry::registry().counter("estimator.cache.coherent.writebacks");
+  cache::CoherentAccessResult r = coherent_->access(core, write, addr, bytes);
+  accesses.add();
+  invalidations.add(r.invalidations);
+  writebacks.add(r.writebacks);
+  return r;
+}
+
 void CacheEstimator::stats(RunResults& res) const {
-  res.icache = sim_->totals();
+  // One icache per core; report the merged reference stats (identical to
+  // the single simulator's totals when cores == 1).
+  cache::AccessStats sum;
+  for (const auto& s : sims_) sum += s->totals();
+  res.icache = sum;
+  if (coherent_) res.coherence = coherent_->totals();
 }
 
 }  // namespace socpower::core

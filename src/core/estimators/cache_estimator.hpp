@@ -1,13 +1,22 @@
-// Instruction-cache component estimator: the fast behavioral cache
-// simulator of the paper's Section 3. The ISS assumes 100 % hits; the
-// master feeds this backend each software path's static address trace and
-// charges the returned penalty cycles and access/refill energy — which is
-// why acceleration on the ISS side stays exact.
+// Cache component estimator: the fast behavioral cache simulator of the
+// paper's Section 3, generalized for multicore.
+//
+// Instruction side: the ISS assumes 100 % hits; the master feeds this
+// backend each software path's static address trace and charges the
+// returned penalty cycles and access/refill energy — which is why
+// acceleration on the ISS side stays exact. With N cores each core gets a
+// private instruction cache (same geometry), accessed via access_core().
+//
+// Data side (coherence on): shared-data traffic runs through an MSI-coherent
+// private-L1/shared-L2 model (cache/coherence.hpp) whose state transitions
+// bill invalidation/writeback messages onto the interconnect.
 #pragma once
 
 #include <memory>
+#include <vector>
 
 #include "cache/cache_sim.hpp"
+#include "cache/coherence.hpp"
 #include "core/estimators/component_estimator.hpp"
 
 namespace socpower::core {
@@ -28,10 +37,21 @@ class CacheEstimator final : public CacheBackend {
   }
 
   cache::AccessStats access(std::span<const std::uint32_t> addresses) override;
+  cache::AccessStats access_core(
+      unsigned core, std::span<const std::uint32_t> addresses) override;
+  cache::CoherentAccessResult data_access(int core, bool write,
+                                          std::uint32_t addr,
+                                          std::uint32_t bytes) override;
+
+  /// The coherent model of the current run (nullptr when coherence is off).
+  [[nodiscard]] const cache::CoherentMemoryModel* coherent() const {
+    return coherent_.get();
+  }
 
  private:
   const CoEstimatorConfig* config_ = nullptr;
-  std::unique_ptr<cache::CacheSim> sim_;
+  std::vector<std::unique_ptr<cache::CacheSim>> sims_;  // one icache per core
+  std::unique_ptr<cache::CoherentMemoryModel> coherent_;
 };
 
 }  // namespace socpower::core

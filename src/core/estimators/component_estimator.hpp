@@ -33,7 +33,9 @@
 #include <vector>
 
 #include "bus/bus_model.hpp"
+#include "bus/interconnect.hpp"
 #include "cache/cache_sim.hpp"
+#include "cache/coherence.hpp"
 #include "cfsm/cfsm.hpp"
 #include "core/coestimator_config.hpp"
 #include "hw/reaction_cache.hpp"
@@ -217,6 +219,22 @@ class CacheBackend : public ComponentEstimator {
   /// Run one reference stream through the cache model.
   virtual cache::AccessStats access(
       std::span<const std::uint32_t> addresses) = 0;
+  /// Per-core instruction-cache access (multicore masters); the default
+  /// forwards to the single shared cache, which is the core-0 path.
+  virtual cache::AccessStats access_core(
+      unsigned /*core*/, std::span<const std::uint32_t> addresses) {
+    return access(addresses);
+  }
+  /// Coherent shared-data access (multicore): run one access of `bytes`
+  /// bytes through the private-L1 MSI model. `core` < 0 is an uncached
+  /// agent (hardware DMA master). Backends without a coherence model return
+  /// the empty result — no penalty, no energy, no traffic.
+  virtual cache::CoherentAccessResult data_access(int /*core*/,
+                                                  bool /*write*/,
+                                                  std::uint32_t /*addr*/,
+                                                  std::uint32_t /*bytes*/) {
+    return {};
+  }
 };
 
 class BusBackend : public ComponentEstimator {
@@ -228,7 +246,14 @@ class BusBackend : public ComponentEstimator {
   virtual std::vector<bus::BusScheduler::Completion> advance(
       sim::SimTime t) = 0;
   /// Underlying scheduler (read-only introspection: grant times, params).
+  /// Only meaningful for the arbitrated-bus backend; a routed-interconnect
+  /// backend aborts here — use interconnect() for implementation-neutral
+  /// introspection.
   [[nodiscard]] virtual const bus::BusScheduler& scheduler() const = 0;
+  /// The interconnect behind this backend (bus or NoC).
+  [[nodiscard]] virtual const bus::Interconnect& interconnect() const {
+    return scheduler();
+  }
 };
 
 /// Deterministic busy-work standing in for the IPC round-trip the paper's

@@ -1,0 +1,65 @@
+#include "core/estimators/noc_estimator.hpp"
+
+#include <cassert>
+#include <cstdio>
+#include <cstdlib>
+
+#include "telemetry/registry.hpp"
+
+namespace socpower::core {
+
+void NocEstimator::prepare(const EstimatorContext& ctx) {
+  config_ = ctx.config;
+}
+
+void NocEstimator::begin_run() {
+  noc_ = std::make_unique<bus::NocModel>(config_->noc);
+}
+
+TransitionCost NocEstimator::cost(const TransitionRequest&) {
+  assert(false && "the NoC backend prices transfers, not transitions — use "
+                  "submit()/advance()");
+  return {};
+}
+
+bus::BusScheduler::JobId NocEstimator::submit(sim::SimTime now,
+                                              bus::BusRequest request) {
+  static telemetry::Counter& packets =
+      telemetry::registry().counter("estimator.bus.noc.packets");
+  packets.add();
+  return noc_->submit(now, std::move(request));
+}
+
+bool NocEstimator::has_work() const { return noc_->has_work(); }
+
+sim::SimTime NocEstimator::next_boundary() const {
+  return noc_->next_boundary();
+}
+
+std::vector<bus::BusScheduler::Completion> NocEstimator::advance(
+    sim::SimTime t) {
+  return noc_->advance(t);
+}
+
+const bus::BusScheduler& NocEstimator::scheduler() const {
+  std::fprintf(stderr,
+               "NocEstimator: scheduler() requested, but the selected "
+               "interconnect is the routed mesh — use interconnect() or "
+               "noc() for introspection\n");
+  std::abort();
+}
+
+void NocEstimator::stats(RunResults& res) const {
+  res.bus_totals = noc_->totals();
+  // Per-link telemetry: cumulative across runs, one counter per directed
+  // link that carried traffic this run.
+  for (const bus::NocModel::LinkStats& l : noc_->links()) {
+    if (l.packets == 0) continue;
+    const std::string base =
+        "estimator.bus.noc.link." + bus::NocModel::link_name(l);
+    telemetry::registry().counter(base + ".flits").add(l.flits);
+    telemetry::registry().counter(base + ".toggles").add(l.toggles);
+  }
+}
+
+}  // namespace socpower::core

@@ -1,0 +1,50 @@
+// Routed-mesh interconnect estimator ("bus.noc"): the NoC counterpart of
+// BusEstimator. The master selects it through CoEstimatorConfig::
+// interconnect = kNoc and schedules it exactly like the arbitrated bus —
+// submit transfers, advance to boundaries, collect completions — while the
+// underlying NocModel routes packets XY across the mesh and bills per-link
+// switching energy. Per-link flit/toggle/energy telemetry is published
+// under "estimator.bus.noc.link.<from>-><to>.*" at end of run.
+#pragma once
+
+#include <memory>
+
+#include "bus/noc_model.hpp"
+#include "core/estimators/component_estimator.hpp"
+
+namespace socpower::core {
+
+class NocEstimator final : public BusBackend {
+ public:
+  [[nodiscard]] std::string_view name() const override { return "bus.noc"; }
+
+  void prepare(const EstimatorContext& ctx) override;
+  void begin_run() override;
+  TransitionCost cost(const TransitionRequest&) override;
+  void flush(std::vector<FlushJob>&) override {}  // nothing deferred
+  void stats(RunResults& res) const override;
+  [[nodiscard]] std::vector<cfsm::CfsmId> component_ids() const override {
+    return {};  // resource backend: prices transfers, not processes
+  }
+
+  bus::BusScheduler::JobId submit(sim::SimTime now,
+                                  bus::BusRequest request) override;
+  [[nodiscard]] bool has_work() const override;
+  [[nodiscard]] sim::SimTime next_boundary() const override;
+  std::vector<bus::BusScheduler::Completion> advance(sim::SimTime t) override;
+  /// The arbitrated-bus scheduler does not exist behind the NoC backend.
+  [[nodiscard]] const bus::BusScheduler& scheduler() const override;
+  [[nodiscard]] const bus::Interconnect& interconnect() const override {
+    return *noc_;
+  }
+
+  /// The mesh model of the current run (per-link stats, routing; for tests
+  /// and the contention bench).
+  [[nodiscard]] const bus::NocModel& noc() const { return *noc_; }
+
+ private:
+  const CoEstimatorConfig* config_ = nullptr;
+  std::unique_ptr<bus::NocModel> noc_;
+};
+
+}  // namespace socpower::core

@@ -4,6 +4,7 @@
 #include "core/estimators/cache_estimator.hpp"
 #include "core/estimators/hw_gate_estimator.hpp"
 #include "core/estimators/hw_rtl_estimator.hpp"
+#include "core/estimators/noc_estimator.hpp"
 #include "core/estimators/sw_iss_estimator.hpp"
 #include "dist/remote_hw_estimator.hpp"
 
@@ -63,6 +64,8 @@ EstimatorRegistry& estimator_registry() {
                         [] { return std::make_unique<CacheEstimator>(); });
     r->register_backend("bus.arbiter",
                         [] { return std::make_unique<BusEstimator>(); });
+    r->register_backend("bus.noc",
+                        [] { return std::make_unique<NocEstimator>(); });
     // Out-of-process deployments of the hardware backends (config knob
     // hw_remote selects them via the ".remote" suffix).
     r->register_backend("hw.gate.remote", [] {

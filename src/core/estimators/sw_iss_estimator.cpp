@@ -92,8 +92,10 @@ Joules SwIssEstimator::replay(cfsm::CfsmId task,
 }
 
 void SwIssEstimator::stats(RunResults& res) const {
-  res.iss_invocations = invocations_;
-  res.iss_instructions = instructions_;
+  // Accumulate: with N cores the master owns one ISS backend per core and
+  // folds all of them into the same RunResults.
+  res.iss_invocations += invocations_;
+  res.iss_instructions += instructions_;
 }
 
 const swsyn::SwImage* SwIssEstimator::image(cfsm::CfsmId task) const {

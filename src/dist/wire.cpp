@@ -350,6 +350,13 @@ void put_run_results(WireWriter& w, const core::RunResults& res) {
   w.put_u64(res.bus_totals.data_toggles);
   w.put_u64(res.bus_totals.wait_cycles);
   w.put_f64(res.bus_totals.energy);
+  w.put_u64(res.coherence.accesses);
+  w.put_u64(res.coherence.l1_hits);
+  w.put_u64(res.coherence.l1_misses);
+  w.put_u64(res.coherence.upgrades);
+  w.put_u64(res.coherence.invalidations);
+  w.put_u64(res.coherence.writebacks);
+  w.put_f64(res.coherence.energy);
   w.put_f64(res.wall_seconds);
   w.put_u8(res.truncated ? 1 : 0);
 }
@@ -384,6 +391,13 @@ bool get_run_results(WireReader& r, core::RunResults* out) {
   out->bus_totals.data_toggles = r.get_u64();
   out->bus_totals.wait_cycles = r.get_u64();
   out->bus_totals.energy = r.get_f64();
+  out->coherence.accesses = r.get_u64();
+  out->coherence.l1_hits = r.get_u64();
+  out->coherence.l1_misses = r.get_u64();
+  out->coherence.upgrades = r.get_u64();
+  out->coherence.invalidations = r.get_u64();
+  out->coherence.writebacks = r.get_u64();
+  out->coherence.energy = r.get_f64();
   out->wall_seconds = r.get_f64();
   out->truncated = r.get_u8() != 0;
   return r.ok();

@@ -1,12 +1,15 @@
 // socpower_serve: the co-estimation session-server daemon.
 //
-//   socpower_serve [--socket PATH] [--threads N]
+//   socpower_serve [--socket PATH] [--threads N] [--max-sessions N]
 //
 // Knobs (flags win over environment):
 //   --socket PATH / SOCPOWER_SERVE_SOCKET   AF_UNIX listening socket path
 //                                           (default /tmp/socpower_serve.sock)
 //   --threads N  / SOCPOWER_SERVE_THREADS   estimation worker threads
 //                                           (default 0 = one per hw thread)
+//   --max-sessions N / SOCPOWER_SERVE_MAX_SESSIONS
+//                                           LRU-evict warm sessions beyond N
+//                                           (default 0 = unbounded)
 //
 // The daemon runs until SIGINT/SIGTERM or a kServeShutdown request, then
 // prints the serve.* stats table and exits 0. Exit 1 = bad usage or the
@@ -40,6 +43,8 @@ int main(int argc, char** argv) {
                                                "/tmp/socpower_serve.sock");
   config.threads = static_cast<unsigned>(
       socpower::util::env_int("SOCPOWER_SERVE_THREADS", 0));
+  config.max_sessions = static_cast<std::size_t>(
+      socpower::util::env_int("SOCPOWER_SERVE_MAX_SESSIONS", 0));
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -47,8 +52,12 @@ int main(int argc, char** argv) {
       config.socket_path = argv[++i];
     } else if (arg == "--threads" && i + 1 < argc) {
       config.threads = static_cast<unsigned>(std::atoi(argv[++i]));
+    } else if (arg == "--max-sessions" && i + 1 < argc) {
+      config.max_sessions = static_cast<std::size_t>(std::atoi(argv[++i]));
     } else {
-      std::fprintf(stderr, "usage: %s [--socket PATH] [--threads N]\n",
+      std::fprintf(stderr,
+                   "usage: %s [--socket PATH] [--threads N] "
+                   "[--max-sessions N]\n",
                    argv[0]);
       return 1;
     }

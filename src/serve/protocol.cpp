@@ -63,6 +63,9 @@ StructuralConfig StructuralConfig::from(const core::CoEstimatorConfig& cfg) {
   s.data_nj_per_toggle = cfg.data_nj_per_toggle;
   s.estimators = cfg.estimators;
   s.hw_remote = cfg.hw_remote;
+  s.cores = cfg.cores;
+  s.interconnect = static_cast<std::uint8_t>(cfg.interconnect);
+  s.coherence_enabled = cfg.coherence.enabled;
   return s;
 }
 
@@ -73,6 +76,9 @@ void StructuralConfig::apply(core::CoEstimatorConfig* cfg) const {
   cfg->data_nj_per_toggle = data_nj_per_toggle;
   cfg->estimators = estimators;
   cfg->hw_remote = hw_remote;
+  cfg->cores = cores;
+  cfg->interconnect = static_cast<core::InterconnectKind>(interconnect);
+  cfg->coherence.enabled = coherence_enabled;
 }
 
 void put_structural(WireWriter& w, const StructuralConfig& s) {
@@ -93,7 +99,11 @@ void put_structural(WireWriter& w, const StructuralConfig& s) {
   dist::put_string(w, s.estimators.hw_rtl);
   dist::put_string(w, s.estimators.cache);
   dist::put_string(w, s.estimators.bus);
+  dist::put_string(w, s.estimators.noc);
   w.put_u8(s.hw_remote ? 1 : 0);
+  w.put_u32(s.cores);
+  w.put_u8(s.interconnect);
+  w.put_u8(s.coherence_enabled ? 1 : 0);
 }
 
 bool get_structural(WireReader& r, StructuralConfig* out) {
@@ -115,7 +125,16 @@ bool get_structural(WireReader& r, StructuralConfig* out) {
   if (!dist::get_string(r, &out->estimators.hw_rtl)) return false;
   if (!dist::get_string(r, &out->estimators.cache)) return false;
   if (!dist::get_string(r, &out->estimators.bus)) return false;
+  if (!dist::get_string(r, &out->estimators.noc)) return false;
   out->hw_remote = r.get_u8() != 0;
+  out->cores = r.get_u32();
+  out->interconnect = r.get_u8();
+  if (out->interconnect >
+      static_cast<std::uint8_t>(core::InterconnectKind::kNoc)) {
+    r.mark_bad();
+    return false;
+  }
+  out->coherence_enabled = r.get_u8() != 0;
   return r.ok();
 }
 
@@ -246,6 +265,7 @@ void put_stats_reply(WireWriter& w, const ServeStatsReply& s) {
   w.put_u64(s.requests);
   w.put_u64(s.checkpoint_bytes);
   w.put_u64(s.restore_hits);
+  w.put_u64(s.evictions);
   w.put_u64(s.latency_count);
   w.put_f64(s.latency_mean_ms);
   w.put_f64(s.latency_min_ms);
@@ -259,6 +279,7 @@ bool get_stats_reply(WireReader& r, ServeStatsReply* out) {
   out->requests = r.get_u64();
   out->checkpoint_bytes = r.get_u64();
   out->restore_hits = r.get_u64();
+  out->evictions = r.get_u64();
   out->latency_count = r.get_u64();
   out->latency_mean_ms = r.get_f64();
   out->latency_min_ms = r.get_f64();

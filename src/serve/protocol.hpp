@@ -27,7 +27,9 @@ namespace socpower::serve {
 
 /// Bumped on any wire-visible change; kServeHello rejects mismatches so an
 /// old client fails with a message instead of a garbled decode.
-inline constexpr std::uint32_t kServeProtocolVersion = 1;
+/// v2: multicore — StructuralConfig gained cores / interconnect /
+/// coherence_enabled, RunResults gained coherence totals.
+inline constexpr std::uint32_t kServeProtocolVersion = 2;
 
 // ---- system selection ------------------------------------------------------
 
@@ -59,6 +61,11 @@ struct StructuralConfig {
   double data_nj_per_toggle = 0.0;
   core::EstimatorSelection estimators;
   bool hw_remote = false;
+  std::uint32_t cores = 1;
+  std::uint8_t interconnect = 0;  // core::InterconnectKind
+  /// Not frozen at prepare(), but part of the session identity: warm state
+  /// accumulated with coherence on is not comparable to coherence-off runs.
+  bool coherence_enabled = false;
 
   [[nodiscard]] static StructuralConfig from(
       const core::CoEstimatorConfig& cfg);
@@ -126,6 +133,7 @@ struct ServeStatsReply {
   std::uint64_t requests = 0;
   std::uint64_t checkpoint_bytes = 0;
   std::uint64_t restore_hits = 0;
+  std::uint64_t evictions = 0;  // LRU session evictions (max_sessions cap)
   std::uint64_t latency_count = 0;
   double latency_mean_ms = 0.0;
   double latency_min_ms = 0.0;

@@ -56,6 +56,7 @@ bool Server::start() {
     return false;
   }
 
+  sessions_.set_max_sessions(config_.max_sessions);
   pool_ = std::make_unique<ThreadPool>(config_.threads);
   stop_.store(false);
   acceptor_ = std::thread([this] { accept_loop(); });
@@ -340,6 +341,7 @@ ServeStatsReply Server::stats_snapshot() const {
   s.requests = n_requests_.load();
   s.checkpoint_bytes = n_checkpoint_bytes_.load();
   s.restore_hits = n_restore_hits_.load();
+  s.evictions = sessions_.evictions();
   RunningStats lat;
   {
     std::lock_guard<std::mutex> lk(latency_mu_);
@@ -357,6 +359,7 @@ ServeStatsReply Server::stats_snapshot() const {
   t.add_row({"serve.requests", std::to_string(s.requests)});
   t.add_row({"serve.checkpoint_bytes", std::to_string(s.checkpoint_bytes)});
   t.add_row({"serve.restore_hits", std::to_string(s.restore_hits)});
+  t.add_row({"serve.evictions", std::to_string(s.evictions)});
   t.add_row({"request_ms.count", std::to_string(s.latency_count)});
   t.add_row({"request_ms.mean", TextTable::num(s.latency_mean_ms)});
   t.add_row({"request_ms.min", TextTable::num(s.latency_min_ms)});

@@ -3,6 +3,8 @@
 #include <chrono>
 #include <utility>
 
+#include "telemetry/registry.hpp"
+
 namespace socpower::serve {
 
 std::unique_ptr<Session> Session::create(const SystemParams& system,
@@ -13,6 +15,15 @@ std::unique_ptr<Session> Session::create(const SystemParams& system,
 
   core::CoEstimatorConfig cfg;
   structural.apply(&cfg);
+  // configure() maps tasks onto cores and map_sw aborts the process on an
+  // out-of-range core — reject the request before it can get there.
+  if (cfg.cores < sys->min_cores()) {
+    if (error)
+      *error = "system '" + system.name + "' needs at least " +
+               std::to_string(sys->min_cores()) +
+               " cores; structural config has " + std::to_string(cfg.cores);
+    return nullptr;
+  }
   auto est = std::make_unique<core::CoEstimator>(&sys->network(), cfg);
   sys->configure(*est);
   // prepare() aborts the whole process on an invalid config — a server must
@@ -91,15 +102,44 @@ Checkpoint Session::checkpoint() {
 std::shared_ptr<Session> SessionTable::find(const std::string& key) const {
   std::lock_guard<std::mutex> lk(mu_);
   const auto it = map_.find(key);
-  return it == map_.end() ? nullptr : it->second;
+  if (it == map_.end()) return nullptr;
+  it->second.last_used = ++tick_;
+  return it->second.session;
 }
 
 std::shared_ptr<Session> SessionTable::adopt(
     std::shared_ptr<Session> session) {
+  static telemetry::Counter& c_evictions =
+      telemetry::registry().counter("serve.evictions");
   std::lock_guard<std::mutex> lk(mu_);
-  auto [it, inserted] = map_.emplace(session->key(), std::move(session));
-  (void)inserted;
-  return it->second;
+  // Copy the key out before the move: argument evaluation order would
+  // otherwise be free to move `session` away first.
+  const std::string key = session->key();
+  auto [it, inserted] = map_.emplace(key, Entry{std::move(session), 0});
+  it->second.last_used = ++tick_;
+  if (inserted && max_sessions_ > 0) {
+    while (map_.size() > max_sessions_) {
+      // Evict the least-recently-used entry; the just-adopted session holds
+      // the newest stamp, so it is never the victim.
+      auto victim = map_.begin();
+      for (auto e = map_.begin(); e != map_.end(); ++e)
+        if (e->second.last_used < victim->second.last_used) victim = e;
+      map_.erase(victim);
+      ++evictions_;
+      c_evictions.add();
+    }
+  }
+  return it->second.session;
+}
+
+void SessionTable::set_max_sessions(std::size_t max) {
+  std::lock_guard<std::mutex> lk(mu_);
+  max_sessions_ = max;
+}
+
+std::uint64_t SessionTable::evictions() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return evictions_;
 }
 
 std::size_t SessionTable::size() const {

@@ -64,6 +64,13 @@ class Session {
 /// Key -> session map shared by all server connections. find-or-insert is
 /// atomic so two clients opening the same structural config race to one
 /// session, never two.
+///
+/// Optionally bounded: with a max-session cap set, adopting a new session
+/// beyond the cap evicts the least-recently-used one (both find() and
+/// adopt() refresh recency). Eviction only drops the table's reference —
+/// in-flight requests hold their own shared_ptr and finish normally; the
+/// warm state is simply gone for later requests (re-openable, and
+/// checkpointable beforehand). Counted in "serve.evictions".
 class SessionTable {
  public:
   [[nodiscard]] std::shared_ptr<Session> find(const std::string& key) const;
@@ -71,9 +78,21 @@ class SessionTable {
   std::shared_ptr<Session> adopt(std::shared_ptr<Session> session);
   [[nodiscard]] std::size_t size() const;
 
+  /// Bound the table to `max` sessions (0 = unbounded, the default).
+  void set_max_sessions(std::size_t max);
+  [[nodiscard]] std::uint64_t evictions() const;
+
  private:
+  struct Entry {
+    std::shared_ptr<Session> session;
+    std::uint64_t last_used = 0;  // recency stamp (monotonic per table)
+  };
+
   mutable std::mutex mu_;
-  std::map<std::string, std::shared_ptr<Session>> map_;
+  mutable std::map<std::string, Entry> map_;
+  mutable std::uint64_t tick_ = 0;
+  std::size_t max_sessions_ = 0;
+  std::uint64_t evictions_ = 0;
 };
 
 }  // namespace socpower::serve

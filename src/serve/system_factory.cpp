@@ -3,6 +3,7 @@
 #include <set>
 #include <utility>
 
+#include "systems/multicore.hpp"
 #include "systems/prodcons.hpp"
 #include "systems/tcpip.hpp"
 
@@ -59,6 +60,27 @@ class ProdConsInstance final : public SystemInstance {
   sim::SimTime horizon_;
 };
 
+class MulticoreInstance final : public SystemInstance {
+ public:
+  MulticoreInstance(systems::MulticoreParams p, sim::SimTime horizon)
+      : sys_(p), horizon_(horizon) {}
+
+  [[nodiscard]] const cfsm::Network& network() const override {
+    return sys_.network();
+  }
+  void configure(core::CoEstimator& est) override { sys_.configure(est); }
+  [[nodiscard]] sim::Stimulus stimulus() const override {
+    return sys_.stimulus(horizon_);
+  }
+  [[nodiscard]] unsigned min_cores() const override {
+    return sys_.params().cores;
+  }
+
+ private:
+  systems::MulticoreSystem sys_;
+  sim::SimTime horizon_;
+};
+
 }  // namespace
 
 std::unique_ptr<SystemInstance> make_system(const SystemParams& params,
@@ -107,6 +129,34 @@ std::unique_ptr<SystemInstance> make_system(const SystemParams& params,
     const auto horizon =
         static_cast<sim::SimTime>(params.get("horizon", 4096));
     return std::make_unique<ProdConsInstance>(p, horizon);
+  }
+  if (params.name == "multicore") {
+    static const std::set<std::string> known = {
+        "cores",     "num_packets",  "bytes_per_packet",
+        "tick_period", "start_gap",  "collector_base_iterations",
+        "shared_lines", "horizon"};
+    if (!check_keys(params, known, error)) return nullptr;
+    systems::MulticoreParams p;
+    const auto cores = params.get("cores", p.cores);
+    if (cores < 1 || cores > 64) {
+      if (error) *error = "multicore: cores must be in [1, 64]";
+      return nullptr;
+    }
+    p.cores = static_cast<unsigned>(cores);
+    p.num_packets = static_cast<int>(params.get("num_packets", p.num_packets));
+    p.bytes_per_packet =
+        static_cast<int>(params.get("bytes_per_packet", p.bytes_per_packet));
+    p.tick_period = static_cast<sim::SimTime>(
+        params.get("tick_period", static_cast<std::int64_t>(p.tick_period)));
+    p.start_gap = static_cast<sim::SimTime>(
+        params.get("start_gap", static_cast<std::int64_t>(p.start_gap)));
+    p.collector_base_iterations = static_cast<int>(params.get(
+        "collector_base_iterations", p.collector_base_iterations));
+    p.shared_lines = static_cast<unsigned>(
+        params.get("shared_lines", p.shared_lines));
+    const auto horizon =
+        static_cast<sim::SimTime>(params.get("horizon", 4096));
+    return std::make_unique<MulticoreInstance>(p, horizon);
   }
   if (error) *error = "unknown system '" + params.name + "'";
   return nullptr;

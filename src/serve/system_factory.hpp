@@ -29,6 +29,11 @@ class SystemInstance {
   /// The canonical stimulus of this system configuration. Deterministic:
   /// every estimate request of a session replays the same occurrences.
   [[nodiscard]] virtual sim::Stimulus stimulus() const = 0;
+  /// Smallest config.cores this system maps onto. Session::create rejects a
+  /// structural config below this BEFORE configure() runs — map_sw aborts
+  /// the process on an out-of-range core, which a server must never let a
+  /// request reach.
+  [[nodiscard]] virtual unsigned min_cores() const { return 1; }
 };
 
 /// Builds the named system. Returns nullptr with `*error` set on an unknown
@@ -40,6 +45,10 @@ class SystemInstance {
 ///             rtos_prio_create, rtos_prio_ipcheck
 ///   prodcons: num_packets, bytes_per_packet, tick_period, start_gap,
 ///             consumer_base_iterations, horizon
+///   multicore: cores, num_packets, bytes_per_packet, tick_period,
+///             start_gap, collector_base_iterations, shared_lines, horizon
+///             (the structural config must request >= `cores` cores; its
+///             interconnect/coherence fields select bus vs NoC and MSI)
 [[nodiscard]] std::unique_ptr<SystemInstance> make_system(
     const SystemParams& params, std::string* error);
 

@@ -62,10 +62,12 @@ class ServeTest : public ::testing::Test {
     if (!dist::supported()) GTEST_SKIP() << "no fork/socketpair";
   }
 
-  bool start(const char* tag, unsigned threads = 2) {
+  bool start(const char* tag, unsigned threads = 2,
+             std::size_t max_sessions = 0) {
     ServerConfig cfg;
     cfg.socket_path = unique_socket(tag);
     cfg.threads = threads;
+    cfg.max_sessions = max_sessions;
     server_ = std::make_unique<Server>(cfg);
     return server_->start();
   }
@@ -308,6 +310,55 @@ TEST_F(ServeTest, ProdConsSessionsWorkToo) {
       << error;
   EXPECT_GT(res.total_energy, 0.0);
   EXPECT_GT(res.reactions, 0u);
+}
+
+TEST_F(ServeTest, BoundedTableEvictsLeastRecentlyUsedSession) {
+  // Cap the table at 2 sessions: opening a third evicts the LRU one. Which
+  // one is LRU is steered by touching session A between the opens.
+  ASSERT_TRUE(start("evict", 2, /*max_sessions=*/2));
+  std::string error;
+  Client client = Client::connect(server_->socket_path(), &error);
+  ASSERT_TRUE(client.valid()) << error;
+
+  SystemParams sys[3];
+  for (int i = 0; i < 3; ++i) {
+    sys[i].name = "prodcons";
+    sys[i].set("num_packets", 2 + i);  // three distinct sessions
+    sys[i].set("horizon", 1024);
+  }
+  std::string keys[3];
+  ASSERT_TRUE(client.open_session(sys[0], StructuralConfig{}, &keys[0],
+                                  nullptr, &error))
+      << error;
+  ASSERT_TRUE(client.open_session(sys[1], StructuralConfig{}, &keys[1],
+                                  nullptr, &error))
+      << error;
+  // Touch A so B becomes least-recently-used.
+  core::RunResults res;
+  ASSERT_TRUE(client.estimate(keys[0], RunRequest{}, &res, nullptr, &error))
+      << error;
+  // Opening C (at the cap) evicts B, not A.
+  ASSERT_TRUE(client.open_session(sys[2], StructuralConfig{}, &keys[2],
+                                  nullptr, &error))
+      << error;
+  ASSERT_TRUE(client.estimate(keys[0], RunRequest{}, &res, nullptr, &error))
+      << "session A should have survived: " << error;
+  EXPECT_FALSE(client.estimate(keys[1], RunRequest{}, &res, nullptr, &error));
+  EXPECT_NE(error.find("unknown session"), std::string::npos) << error;
+
+  ServeStatsReply stats;
+  ASSERT_TRUE(client.stats(&stats, &error)) << error;
+  EXPECT_EQ(stats.evictions, 1u);
+  EXPECT_NE(stats.rendered.find("serve.evictions"), std::string::npos);
+
+  // An evicted session is re-openable — warm state gone, key identical.
+  std::string reopened;
+  bool created = false;
+  ASSERT_TRUE(client.open_session(sys[1], StructuralConfig{}, &reopened,
+                                  &created, &error))
+      << error;
+  EXPECT_EQ(reopened, keys[1]);
+  EXPECT_TRUE(created);
 }
 
 TEST_F(ServeTest, ErrorRepliesNameTheProblem) {
