@@ -17,6 +17,12 @@
 // SOCPOWER_HW_REMOTE=1 to put every hardware estimator behind an
 // out-of-process worker — both bit-identical, both degrade gracefully
 // where fork is unavailable.
+// Set SOCPOWER_HW_ANALYTICAL=1 to give every exploration point a third,
+// cheapest tier — the calibrated "hw.analytical" backend — and
+// SOCPOWER_ANALYTICAL_PREFILTER=K to run the three-tier funnel: the
+// analytical tier sweeps every point, the best K proceed to the coarse
+// ranking and exact verification. Whenever the kept K covers the true
+// coarse top candidates the outcome is bit-identical to the two-phase run.
 // Set SOCPOWER_TRACE=out.json to collect telemetry and write a Chrome
 // trace-event file (open in chrome://tracing or https://ui.perfetto.dev);
 // SOCPOWER_TELEMETRY=1 enables the counters alone.
@@ -54,6 +60,10 @@ int main(int argc, char** argv) {
   const bool hw_remote = util::env_bool("SOCPOWER_HW_REMOTE", false);
   const unsigned dist_workers = clamp_threads(
       util::env_int("SOCPOWER_DIST_WORKERS", 1));
+  const bool hw_analytical = util::env_bool("SOCPOWER_HW_ANALYTICAL", false);
+  const auto prefilter = static_cast<std::size_t>(
+      std::clamp(util::env_int("SOCPOWER_ANALYTICAL_PREFILTER", 0), 0l,
+                 1l << 20));
 
   std::printf("exploring the TCP/IP subsystem integration architecture\n");
   std::printf("workload: %d packets x %d bytes, %u worker thread(s)%s\n\n",
@@ -157,7 +167,7 @@ int main(int argc, char** argv) {
   std::printf("\n--- two-phase exploration over the DMA axis ---\n");
   std::vector<core::ExplorationPoint> dma_points;
   for (const unsigned dma : {4u, 16u, 64u, 128u}) {
-    auto make_run = [=](core::Acceleration accel) {
+    auto make_run = [=](core::Acceleration accel, bool analytical) {
       return [=]() {
         systems::TcpIpParams p;
         p.num_packets = packets;
@@ -171,22 +181,36 @@ int main(int argc, char** argv) {
         cfg.iss.block_cache = block_cache;
         cfg.hw_reaction_cache = hw_rcache;
         cfg.hw_remote = hw_remote;
+        if (analytical) {
+          cfg.estimators.hw_gate = "hw.analytical";
+          cfg.hw_analytical_calibration_vectors = 16;
+        }
         core::CoEstimator est(&sys.network(), cfg);
         sys.configure(est);
         est.prepare();
         return est.run(sys.stimulus());
       };
     };
-    dma_points.push_back({"dma=" + std::to_string(dma),
-                          make_run(core::Acceleration::kMacroModel),
-                          make_run(core::Acceleration::kNone)});
+    core::ExplorationPoint pt;
+    pt.label = "dma=" + std::to_string(dma);
+    pt.run_coarse = make_run(core::Acceleration::kMacroModel, false);
+    pt.run_exact = make_run(core::Acceleration::kNone, false);
+    if (hw_analytical)
+      pt.run_analytical = make_run(core::Acceleration::kMacroModel, true);
+    dma_points.push_back(std::move(pt));
   }
+  if (hw_analytical)
+    std::printf("analytical tier enabled%s\n",
+                prefilter > 0 ? " (three-tier funnel)" : "");
   // Sharded over forked worker processes when asked; identical outcome.
   const auto outcome =
       dist_workers >= 2
           ? core::explore_sharded(dma_points, /*verify_top=*/2,
-                                  {.workers = dist_workers})
-          : core::explore(dma_points, /*verify_top=*/2, {.threads = threads});
+                                  {.workers = dist_workers,
+                                   .analytical_prefilter = prefilter})
+          : core::explore(dma_points, /*verify_top=*/2,
+                          {.threads = threads,
+                           .analytical_prefilter = prefilter});
   std::printf("%s", outcome.render().c_str());
 
   if (telemetry::enabled()) {

@@ -1,0 +1,148 @@
+#!/usr/bin/env python3
+"""Guard the benchmark trajectory: fresh BENCH_*.json vs committed baselines.
+
+Every perf-bearing benchmark persists its headline numbers as
+BENCH_<name>.json (bench_common.hpp's BenchJson).  The repository keeps the
+blessed numbers at the repo root; CI regenerates them into
+$SOCPOWER_BENCH_JSON_DIR and this script compares the two sets:
+
+  * schema: every fresh file must carry a non-empty "bench" and "git_sha"
+    and only finite numeric metrics (NaN/Inf means a broken measurement,
+    not a slow one);
+  * trend: a metric that regresses by more than --threshold (default 25 %)
+    against its committed baseline fails the run.  Direction comes from the
+    metric name: seconds/error/overhead-style metrics must not grow,
+    speedup/throughput/hit-rate-style metrics must not shrink, and
+    *identical-style invariants must match exactly.  Everything else
+    (point counts, gate counts, workload sizes) is informational.
+
+Benchmarks present on only one side are skipped with a note: adding a new
+benchmark must not fail the trend gate, and retiring one is a review
+decision, not a CI decision.
+
+Usage: check_bench_trend.py [--baseline-dir DIR] [--current-dir DIR]
+                            [--threshold FRACTION]
+Exit code 0 when every compared metric holds, 1 otherwise.
+"""
+
+import argparse
+import glob
+import json
+import math
+import os
+import sys
+
+LOWER_IS_BETTER = ("seconds", "err", "overhead", "dropped")
+LOWER_SUFFIXES = ("_s", "_ms")
+HIGHER_IS_BETTER = ("speedup", "throughput", "hit_rate", "kreact", "per_sec")
+EXACT = ("identical",)
+
+
+def fail(msg):
+    print(f"check_bench_trend: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def load(path):
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        fail(f"{path}: unreadable ({e})")
+    if not isinstance(doc, dict):
+        fail(f"{path}: top level is not an object")
+    for key in ("bench", "git_sha"):
+        if not isinstance(doc.get(key), str) or not doc[key]:
+            fail(f"{path}: missing or empty '{key}'")
+    metrics = {}
+    for key, value in doc.items():
+        if key in ("bench", "git_sha"):
+            continue
+        if not isinstance(value, (int, float)) or isinstance(value, bool):
+            fail(f"{path}: metric '{key}' is not numeric")
+        if not math.isfinite(value):
+            fail(f"{path}: metric '{key}' is not finite ({value})")
+        metrics[key] = float(value)
+    return doc["bench"], metrics
+
+
+def direction(name):
+    lowered = name.lower()
+    if any(pat in lowered for pat in EXACT):
+        return "exact"
+    # Speedup-style names win over the "_s" suffix rule ("..._speedup").
+    if any(pat in lowered for pat in HIGHER_IS_BETTER):
+        return "higher"
+    if lowered.endswith(LOWER_SUFFIXES) or any(
+            pat in lowered for pat in LOWER_IS_BETTER):
+        return "lower"
+    return "info"
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--baseline-dir", default=None,
+                    help="directory of committed BENCH_*.json "
+                         "(default: repository root, next to this script)")
+    ap.add_argument("--current-dir", default=None,
+                    help="directory of freshly generated BENCH_*.json "
+                         "(default: $SOCPOWER_BENCH_JSON_DIR, else cwd)")
+    ap.add_argument("--threshold", type=float, default=0.25,
+                    help="allowed fractional regression (default 0.25)")
+    args = ap.parse_args()
+
+    baseline_dir = args.baseline_dir or os.path.join(
+        os.path.dirname(os.path.abspath(__file__)), "..")
+    current_dir = args.current_dir or os.environ.get(
+        "SOCPOWER_BENCH_JSON_DIR") or "."
+
+    current_files = sorted(glob.glob(os.path.join(current_dir,
+                                                  "BENCH_*.json")))
+    if not current_files:
+        fail(f"no BENCH_*.json found in {current_dir}")
+
+    failures = []
+    compared = 0
+    for path in current_files:
+        bench, current = load(path)
+        base_path = os.path.join(baseline_dir, os.path.basename(path))
+        if not os.path.exists(base_path):
+            print(f"  {bench}: no committed baseline, skipped")
+            continue
+        _, baseline = load(base_path)
+        for name in sorted(current):
+            if name not in baseline:
+                print(f"  {bench}.{name}: new metric, skipped")
+                continue
+            cur, base = current[name], baseline[name]
+            kind = direction(name)
+            verdict = "ok"
+            if kind == "exact":
+                if cur != base:
+                    verdict = f"REGRESSION (expected {base}, got {cur})"
+            elif kind == "lower":
+                if cur > base * (1.0 + args.threshold):
+                    verdict = f"REGRESSION (+{100.0 * (cur / base - 1.0):.1f}%)" \
+                        if base > 0 else f"REGRESSION ({base} -> {cur})"
+            elif kind == "higher":
+                if cur < base * (1.0 - args.threshold):
+                    verdict = f"REGRESSION (-{100.0 * (1.0 - cur / base):.1f}%)" \
+                        if base > 0 else f"REGRESSION ({base} -> {cur})"
+            else:
+                print(f"  {bench}.{name}: {base:g} -> {cur:g} (info)")
+                continue
+            compared += 1
+            print(f"  {bench}.{name} [{kind}]: {base:g} -> {cur:g}  {verdict}")
+            if verdict != "ok":
+                failures.append(f"{bench}.{name}: {verdict}")
+
+    if failures:
+        for f in failures:
+            print(f"check_bench_trend: {f}", file=sys.stderr)
+        sys.exit(1)
+    print(f"check_bench_trend: OK ({compared} metrics compared, "
+          f"threshold {100.0 * args.threshold:.0f}%)")
+
+
+if __name__ == "__main__":
+    main()

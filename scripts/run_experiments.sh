@@ -48,6 +48,13 @@ done
 SOCPOWER_HW_REMOTE=1 ./build/examples/explore_tcpip 2 64 \
   "$SOCPOWER_THREADS" 2>&1 | tee explore_remote_output.txt
 
+# Three-tier funnel: the calibrated analytical backend prefilters the DMA
+# sweep before the coarse ranking and exact verification. The recommended
+# winner must match the two-phase runs above.
+SOCPOWER_HW_ANALYTICAL=1 SOCPOWER_ANALYTICAL_PREFILTER=3 \
+  ./build/examples/explore_tcpip 2 64 "$SOCPOWER_THREADS" 2>&1 \
+  | tee explore_analytical_output.txt
+
 # Multicore pass: the N-core scenario family over 1/2/4 cores on both
 # interconnects (co- vs separate-estimated energy, then the two-phase
 # (cores, interconnect) exploration). bench_noc_contention already ran in

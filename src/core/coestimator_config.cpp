@@ -4,6 +4,7 @@
 #include <cstdio>
 
 #include "core/estimators/registry.hpp"
+#include "hw/analytical.hpp"
 
 namespace socpower::core {
 
@@ -174,6 +175,35 @@ std::vector<std::string> CoEstimatorConfig::validate() const {
     err("hw_packed_lanes must be in [1, 64] (got %u) — lanes are bits of "
         "one uint64_t word per net",
         hw_packed_lanes);
+
+  if (hw_analytical_calibration_vectors == 0)
+    err("hw_analytical_calibration_vectors must be > 0 — the analytical "
+        "backend least-squares-fits %zu coefficients per unit from these "
+        "gate-level samples, and zero samples fit nothing",
+        hw::kAnalyticalTerms);
+  if (hw_analytical_calibration_vectors > (1u << 20))
+    err("hw_analytical_calibration_vectors must be <= %u (got %u) — beyond "
+        "that the calibration prefix costs more than the gate-level run it "
+        "replaces",
+        1u << 20, hw_analytical_calibration_vectors);
+  if (hw_leakage_nw_per_gate < 0.0)
+    err("hw_leakage_nw_per_gate must be >= 0 (got %g)",
+        hw_leakage_nw_per_gate);
+  if (hw_temperature_k <= 0.0)
+    err("hw_temperature_k must be > 0 (got %g) — the leakage model scales "
+        "exponentially from the 300 K reference",
+        hw_temperature_k);
+  if (hw_channel_length_nm <= 0.0)
+    err("hw_channel_length_nm must be > 0 (got %g) — leakage scales as "
+        "250 / channel length",
+        hw_channel_length_nm);
+  if (analytical_prefilter > 0 && estimators.hw_gate != "hw.analytical" &&
+      estimators.hw_rtl != "hw.analytical")
+    err("analytical_prefilter=%zu needs an HW estimator role set to "
+        "\"hw.analytical\" (hw_gate=\"%s\" hw_rtl=\"%s\") — the prefilter "
+        "tier has no analytical model to run otherwise",
+        analytical_prefilter, estimators.hw_gate.c_str(),
+        estimators.hw_rtl.c_str());
 
   if (dist_rpc_timeout_ms == 0)
     err("dist_rpc_timeout_ms must be > 0 — a zero timeout declares every "

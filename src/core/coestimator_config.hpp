@@ -168,6 +168,29 @@ struct CoEstimatorConfig {
   /// Stimulus patterns per packed pass, 1..64. Fewer lanes only make sense
   /// for experiments on packed-evaluation overhead.
   unsigned hw_packed_lanes = 64;
+  /// Gate-level calibration samples per hardware unit for the analytical
+  /// backend (estimators.hw_gate/hw_rtl = "hw.analytical"): the first N
+  /// reactions of each unit replay through GateSim while (activity, energy)
+  /// samples accumulate; the unit's coefficients are least-squares-fitted
+  /// when the target is reached and every later reaction is pure arithmetic.
+  /// An imported AnalyticalModel (warm checkpoint, prefilter sweep) skips
+  /// the phase entirely. Per-run knob.
+  unsigned hw_analytical_calibration_vectors = 256;
+  /// Static-power knobs of the analytical backend (per McPAT: per-gate
+  /// leakage at the 300 K / 250 nm reference, scaled by channel length and
+  /// exponentially by temperature — see hw::analytical_leakage_watts).
+  /// Leakage integrates over each reaction's latency and is billed into the
+  /// unit's energy, with the static share reported separately
+  /// (RunResults::process_leakage). Per-run knobs.
+  double hw_leakage_nw_per_gate = 2.0;
+  double hw_temperature_k = 300.0;
+  double hw_channel_length_nm = 250.0;
+  /// Three-tier exploration: 0 = off; K > 0 makes explore()/explore_sharded
+  /// run the whole sweep through the analytical tier first and keep only
+  /// the best K candidates for the usual coarse/verify phases. Consumed by
+  /// the examples/benches when building ExploreOptions — requires an HW
+  /// role to select "hw.analytical" (validated).
+  std::size_t analytical_prefilter = 0;
   /// Host the hardware power estimators out-of-process: the master selects
   /// the "<hw backend>.remote" proxy, which forks a worker process per
   /// backend and ships batched vectors over the dist wire protocol while
@@ -254,6 +277,13 @@ struct RunResults {
   Joules bus_energy = 0.0;
   Joules cache_energy = 0.0;
   sim::SimTime end_time = 0;
+
+  /// Static (leakage) energy of the analytical HW backend, per process and
+  /// in total. Informational split: the amounts are already included in
+  /// process_energy / total_energy. Empty / 0 when no analytical backend is
+  /// active — that is how render_report decides to show the static column.
+  std::vector<Joules> process_leakage;
+  Joules leakage_energy = 0.0;
 
   std::uint64_t reactions = 0;
   std::uint64_t sw_reactions = 0;

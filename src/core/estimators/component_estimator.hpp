@@ -38,6 +38,7 @@
 #include "cache/coherence.hpp"
 #include "cfsm/cfsm.hpp"
 #include "core/coestimator_config.hpp"
+#include "hw/analytical.hpp"
 #include "hw/reaction_cache.hpp"
 #include "hwsyn/synth.hpp"
 #include "swsyn/codegen.hpp"
@@ -95,6 +96,10 @@ struct BackendWarmState {
     std::vector<hw::ExportedReaction> entries;
   };
   std::vector<UnitReactions> reactions;
+  /// Calibrated analytical coefficients (hw.analytical backends; empty for
+  /// everyone else). Importing marks the covered units fitted, so a warm
+  /// session never replays the gate-level calibration prefix.
+  hw::AnalyticalModel analytical;
 };
 
 class ComponentEstimator {

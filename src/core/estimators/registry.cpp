@@ -2,6 +2,7 @@
 
 #include "core/estimators/bus_estimator.hpp"
 #include "core/estimators/cache_estimator.hpp"
+#include "core/estimators/hw_analytical_estimator.hpp"
 #include "core/estimators/hw_gate_estimator.hpp"
 #include "core/estimators/hw_rtl_estimator.hpp"
 #include "core/estimators/noc_estimator.hpp"
@@ -60,6 +61,13 @@ EstimatorRegistry& estimator_registry() {
                         [] { return std::make_unique<HwGateEstimator>(); });
     r->register_backend("hw.rtl",
                         [] { return std::make_unique<HwRtlEstimator>(); });
+    // Calibrated activity/leakage model — the fast tier for huge design-
+    // space sweeps. Selected per role (estimators.hw_gate/hw_rtl =
+    // "hw.analytical"); no ".remote" variant is registered, because the
+    // whole backend is cheaper than the IPC round-trip would be.
+    r->register_backend("hw.analytical", [] {
+      return std::make_unique<HwAnalyticalEstimator>();
+    });
     r->register_backend("cache.icache",
                         [] { return std::make_unique<CacheEstimator>(); });
     r->register_backend("bus.arbiter",

@@ -102,6 +102,59 @@ ExplorationOutcome two_phase_outcome(
   return out;
 }
 
+ExplorationOutcome funnel_outcome(
+    const std::vector<ExplorationPoint>& points, std::size_t verify_top,
+    std::size_t prefilter,
+    const std::function<std::vector<PointEval>(
+        const std::vector<std::size_t>&, int)>& eval_phase) {
+  if (prefilter == 0 || prefilter >= points.size())
+    return two_phase_outcome(points, verify_top, eval_phase);
+
+  telemetry::registry().counter("explore.analytical_points")
+      .add(points.size());
+  std::vector<std::size_t> all(points.size());
+  std::iota(all.begin(), all.end(), std::size_t{0});
+  std::vector<PointEval> an;
+  {
+    SOCPOWER_TRACE_SPAN("explore.analytical");
+    an = eval_phase(all, 2);
+  }
+  assert(an.size() == points.size());
+  double an_seconds = 0.0;
+  for (const PointEval& e : an) an_seconds += e.wall_seconds;
+
+  // Keep the best `prefilter` candidates. The (energy, index) tiebreak
+  // pins the survivor set — and therefore everything downstream — for any
+  // evaluation strategy.
+  std::vector<std::size_t> order(points.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    if (an[a].total_energy != an[b].total_energy)
+      return an[a].total_energy < an[b].total_energy;
+    return a < b;
+  });
+  std::vector<std::size_t> kept(order.begin(),
+                                order.begin() + static_cast<long>(prefilter));
+  std::sort(kept.begin(), kept.end());  // survivors in original point order
+
+  // Two-phase over the survivors, with the phase-0/1 index stream remapped
+  // to the original points — the same thunks a non-prefiltered run would
+  // evaluate, which is the whole bit-identity argument.
+  std::vector<ExplorationPoint> kept_points;
+  kept_points.reserve(kept.size());
+  for (const std::size_t i : kept) kept_points.push_back(points[i]);
+  ExplorationOutcome out = two_phase_outcome(
+      kept_points, verify_top,
+      [&](const std::vector<std::size_t>& idxs, int phase) {
+        std::vector<std::size_t> orig(idxs.size());
+        for (std::size_t j = 0; j < idxs.size(); ++j) orig[j] = kept[idxs[j]];
+        return eval_phase(orig, phase);
+      });
+  out.analytical_seconds = an_seconds;
+  out.prefilter_kept = kept.size();
+  return out;
+}
+
 }  // namespace detail
 
 ExplorationOutcome explore(const std::vector<ExplorationPoint>& points,
@@ -112,14 +165,20 @@ ExplorationOutcome explore(const std::vector<ExplorationPoint>& points,
 ExplorationOutcome explore(const std::vector<ExplorationPoint>& points,
                            std::size_t verify_top,
                            const ExploreOptions& options) {
-  return detail::two_phase_outcome(
-      points, verify_top,
+  return detail::funnel_outcome(
+      points, verify_top, options.analytical_prefilter,
       [&](const std::vector<std::size_t>& idxs, int phase) {
         std::vector<detail::PointEval> evals(idxs.size());
         for_each_index(idxs.size(), options.threads, [&](std::size_t j) {
           const std::size_t idx = idxs[j];
           SOCPOWER_TRACE_SPAN("explore.point", 0, idx);
-          if (phase == 0) {
+          if (phase == 2) {
+            const auto& run = points[idx].run_analytical
+                                  ? points[idx].run_analytical
+                                  : points[idx].run_coarse;
+            const RunResults r = run();
+            evals[j] = {r.total_energy, r.wall_seconds, true};
+          } else if (phase == 0) {
             const RunResults r = points[idx].run_coarse();
             evals[j] = {r.total_energy, r.wall_seconds, true};
           } else if (points[idx].run_exact) {
@@ -140,14 +199,21 @@ std::string ExplorationOutcome::render() const {
                e.exact_energy ? format_energy(*e.exact_energy) : "-",
                std::to_string(e.coarse_rank + 1)});
   }
-  char tail[160];
+  char tail[256];
+  std::string head;
+  if (prefilter_kept > 0) {
+    std::snprintf(tail, sizeof tail,
+                  "analytical prefilter: %.3fs, kept %zu candidates\n",
+                  analytical_seconds, prefilter_kept);
+    head = tail;
+  }
   std::snprintf(tail, sizeof tail,
                 "coarse pass: %.3fs; exact verification: %.3fs; winner %s; "
                 "verification correlation %.4f\n",
                 coarse_seconds, exact_seconds,
                 winner_confirmed ? "confirmed" : "DISPLACED",
                 verification_correlation);
-  return t.render() + tail;
+  return t.render() + head + tail;
 }
 
 }  // namespace socpower::core

@@ -24,6 +24,11 @@ struct ExplorationPoint {
   /// Exact estimate (typically Acceleration::kNone). May be empty when the
   /// caller only wants the coarse ranking.
   std::function<RunResults()> run_exact;
+  /// Cheapest estimate (typically the "hw.analytical" backend with an
+  /// imported calibrated model) for the three-tier funnel's prefilter
+  /// phase. May be empty — the prefilter then falls back to run_coarse,
+  /// which keeps the funnel correct but not faster.
+  std::function<RunResults()> run_analytical;
 };
 
 struct ExplorationOutcome {
@@ -42,6 +47,11 @@ struct ExplorationOutcome {
   double verification_correlation = 1.0;
   double coarse_seconds = 0.0;
   double exact_seconds = 0.0;
+  /// Wall time of the analytical prefilter sweep (0 when it did not run).
+  double analytical_seconds = 0.0;
+  /// Candidates the prefilter kept for the coarse/verify phases (0 = the
+  /// funnel did not run; ranked then covers every point).
+  std::size_t prefilter_kept = 0;
 
   [[nodiscard]] const Entry& best() const { return ranked.front(); }
   [[nodiscard]] std::string render() const;
@@ -56,6 +66,17 @@ struct ExploreOptions {
   /// that use random workloads must follow the Rng seeding contract
   /// (util/rng.hpp): one Rng per point, seeded from stable identifiers.
   unsigned threads = 1;
+  /// Three-tier funnel: 0 = off (classic two-phase exploration over every
+  /// point). K > 0 first evaluates EVERY point with run_analytical (falling
+  /// back to run_coarse where unset), keeps the best K candidates, and runs
+  /// the usual coarse/verify phases on those survivors only — through the
+  /// identical two-phase reduction, so whenever the kept K contains the
+  /// true coarse top-verify_top, the winner and the verified ranking are
+  /// bit-identical to the non-prefiltered run (the survivors' coarse/exact
+  /// energies are the same thunk evaluations either way). Ties in the
+  /// analytical ranking break by point index. K >= points.size() degrades
+  /// to the classic two-phase run.
+  std::size_t analytical_prefilter = 0;
 };
 
 /// Runs the two-phase exploration. `verify_top` exact evaluations are spent
@@ -85,6 +106,11 @@ struct ShardedExploreOptions {
   /// Fault injection for tests: the worker with this shard index exits
   /// abruptly on its first request. -1 = off.
   int debug_crash_worker = -1;
+  /// Three-tier funnel, exactly as ExploreOptions::analytical_prefilter:
+  /// the prefilter sweep shards over the same worker fleet as the coarse
+  /// and verify phases (one phase-2 request per point), and the survivors'
+  /// phases reduce through the identical code path.
+  std::size_t analytical_prefilter = 0;
 };
 
 /// Two-phase exploration sharded over forked worker processes (implemented
@@ -112,6 +138,20 @@ struct PointEval {
 /// one.
 [[nodiscard]] ExplorationOutcome two_phase_outcome(
     const std::vector<ExplorationPoint>& points, std::size_t verify_top,
+    const std::function<std::vector<PointEval>(
+        const std::vector<std::size_t>&, int)>& eval_phase);
+
+/// The three-tier funnel behind explore() and explore_sharded() when
+/// analytical_prefilter > 0: phase 2 (analytical) over every point, keep
+/// the `prefilter` best (ties break by point index), then run
+/// two_phase_outcome over the surviving points with the phase-0/1 indices
+/// remapped to the originals. Degrades to two_phase_outcome when
+/// `prefilter` is 0 or covers all points. Sharing this reduction between
+/// both entry points is what makes the sharded funnel bit-identical to the
+/// serial one.
+[[nodiscard]] ExplorationOutcome funnel_outcome(
+    const std::vector<ExplorationPoint>& points, std::size_t verify_top,
+    std::size_t prefilter,
     const std::function<std::vector<PointEval>(
         const std::vector<std::size_t>&, int)>& eval_phase);
 

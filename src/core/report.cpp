@@ -27,37 +27,39 @@ std::string render_report(const cfsm::Network& network,
   out += results.summary();
   out += "\n\n";
 
-  TextTable t({"process", "impl", "energy", "share %", "avg power"});
+  // The analytical HW backend splits out the static (leakage) share of each
+  // process's energy; the column only appears when it contributed.
+  const bool show_static = !results.process_leakage.empty();
+  std::vector<std::string> header = {"process", "impl", "energy"};
+  if (show_static) header.push_back("static");
+  header.push_back("share %");
+  header.push_back("avg power");
+  TextTable t(header);
   const ElectricalParams& ep = estimator.config().electrical;
-  for (std::size_t i = 0; i < network.cfsm_count(); ++i) {
-    const auto id = static_cast<cfsm::CfsmId>(i);
-    const Joules e = results.process_energy[i];
+  auto add_row = [&](std::string name, std::string impl, Joules e,
+                     Joules static_e, bool has_static, bool show_watts) {
     char watts[32];
     std::snprintf(watts, sizeof watts, "%.3g mW",
                   ep.average_power_watts(e, results.end_time) * 1e3);
-    t.add_row({network.cfsm(id).name(), estimator.is_sw(id) ? "SW" : "HW",
-               format_energy(e),
-               TextTable::fixed(
-                   results.total_energy > 0
-                       ? 100.0 * e / results.total_energy
-                       : 0.0,
-                   1),
-               watts});
+    std::vector<std::string> row = {std::move(name), std::move(impl),
+                                    format_energy(e)};
+    if (show_static)
+      row.push_back(has_static ? format_energy(static_e) : "-");
+    row.push_back(TextTable::fixed(
+        results.total_energy > 0 ? 100.0 * e / results.total_energy : 0.0, 1));
+    row.push_back(show_watts ? watts : "");
+    t.add_row(std::move(row));
+  };
+  for (std::size_t i = 0; i < network.cfsm_count(); ++i) {
+    const auto id = static_cast<cfsm::CfsmId>(i);
+    const Joules leak = show_static && i < results.process_leakage.size()
+                            ? results.process_leakage[i]
+                            : 0.0;
+    add_row(network.cfsm(id).name(), estimator.is_sw(id) ? "SW" : "HW",
+            results.process_energy[i], leak, leak > 0.0, true);
   }
-  t.add_row({"(bus)", "-", format_energy(results.bus_energy),
-             TextTable::fixed(results.total_energy > 0
-                                  ? 100.0 * results.bus_energy /
-                                        results.total_energy
-                                  : 0.0,
-                              1),
-             ""});
-  t.add_row({"(icache)", "-", format_energy(results.cache_energy),
-             TextTable::fixed(results.total_energy > 0
-                                  ? 100.0 * results.cache_energy /
-                                        results.total_energy
-                                  : 0.0,
-                              1),
-             ""});
+  add_row("(bus)", "-", results.bus_energy, 0.0, false, false);
+  add_row("(icache)", "-", results.cache_energy, 0.0, false, false);
   out += t.render();
 
   if (telemetry::enabled()) {

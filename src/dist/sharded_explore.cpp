@@ -37,6 +37,12 @@ namespace {
 detail::PointEval eval_point_local(const std::vector<ExplorationPoint>& points,
                                    std::size_t idx, int phase) {
   SOCPOWER_TRACE_SPAN("explore.point", 0, idx);
+  if (phase == 2) {
+    const auto& run = points[idx].run_analytical ? points[idx].run_analytical
+                                                 : points[idx].run_coarse;
+    const RunResults r = run();
+    return {r.total_energy, r.wall_seconds, true};
+  }
   if (phase == 0) {
     const RunResults r = points[idx].run_coarse();
     return {r.total_energy, r.wall_seconds, true};
@@ -86,12 +92,14 @@ int serve_shard(dist::Channel& ch,
 ExplorationOutcome explore_sharded(const std::vector<ExplorationPoint>& points,
                                    std::size_t verify_top,
                                    const ShardedExploreOptions& options) {
+  ExploreOptions serial;
+  serial.threads = 1;
+  serial.analytical_prefilter = options.analytical_prefilter;
   const std::size_t want = resolve_thread_count(options.workers);
   const std::size_t W = std::min(want, points.size());
-  if (!dist::supported() || W <= 1)
-    return explore(points, verify_top, ExploreOptions{1});
+  if (!dist::supported() || W <= 1) return explore(points, verify_top, serial);
 #if defined(_WIN32)
-  return explore(points, verify_top, ExploreOptions{1});
+  return explore(points, verify_top, serial);
 #else
   auto& reg = telemetry::registry();
   telemetry::Counter& fallback_points =
@@ -177,8 +185,8 @@ ExplorationOutcome explore_sharded(const std::vector<ExplorationPoint>& points,
     return evals;
   };
 
-  ExplorationOutcome out =
-      detail::two_phase_outcome(points, verify_top, eval_phase);
+  ExplorationOutcome out = detail::funnel_outcome(
+      points, verify_top, options.analytical_prefilter, eval_phase);
 
   for (ShardProc& p : procs) {
     if (p.pid < 0) continue;

@@ -359,6 +359,9 @@ void put_run_results(WireWriter& w, const core::RunResults& res) {
   w.put_f64(res.coherence.energy);
   w.put_f64(res.wall_seconds);
   w.put_u8(res.truncated ? 1 : 0);
+  w.put_u32(static_cast<std::uint32_t>(res.process_leakage.size()));
+  for (const Joules e : res.process_leakage) w.put_f64(e);
+  w.put_f64(res.leakage_energy);
 }
 
 bool get_run_results(WireReader& r, core::RunResults* out) {
@@ -400,6 +403,56 @@ bool get_run_results(WireReader& r, core::RunResults* out) {
   out->coherence.energy = r.get_f64();
   out->wall_seconds = r.get_f64();
   out->truncated = r.get_u8() != 0;
+  const std::uint32_t nl = get_len(r, 8);
+  out->process_leakage.reserve(nl);
+  for (std::uint32_t i = 0; i < nl && r.ok(); ++i)
+    out->process_leakage.push_back(r.get_f64());
+  out->leakage_energy = r.get_f64();
+  return r.ok();
+}
+
+void put_analytical_model(WireWriter& w, const hw::AnalyticalModel& m) {
+  w.put_u32(static_cast<std::uint32_t>(m.units.size()));
+  for (const hw::AnalyticalUnitModel& u : m.units) {
+    w.put_i32(u.task);
+    for (const double c : u.coeff) w.put_f64(c);
+    w.put_f64(u.leakage_watts);
+    w.put_u32(u.calibration_vectors);
+    w.put_f64(u.residual_rms_j);
+  }
+  w.put_u32(static_cast<std::uint32_t>(m.pending.size()));
+  for (const hw::AnalyticalCalibrationState& c : m.pending) {
+    w.put_i32(c.task);
+    for (const double x : c.moments.xtx) w.put_f64(x);
+    for (const double x : c.moments.xty) w.put_f64(x);
+    w.put_f64(c.moments.yty);
+    w.put_u64(c.moments.n);
+  }
+}
+
+bool get_analytical_model(WireReader& r, hw::AnalyticalModel* out) {
+  out->units.clear();
+  out->pending.clear();
+  const std::uint32_t n = get_len(r, 4);
+  out->units.resize(n);
+  for (std::uint32_t i = 0; i < n && r.ok(); ++i) {
+    hw::AnalyticalUnitModel& u = out->units[i];
+    u.task = r.get_i32();
+    for (double& c : u.coeff) c = r.get_f64();
+    u.leakage_watts = r.get_f64();
+    u.calibration_vectors = r.get_u32();
+    u.residual_rms_j = r.get_f64();
+  }
+  const std::uint32_t np = get_len(r, 4);
+  out->pending.resize(np);
+  for (std::uint32_t i = 0; i < np && r.ok(); ++i) {
+    hw::AnalyticalCalibrationState& c = out->pending[i];
+    c.task = r.get_i32();
+    for (double& x : c.moments.xtx) x = r.get_f64();
+    for (double& x : c.moments.xty) x = r.get_f64();
+    c.moments.yty = r.get_f64();
+    c.moments.n = r.get_u64();
+  }
   return r.ok();
 }
 

@@ -203,4 +203,12 @@ void put_flush_result(WireWriter& w,
 void put_run_results(WireWriter& w, const core::RunResults& res);
 [[nodiscard]] bool get_run_results(WireReader& r, core::RunResults* out);
 
+/// Calibrated analytical-model coefficients (hw/analytical.hpp). Doubles
+/// travel bit-exactly, so a decoded model predicts bit-identically to the
+/// one the calibration fitted — the sharded prefilter and the serve
+/// checkpoint both rely on that.
+void put_analytical_model(WireWriter& w, const hw::AnalyticalModel& m);
+[[nodiscard]] bool get_analytical_model(WireReader& r,
+                                        hw::AnalyticalModel* out);
+
 }  // namespace socpower::dist

@@ -1,0 +1,206 @@
+#include "hw/analytical.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+
+namespace socpower::hw {
+
+namespace {
+
+/// Appends `width` (<= 63) bits of `value` (LSB first) to a packed bit
+/// vector in two word-level writes. The vector must be pre-sized with one
+/// slack word past the last bit — observe() sizes it up front, which is
+/// what makes the tracker O(words) instead of O(bits) per reaction (the
+/// tracker runs once per hardware reaction, so on wide datapaths this
+/// packing *is* the analytical tier's inner loop).
+inline void append_bits(std::vector<std::uint64_t>& words,
+                        std::size_t* bit_pos, std::uint64_t value,
+                        unsigned width) {
+  const std::size_t w = *bit_pos / 64;
+  const unsigned off = static_cast<unsigned>(*bit_pos % 64);
+  words[w] |= value << off;
+  if (off != 0) words[w + 1] |= value >> (64 - off);
+  *bit_pos += width;
+}
+
+double hamming(const std::vector<std::uint64_t>& a,
+               const std::vector<std::uint64_t>& b) {
+  std::uint64_t bits = 0;
+  const std::size_t n = std::max(a.size(), b.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::uint64_t wa = i < a.size() ? a[i] : 0;
+    const std::uint64_t wb = i < b.size() ? b[i] : 0;
+    bits += static_cast<std::uint64_t>(std::popcount(wa ^ wb));
+  }
+  return static_cast<double>(bits);
+}
+
+double ones(const std::vector<std::uint64_t>& a) {
+  std::uint64_t bits = 0;
+  for (const std::uint64_t w : a)
+    bits += static_cast<std::uint64_t>(std::popcount(w));
+  return static_cast<double>(bits);
+}
+
+}  // namespace
+
+void ActivityTracker::reset() {
+  prev_in_.clear();
+  cur_in_.clear();
+  prev_st_.clear();
+  cur_st_.clear();
+}
+
+ReactionActivity ActivityTracker::observe(
+    const std::vector<cfsm::EventId>& local_inputs,
+    const cfsm::ReactionInputs& inputs, const cfsm::CfsmState& pre) {
+  // Mirror the synthesized primary-input layout: presence flag and 32-bit
+  // value word per input event in local_inputs slot order (flag at bit 0,
+  // value LSB-first above it — 33 bits per event, appended in one write).
+  // Absent events contribute zero bits, exactly like their un-driven pins.
+  cur_in_.assign(local_inputs.size() * 33 / 64 + 2, 0);
+  std::size_t bit = 0;
+  for (const cfsm::EventId e : local_inputs) {
+    const bool present = inputs.present(e);
+    const std::uint64_t value =
+        present ? static_cast<std::uint32_t>(inputs.value(e)) : 0u;
+    append_bits(cur_in_, &bit, (value << 1) | (present ? 1u : 0u), 33);
+  }
+  cur_st_.assign(pre.vars.size() * 32 / 64 + 2, 0);
+  bit = 0;
+  for (const std::int32_t v : pre.vars)
+    append_bits(cur_st_, &bit, static_cast<std::uint32_t>(v), 32);
+
+  ReactionActivity a;
+  a.input_toggles = hamming(prev_in_, cur_in_);
+  a.input_ones = ones(cur_in_);
+  a.state_toggles = hamming(prev_st_, cur_st_);
+  std::swap(prev_in_, cur_in_);
+  std::swap(prev_st_, cur_st_);
+  return a;
+}
+
+double analytical_leakage_watts(std::size_t gate_count,
+                                const AnalyticalLeakageParams& p) {
+  const double length_scale = 250.0 / p.channel_length_nm;
+  const double temp_scale = std::exp2((p.temperature_k - 300.0) / 30.0);
+  return static_cast<double>(gate_count) * p.nw_per_gate * 1e-9 *
+         length_scale * temp_scale;
+}
+
+Joules AnalyticalUnitModel::predict(const ReactionActivity& a) const {
+  const double e = coeff[0] + coeff[1] * a.input_toggles +
+                   coeff[2] * a.input_ones + coeff[3] * a.state_toggles;
+  return e > 0.0 ? e : 0.0;
+}
+
+const AnalyticalUnitModel* AnalyticalModel::find(cfsm::CfsmId task) const {
+  for (const AnalyticalUnitModel& u : units)
+    if (u.task == task) return &u;
+  return nullptr;
+}
+
+void CalibrationAccumulator::add(const ReactionActivity& a, Joules energy) {
+  const double x[kAnalyticalTerms] = {1.0, a.input_toggles, a.input_ones,
+                                      a.state_toggles};
+  for (std::size_t i = 0; i < kAnalyticalTerms; ++i) {
+    for (std::size_t j = 0; j < kAnalyticalTerms; ++j)
+      xtx_[i][j] += x[i] * x[j];
+    xty_[i] += x[i] * energy;
+  }
+  yty_ += energy * energy;
+  ++n_;
+}
+
+AnalyticalUnitModel CalibrationAccumulator::fit(cfsm::CfsmId task) const {
+  AnalyticalUnitModel m;
+  m.task = task;
+  m.calibration_vectors = static_cast<std::uint32_t>(n_);
+  if (n_ == 0) return m;
+
+  // Ridge-damped normal equations. The damping is a fixed fraction of the
+  // largest diagonal entry, so constant features (a unit whose inputs never
+  // vary makes the toggle columns collinear with the intercept) keep the
+  // system solvable without perturbing well-conditioned fits measurably.
+  double a[kAnalyticalTerms][kAnalyticalTerms];
+  double b[kAnalyticalTerms];
+  double max_diag = 0.0;
+  for (std::size_t i = 0; i < kAnalyticalTerms; ++i)
+    max_diag = std::max(max_diag, xtx_[i][i]);
+  const double ridge = max_diag > 0.0 ? 1e-9 * max_diag : 1e-30;
+  for (std::size_t i = 0; i < kAnalyticalTerms; ++i) {
+    for (std::size_t j = 0; j < kAnalyticalTerms; ++j) a[i][j] = xtx_[i][j];
+    a[i][i] += ridge;
+    b[i] = xty_[i];
+  }
+
+  // Gaussian elimination with partial pivoting — fixed-size, branch order
+  // deterministic.
+  std::size_t perm[kAnalyticalTerms] = {0, 1, 2, 3};
+  for (std::size_t col = 0; col < kAnalyticalTerms; ++col) {
+    std::size_t piv = col;
+    for (std::size_t r = col + 1; r < kAnalyticalTerms; ++r)
+      if (std::fabs(a[perm[r]][col]) > std::fabs(a[perm[piv]][col])) piv = r;
+    std::swap(perm[col], perm[piv]);
+    const double d = a[perm[col]][col];
+    if (d == 0.0) continue;  // ridge makes this unreachable; stay safe
+    for (std::size_t r = col + 1; r < kAnalyticalTerms; ++r) {
+      const double f = a[perm[r]][col] / d;
+      if (f == 0.0) continue;
+      for (std::size_t j = col; j < kAnalyticalTerms; ++j)
+        a[perm[r]][j] -= f * a[perm[col]][j];
+      b[perm[r]] -= f * b[perm[col]];
+    }
+  }
+  for (std::size_t col = kAnalyticalTerms; col-- > 0;) {
+    double s = b[perm[col]];
+    for (std::size_t j = col + 1; j < kAnalyticalTerms; ++j)
+      s -= a[perm[col]][j] * m.coeff[j];
+    const double d = a[perm[col]][col];
+    m.coeff[col] = d != 0.0 ? s / d : 0.0;
+  }
+
+  // RMS residual from the accumulated moments:
+  //   ||y − Xc||² = yᵗy − 2cᵗXᵗy + cᵗ(XᵗX)c.
+  double quad = 0.0, cross = 0.0;
+  for (std::size_t i = 0; i < kAnalyticalTerms; ++i) {
+    cross += m.coeff[i] * xty_[i];
+    for (std::size_t j = 0; j < kAnalyticalTerms; ++j)
+      quad += m.coeff[i] * xtx_[i][j] * m.coeff[j];
+  }
+  const double sse = yty_ - 2.0 * cross + quad;
+  m.residual_rms_j = sse > 0.0 ? std::sqrt(sse / static_cast<double>(n_)) : 0.0;
+  return m;
+}
+
+CalibrationAccumulator::Raw CalibrationAccumulator::raw() const {
+  Raw r;
+  for (std::size_t i = 0; i < kAnalyticalTerms; ++i)
+    for (std::size_t j = 0; j < kAnalyticalTerms; ++j)
+      r.xtx[i * kAnalyticalTerms + j] = xtx_[i][j];
+  for (std::size_t i = 0; i < kAnalyticalTerms; ++i) r.xty[i] = xty_[i];
+  r.yty = yty_;
+  r.n = n_;
+  return r;
+}
+
+CalibrationAccumulator CalibrationAccumulator::from_raw(const Raw& r) {
+  CalibrationAccumulator acc;
+  for (std::size_t i = 0; i < kAnalyticalTerms; ++i)
+    for (std::size_t j = 0; j < kAnalyticalTerms; ++j)
+      acc.xtx_[i][j] = r.xtx[i * kAnalyticalTerms + j];
+  for (std::size_t i = 0; i < kAnalyticalTerms; ++i) acc.xty_[i] = r.xty[i];
+  acc.yty_ = r.yty;
+  acc.n_ = static_cast<std::size_t>(r.n);
+  return acc;
+}
+
+AnalyticalUnitModel calibrate_analytical(
+    cfsm::CfsmId task, const std::vector<CalibrationSample>& samples) {
+  CalibrationAccumulator acc;
+  for (const CalibrationSample& s : samples) acc.add(s.activity, s.energy);
+  return acc.fit(task);
+}
+
+}  // namespace socpower::hw

@@ -1,0 +1,152 @@
+// McPAT-style analytical hardware power model.
+//
+// Instead of stepping the gate simulator, a calibrated unit prices a
+// reaction from its *activity*: per-unit effective-capacitance coefficients
+// multiply Hamming-distance and population-count terms derived from the
+// behavioral inputs and state (the same ½·Vdd²·Ceff·A form the NoC link
+// model uses), plus a static (leakage) term integrated over simulated time
+// with McPAT's temperature and channel-length dependence. The coefficients
+// are least-squares-fitted against the gate-level backend, exactly the way
+// the SW macromodel is characterized against the ISS: replay a short
+// stimulus prefix through GateSim, record (activity features, exact energy)
+// pairs, solve the normal equations. Everything here is deterministic plain
+// arithmetic, so a fitted AnalyticalModel is bit-identical across runs and
+// survives the dist wire / serve checkpoint round-trips bit-exactly.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "cfsm/cfsm.hpp"
+#include "util/units.hpp"
+
+namespace socpower::hw {
+
+/// Activity of one reaction relative to the previously observed one,
+/// derived purely from the behavioral inputs/state (no simulator involved).
+struct ReactionActivity {
+  double input_toggles = 0.0;  ///< Hamming distance of the staged input bits
+  double input_ones = 0.0;     ///< population count of the staged input bits
+  double state_toggles = 0.0;  ///< Hamming distance of the pre-state bits
+};
+
+/// Packs a unit's (inputs, pre-state) into bit vectors and differences them
+/// against the previous reaction's. The packing follows the synthesized
+/// primary-input layout (local_inputs slot order: one presence flag plus a
+/// 32-bit value word per input event; 32 bits per state variable), so the
+/// features track what the netlist's input pins would actually toggle.
+/// Reset at the start of every run — the first observed reaction toggles
+/// against all-zero, matching the netlist's reset state.
+class ActivityTracker {
+ public:
+  void reset();
+  [[nodiscard]] ReactionActivity observe(
+      const std::vector<cfsm::EventId>& local_inputs,
+      const cfsm::ReactionInputs& inputs, const cfsm::CfsmState& pre);
+
+ private:
+  std::vector<std::uint64_t> prev_in_, cur_in_, prev_st_, cur_st_;
+};
+
+/// Leakage knobs, per McPAT: per-gate static power at the reference point
+/// (300 K, 250 nm), scaled by channel length (shorter channel leaks more)
+/// and exponentially by temperature.
+struct AnalyticalLeakageParams {
+  double nw_per_gate = 2.0;
+  double temperature_k = 300.0;
+  double channel_length_nm = 250.0;
+};
+
+/// Static power of one synthesized unit:
+///   P = gates · nw_per_gate·1e-9 · (250 / channel_length_nm)
+///       · 2^((T − 300) / 30)
+/// (leakage roughly doubles every 30 K, a standard subthreshold rule).
+[[nodiscard]] double analytical_leakage_watts(std::size_t gate_count,
+                                              const AnalyticalLeakageParams& p);
+
+/// Dynamic-energy terms: {1, input_toggles, input_ones, state_toggles}.
+inline constexpr std::size_t kAnalyticalTerms = 4;
+
+/// Fitted coefficients of one hardware unit. coeff[0] is the per-reaction
+/// base energy (clock tree, control); the rest are effective-capacitance
+/// energies per activity unit. predict() clamps at zero — activity patterns
+/// outside the calibration cloud must not go negative.
+struct AnalyticalUnitModel {
+  cfsm::CfsmId task = cfsm::kNoCfsm;
+  double coeff[kAnalyticalTerms] = {0.0, 0.0, 0.0, 0.0};
+  double leakage_watts = 0.0;
+  std::uint32_t calibration_vectors = 0;
+  /// RMS residual of the fit over the calibration set (model quality).
+  double residual_rms_j = 0.0;
+
+  [[nodiscard]] Joules predict(const ReactionActivity& a) const;
+};
+
+/// Accumulates (activity, exact energy) samples and solves the 4×4 normal
+/// equations. The accumulation is plain double sums in insertion order and
+/// the solve is Gaussian elimination with partial pivoting plus a tiny
+/// deterministic Tikhonov ridge for degenerate feature sets (e.g. a unit
+/// whose inputs never vary), so the same sample stream always yields
+/// bit-identical coefficients.
+class CalibrationAccumulator {
+ public:
+  /// The accumulated moments as raw doubles (xtx row-major) — what a warm
+  /// snapshot carries for a unit still mid-calibration, so a restored
+  /// session continues accumulating exactly where the donor stopped.
+  struct Raw {
+    double xtx[kAnalyticalTerms * kAnalyticalTerms] = {};
+    double xty[kAnalyticalTerms] = {};
+    double yty = 0.0;
+    std::uint64_t n = 0;
+  };
+
+  void add(const ReactionActivity& a, Joules energy);
+  [[nodiscard]] std::size_t count() const { return n_; }
+  [[nodiscard]] AnalyticalUnitModel fit(cfsm::CfsmId task) const;
+  [[nodiscard]] Raw raw() const;
+  [[nodiscard]] static CalibrationAccumulator from_raw(const Raw& r);
+
+ private:
+  double xtx_[kAnalyticalTerms][kAnalyticalTerms] = {};
+  double xty_[kAnalyticalTerms] = {};
+  double yty_ = 0.0;
+  std::size_t n_ = 0;
+};
+
+/// In-progress calibration of one unit that had not yet collected its
+/// target number of gate-level samples when the state was exported.
+struct AnalyticalCalibrationState {
+  cfsm::CfsmId task = cfsm::kNoCfsm;
+  CalibrationAccumulator::Raw moments;
+};
+
+/// The serializable calibrated model: one entry per fitted hardware unit,
+/// ascending by task id (canonical order — what makes encode/decode
+/// round-trips and cross-process comparisons bit-stable), plus the raw
+/// moments of units still calibrating so warm restores resume the sample
+/// stream bit-identically instead of starting over.
+struct AnalyticalModel {
+  std::vector<AnalyticalUnitModel> units;
+  std::vector<AnalyticalCalibrationState> pending;  ///< ascending by task
+
+  [[nodiscard]] bool empty() const { return units.empty() && pending.empty(); }
+  [[nodiscard]] const AnalyticalUnitModel* find(cfsm::CfsmId task) const;
+};
+
+/// One gate-level calibration sample: the activity features of a staged
+/// reaction and the exact energy GateSim measured for it.
+struct CalibrationSample {
+  ReactionActivity activity;
+  Joules energy = 0.0;
+};
+
+/// Fits one unit's model from samples recorded by replaying a stimulus
+/// prefix through the gate simulator — the batch counterpart of the
+/// HwAnalyticalEstimator's incremental calibration phase (both feed the
+/// same accumulator, so the coefficients are bit-identical for the same
+/// sample stream). Exposed for tests and offline characterization.
+[[nodiscard]] AnalyticalUnitModel calibrate_analytical(
+    cfsm::CfsmId task, const std::vector<CalibrationSample>& samples);
+
+}  // namespace socpower::hw

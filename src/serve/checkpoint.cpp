@@ -64,6 +64,7 @@ void put_backend(WireWriter& w, const core::BackendWarmState& b) {
       w.put_u64(e.gate_evals);
     }
   }
+  dist::put_analytical_model(w, b.analytical);
 }
 
 bool get_backend(WireReader& r, core::BackendWarmState* out) {
@@ -94,6 +95,7 @@ bool get_backend(WireReader& r, core::BackendWarmState* out) {
       e.gate_evals = r.get_u64();
     }
   }
+  if (!dist::get_analytical_model(r, &out->analytical)) return false;
   return r.ok();
 }
 

@@ -30,7 +30,8 @@
 namespace socpower::serve {
 
 inline constexpr std::uint32_t kCheckpointMagic = 0x4b435053u;  // "SPCK" LE
-inline constexpr std::uint32_t kCheckpointVersion = 1;
+// v2: BackendWarmState gained the calibrated AnalyticalModel coefficients.
+inline constexpr std::uint32_t kCheckpointVersion = 2;
 
 struct Checkpoint {
   SystemParams system;

@@ -172,6 +172,10 @@ RunRequest RunRequest::from(const core::CoEstimatorConfig& cfg) {
   rr.ecache_thresh_variance = cfg.energy_cache.thresh_variance;
   rr.ecache_thresh_iss_calls = cfg.energy_cache.thresh_iss_calls;
   rr.max_reactions = cfg.max_reactions;
+  rr.hw_analytical_calibration_vectors = cfg.hw_analytical_calibration_vectors;
+  rr.hw_leakage_nw_per_gate = cfg.hw_leakage_nw_per_gate;
+  rr.hw_temperature_k = cfg.hw_temperature_k;
+  rr.hw_channel_length_nm = cfg.hw_channel_length_nm;
   return rr;
 }
 
@@ -192,6 +196,10 @@ void RunRequest::apply(core::CoEstimatorConfig* cfg) const {
   cfg->energy_cache.thresh_iss_calls =
       static_cast<std::size_t>(ecache_thresh_iss_calls);
   cfg->max_reactions = max_reactions;
+  cfg->hw_analytical_calibration_vectors = hw_analytical_calibration_vectors;
+  cfg->hw_leakage_nw_per_gate = hw_leakage_nw_per_gate;
+  cfg->hw_temperature_k = hw_temperature_k;
+  cfg->hw_channel_length_nm = hw_channel_length_nm;
 }
 
 void put_run_request(WireWriter& w, const RunRequest& rr) {
@@ -210,6 +218,10 @@ void put_run_request(WireWriter& w, const RunRequest& rr) {
   w.put_f64(rr.ecache_thresh_variance);
   w.put_u64(rr.ecache_thresh_iss_calls);
   w.put_u64(rr.max_reactions);
+  w.put_u32(rr.hw_analytical_calibration_vectors);
+  w.put_f64(rr.hw_leakage_nw_per_gate);
+  w.put_f64(rr.hw_temperature_k);
+  w.put_f64(rr.hw_channel_length_nm);
 }
 
 bool get_run_request(WireReader& r, RunRequest* out) {
@@ -233,6 +245,10 @@ bool get_run_request(WireReader& r, RunRequest* out) {
   out->ecache_thresh_variance = r.get_f64();
   out->ecache_thresh_iss_calls = r.get_u64();
   out->max_reactions = r.get_u64();
+  out->hw_analytical_calibration_vectors = r.get_u32();
+  out->hw_leakage_nw_per_gate = r.get_f64();
+  out->hw_temperature_k = r.get_f64();
+  out->hw_channel_length_nm = r.get_f64();
   return r.ok();
 }
 

@@ -29,7 +29,9 @@ namespace socpower::serve {
 /// old client fails with a message instead of a garbled decode.
 /// v2: multicore — StructuralConfig gained cores / interconnect /
 /// coherence_enabled, RunResults gained coherence totals.
-inline constexpr std::uint32_t kServeProtocolVersion = 2;
+/// v3: analytical tier — RunRequest gained the calibration-vector and
+/// leakage knobs, RunResults gained the static-power split.
+inline constexpr std::uint32_t kServeProtocolVersion = 3;
 
 // ---- system selection ------------------------------------------------------
 
@@ -101,6 +103,10 @@ struct RunRequest {
   double ecache_thresh_variance = 0.0;
   std::uint64_t ecache_thresh_iss_calls = 3;
   std::uint64_t max_reactions = 20'000'000;
+  std::uint32_t hw_analytical_calibration_vectors = 256;
+  double hw_leakage_nw_per_gate = 2.0;
+  double hw_temperature_k = 300.0;
+  double hw_channel_length_nm = 250.0;
 
   [[nodiscard]] static RunRequest from(const core::CoEstimatorConfig& cfg);
   void apply(core::CoEstimatorConfig* cfg) const;
